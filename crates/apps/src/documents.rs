@@ -1,0 +1,197 @@
+//! Keyword search: top-k documents by aggregate relevance over query terms.
+//!
+//! "Suppose we want to find the top-k documents whose aggregate rank is the
+//! highest wrt. some given keywords. To answer this query, the solution is
+//! to have for each keyword a ranked list of documents, and return the k
+//! documents whose aggregate rank in all lists are the highest."
+//! (Section 1)
+
+use std::collections::HashMap;
+
+use topk_core::{AlgorithmKind, Sum, TopKQuery};
+use topk_lists::{Database, SortedList};
+
+use crate::interner::KeyInterner;
+use crate::{AppError, AppResult, RankedAnswer};
+
+/// A per-keyword relevance index over a document collection.
+///
+/// Each keyword maps to the relevance score of every document (documents
+/// without an explicit score have relevance 0, so every document appears in
+/// every keyword list, as the sorted-list model requires).
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    documents: KeyInterner,
+    /// keyword -> (document id -> relevance)
+    postings: HashMap<String, HashMap<u64, f64>>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the relevance of `document` for `keyword` (overwriting any
+    /// previous value).
+    pub fn add_posting(&mut self, keyword: &str, document: &str, relevance: f64) {
+        let doc = self.documents.intern(document);
+        self.postings
+            .entry(keyword.to_owned())
+            .or_default()
+            .insert(doc.0, relevance);
+    }
+
+    /// Convenience: indexes a whole document given `(keyword, relevance)`
+    /// pairs.
+    pub fn add_document<'a>(
+        &mut self,
+        document: &str,
+        keyword_relevance: impl IntoIterator<Item = (&'a str, f64)>,
+    ) {
+        for (keyword, relevance) in keyword_relevance {
+            self.add_posting(keyword, document, relevance);
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_documents(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Number of distinct keywords.
+    pub fn num_keywords(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether the given keyword has any posting.
+    pub fn has_keyword(&self, keyword: &str) -> bool {
+        self.postings.contains_key(keyword)
+    }
+
+    /// Builds one sorted list per query keyword over all documents.
+    fn database_for(&self, keywords: &[&str]) -> Result<Database, AppError> {
+        if self.documents.is_empty() {
+            return Err(AppError::Empty);
+        }
+        let mut lists = Vec::with_capacity(keywords.len());
+        for &keyword in keywords {
+            let postings = self
+                .postings
+                .get(keyword)
+                .ok_or_else(|| AppError::UnknownKey(keyword.to_owned()))?;
+            let pairs: Vec<(topk_lists::ItemId, f64)> = (0..self.documents.len() as u64)
+                .map(|doc| {
+                    (
+                        topk_lists::ItemId(doc),
+                        postings.get(&doc).copied().unwrap_or(0.0),
+                    )
+                })
+                .collect();
+            lists.push(SortedList::from_unsorted(pairs).map_err(topk_core::TopKError::from)?);
+        }
+        Ok(Database::new(lists).map_err(topk_core::TopKError::from)?)
+    }
+
+    /// Returns the `k` documents whose summed relevance over the query
+    /// keywords is highest.
+    pub fn search(
+        &self,
+        keywords: &[&str],
+        k: usize,
+        algorithm: AlgorithmKind,
+    ) -> Result<AppResult<String>, AppError> {
+        let db = self.database_for(keywords)?;
+        let result = algorithm.create().run(&db, &TopKQuery::new(k, Sum))?;
+        let answers = result
+            .items()
+            .iter()
+            .map(|r| RankedAnswer {
+                key: self
+                    .documents
+                    .resolve(r.item)
+                    .expect("result items come from the interned document set")
+                    .to_owned(),
+                score: r.score.value(),
+            })
+            .collect();
+        Ok(AppResult {
+            answers,
+            stats: result.stats().clone(),
+            algorithm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add_document("rust-book", [("rust", 0.9), ("databases", 0.1), ("queries", 0.2)]);
+        idx.add_document("db-internals", [("rust", 0.3), ("databases", 0.95), ("queries", 0.7)]);
+        idx.add_document("query-opt", [("databases", 0.6), ("queries", 0.9)]);
+        idx.add_document("cookbook", [("rust", 0.5)]);
+        idx
+    }
+
+    #[test]
+    fn construction_counts() {
+        let idx = index();
+        assert_eq!(idx.num_documents(), 4);
+        assert_eq!(idx.num_keywords(), 3);
+        assert!(idx.has_keyword("rust"));
+        assert!(!idx.has_keyword("python"));
+    }
+
+    #[test]
+    fn search_aggregates_relevance_across_keywords() {
+        let idx = index();
+        for algorithm in AlgorithmKind::ALL {
+            let result = idx.search(&["databases", "queries"], 2, algorithm).unwrap();
+            assert_eq!(result.answers[0].key, "db-internals", "{algorithm:?}");
+            assert!((result.answers[0].score - 1.65).abs() < 1e-9);
+            assert_eq!(result.answers[1].key, "query-opt");
+        }
+    }
+
+    #[test]
+    fn missing_terms_count_as_zero_relevance() {
+        let idx = index();
+        let result = idx.search(&["rust"], 4, AlgorithmKind::Bpa2).unwrap();
+        // query-opt has no "rust" posting at all; it still appears, last,
+        // with score 0.
+        assert_eq!(result.answers.last().unwrap().key, "query-opt");
+        assert_eq!(result.answers.last().unwrap().score, 0.0);
+    }
+
+    #[test]
+    fn unknown_keyword_is_an_error() {
+        let idx = index();
+        assert!(matches!(
+            idx.search(&["golang"], 1, AlgorithmKind::Ta),
+            Err(AppError::UnknownKey(_))
+        ));
+        let empty = InvertedIndex::new();
+        assert!(matches!(
+            empty.search(&["rust"], 1, AlgorithmKind::Ta),
+            Err(AppError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_keyword_search_is_a_simple_ranking() {
+        let idx = index();
+        let result = idx.search(&["rust"], 1, AlgorithmKind::Bpa).unwrap();
+        assert_eq!(result.answers[0].key, "rust-book");
+    }
+
+    #[test]
+    fn repeated_posting_overwrites() {
+        let mut idx = index();
+        idx.add_posting("rust", "cookbook", 0.99);
+        let result = idx.search(&["rust"], 1, AlgorithmKind::Naive).unwrap();
+        assert_eq!(result.answers[0].key, "cookbook");
+    }
+}

@@ -1,0 +1,85 @@
+//! String-key interning shared by the application front-ends.
+
+use std::collections::HashMap;
+
+use topk_lists::ItemId;
+
+/// Maps domain keys (strings) to dense [`ItemId`]s and back.
+#[derive(Debug, Clone, Default)]
+pub struct KeyInterner {
+    by_key: HashMap<String, ItemId>,
+    by_id: Vec<String>,
+}
+
+impl KeyInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `key`, allocating a new one on first use.
+    pub fn intern(&mut self, key: &str) -> ItemId {
+        if let Some(&id) = self.by_key.get(key) {
+            return id;
+        }
+        let id = ItemId(self.by_id.len() as u64);
+        self.by_key.insert(key.to_owned(), id);
+        self.by_id.push(key.to_owned());
+        id
+    }
+
+    /// Looks up an already-interned key.
+    pub fn get(&self, key: &str) -> Option<ItemId> {
+        self.by_key.get(key).copied()
+    }
+
+    /// Resolves an id back to its key.
+    pub fn resolve(&self, id: ItemId) -> Option<&str> {
+        self.by_id.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over all interned keys in id order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> + '_ {
+        self.by_id.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut interner = KeyInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern("alpha");
+        let b = interner.intern("beta");
+        let a2 = interner.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a, ItemId(0));
+        assert_eq!(b, ItemId(1));
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_resolution() {
+        let mut interner = KeyInterner::new();
+        let id = interner.intern("url-1");
+        assert_eq!(interner.get("url-1"), Some(id));
+        assert_eq!(interner.get("missing"), None);
+        assert_eq!(interner.resolve(id), Some("url-1"));
+        assert_eq!(interner.resolve(ItemId(99)), None);
+        assert_eq!(interner.keys().collect::<Vec<_>>(), vec!["url-1"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Network monitoring: globally popular URLs across monitored locations.
+//!
+//! "Consider a network monitoring application that monitors the activities
+//! of the users of some specified IP locations … For each location, the
+//! application maintains a list of the accessed URLs ranked by their
+//! frequency of access. In this application, an interesting query for the
+//! network administrator is: what are the top-k popular URLs?" (Section 8)
+
+use std::collections::HashMap;
+
+use topk_core::{AlgorithmKind, Sum, TopKQuery};
+use topk_lists::{Database, ItemId, SortedList};
+
+use crate::interner::KeyInterner;
+use crate::{AppError, AppResult, RankedAnswer};
+
+/// Per-location URL access counters, queried for the globally most popular
+/// URLs.
+///
+/// Each monitored location contributes one sorted list (URLs ranked by
+/// access frequency at that location); the overall popularity of a URL is
+/// the sum of its per-location frequencies. URLs never observed at a
+/// location have frequency 0 there.
+#[derive(Debug, Clone, Default)]
+pub struct MonitoringSystem {
+    urls: KeyInterner,
+    locations: Vec<String>,
+    /// location index -> (url id -> access count)
+    counts: Vec<HashMap<u64, u64>>,
+}
+
+impl MonitoringSystem {
+    /// Creates a monitoring system with no locations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a monitored location and returns its index.
+    pub fn add_location(&mut self, name: &str) -> usize {
+        self.locations.push(name.to_owned());
+        self.counts.push(HashMap::new());
+        self.locations.len() - 1
+    }
+
+    /// Records `hits` accesses to `url` observed at the location with the
+    /// given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location` has not been registered.
+    pub fn record(&mut self, location: usize, url: &str, hits: u64) {
+        assert!(
+            location < self.locations.len(),
+            "location index {location} has not been registered"
+        );
+        let id = self.urls.intern(url);
+        *self.counts[location].entry(id.0).or_insert(0) += hits;
+    }
+
+    /// Number of registered locations.
+    pub fn num_locations(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Number of distinct URLs observed anywhere.
+    pub fn num_urls(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Names of the registered locations.
+    pub fn locations(&self) -> &[String] {
+        &self.locations
+    }
+
+    fn database(&self) -> Result<Database, AppError> {
+        if self.urls.is_empty() || self.locations.is_empty() {
+            return Err(AppError::Empty);
+        }
+        let mut lists = Vec::with_capacity(self.locations.len());
+        for counts in &self.counts {
+            let pairs: Vec<(ItemId, f64)> = (0..self.urls.len() as u64)
+                .map(|url| (ItemId(url), counts.get(&url).copied().unwrap_or(0) as f64))
+                .collect();
+            lists.push(SortedList::from_unsorted(pairs).map_err(topk_core::TopKError::from)?);
+        }
+        Ok(Database::new(lists).map_err(topk_core::TopKError::from)?)
+    }
+
+    /// The `k` most popular URLs over all locations (sum of per-location
+    /// access counts).
+    pub fn top_k_urls(
+        &self,
+        k: usize,
+        algorithm: AlgorithmKind,
+    ) -> Result<AppResult<String>, AppError> {
+        let db = self.database()?;
+        let result = algorithm.create().run(&db, &TopKQuery::new(k, Sum))?;
+        let answers = result
+            .items()
+            .iter()
+            .map(|r| RankedAnswer {
+                key: self
+                    .urls
+                    .resolve(r.item)
+                    .expect("result items come from the interned URL set")
+                    .to_owned(),
+                score: r.score.value(),
+            })
+            .collect();
+        Ok(AppResult {
+            answers,
+            stats: result.stats().clone(),
+            algorithm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MonitoringSystem {
+        let mut sys = MonitoringSystem::new();
+        let paris = sys.add_location("paris");
+        let nantes = sys.add_location("nantes");
+        let vienna = sys.add_location("vienna");
+        sys.record(paris, "example.org/home", 120);
+        sys.record(paris, "example.org/docs", 80);
+        sys.record(paris, "example.org/blog", 10);
+        sys.record(nantes, "example.org/docs", 200);
+        sys.record(nantes, "example.org/home", 50);
+        sys.record(vienna, "example.org/home", 90);
+        sys.record(vienna, "example.org/blog", 70);
+        sys
+    }
+
+    #[test]
+    fn construction_counts() {
+        let sys = system();
+        assert_eq!(sys.num_locations(), 3);
+        assert_eq!(sys.num_urls(), 3);
+        assert_eq!(sys.locations()[0], "paris");
+    }
+
+    #[test]
+    fn top_urls_sum_frequencies_over_locations() {
+        let sys = system();
+        for algorithm in AlgorithmKind::ALL {
+            let result = sys.top_k_urls(2, algorithm).unwrap();
+            // docs: 80 + 200 = 280, home: 120 + 50 + 90 = 260, blog: 80.
+            assert_eq!(result.answers[0].key, "example.org/docs", "{algorithm:?}");
+            assert_eq!(result.answers[0].score, 280.0);
+            assert_eq!(result.answers[1].key, "example.org/home");
+            assert_eq!(result.answers[1].score, 260.0);
+        }
+    }
+
+    #[test]
+    fn repeated_records_accumulate() {
+        let mut sys = system();
+        sys.record(0, "example.org/blog", 500);
+        let result = sys.top_k_urls(1, AlgorithmKind::Bpa2).unwrap();
+        assert_eq!(result.answers[0].key, "example.org/blog");
+        assert_eq!(result.answers[0].score, 580.0);
+    }
+
+    #[test]
+    fn empty_system_is_an_error() {
+        let sys = MonitoringSystem::new();
+        assert!(matches!(sys.top_k_urls(1, AlgorithmKind::Ta), Err(AppError::Empty)));
+    }
+
+    #[test]
+    #[should_panic(expected = "has not been registered")]
+    fn recording_to_an_unknown_location_panics() {
+        let mut sys = MonitoringSystem::new();
+        sys.record(3, "example.org", 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks: wall-clock comparison of TA, BPA and BPA2 at
+//! laptop scale (response-time flavour of Figures 5 and 8, statistically
+//! sampled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use topk_core::{AlgorithmKind, TopKQuery};
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+
+/// Workloads kept intentionally small so that Criterion's repeated sampling
+/// finishes quickly; the full paper-scale sweeps live in the harness-false
+/// bench targets.
+const N: usize = 20_000;
+const K: usize = 20;
+const SEED: u64 = 2007;
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uniform_n20k_k20");
+    group.sample_size(10);
+    for m in [4usize, 8] {
+        let database = DatabaseSpec::new(DatabaseKind::Uniform, m, N).generate(SEED);
+        let query = TopKQuery::top(K);
+        for kind in AlgorithmKind::EVALUATED {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), m),
+                &m,
+                |b, _| {
+                    b.iter(|| {
+                        kind.create()
+                            .run(&database, &query)
+                            .expect("valid query")
+                            .stats()
+                            .total_accesses()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_correlated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlated_a0.01_n20k_k20");
+    group.sample_size(10);
+    let m = 8;
+    let database =
+        DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.01 }, m, N).generate(SEED);
+    let query = TopKQuery::top(K);
+    for kind in AlgorithmKind::EVALUATED {
+        group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), m), &m, |b, _| {
+            b.iter(|| {
+                kind.create()
+                    .run(&database, &query)
+                    .expect("valid query")
+                    .stats()
+                    .total_accesses()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_correlated);
+criterion_main!(benches);

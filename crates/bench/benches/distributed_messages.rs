@@ -1,0 +1,60 @@
+//! Distributed execution: message and payload counts of distributed TA,
+//! BPA and BPA2 (Section 5 / Section 6.1's "number of accesses" argument).
+//!
+//! The originator/list-owner simulation counts one request and one response
+//! per access plus the scalars each message carries, showing the two
+//! communication effects the paper attributes to BPA2: fewer accesses, and
+//! no positions shipped to the query originator.
+
+use topk_bench::config::BENCH_SEED;
+use topk_bench::BenchScale;
+use topk_core::TopKQuery;
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+use topk_distributed::{
+    Cluster, DistributedBpa, DistributedBpa2, DistributedProtocol, DistributedTa,
+};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    // The distributed simulation clones each list into its owner node and
+    // routes every access through typed messages; a tenth of the default n
+    // keeps this bench quick without changing the relative message counts.
+    let n = scale.default_n() / 10;
+    let m = scale.default_m();
+    let k = scale.default_k();
+    let database = DatabaseSpec::new(DatabaseKind::Uniform, m, n).generate(BENCH_SEED);
+    let query = TopKQuery::top(k);
+
+    println!();
+    println!("=== Distributed execution: messages and payload (Section 5) ===");
+    println!("    uniform database, n = {n}, m = {m} list owners, k = {k}");
+    println!(
+        "{:>20}{:>14}{:>14}{:>18}{:>12}",
+        "protocol", "accesses", "messages", "payload (units)", "rounds"
+    );
+
+    let protocols: Vec<Box<dyn DistributedProtocol>> = vec![
+        Box::new(DistributedTa),
+        Box::new(DistributedBpa),
+        Box::new(DistributedBpa2),
+    ];
+    for protocol in protocols {
+        let mut cluster = Cluster::new(&database);
+        let result = protocol
+            .execute(&mut cluster, &query)
+            .expect("valid query");
+        println!(
+            "{:>20}{:>14}{:>14}{:>18}{:>12}",
+            protocol.name(),
+            result.accesses,
+            result.network.messages,
+            result.network.payload_units,
+            result.rounds,
+        );
+    }
+    println!();
+    println!(
+        "Paper expectation: message counts are proportional to accesses; BPA2 sends fewer and \
+         smaller messages because best positions stay at the list owners."
+    );
+}

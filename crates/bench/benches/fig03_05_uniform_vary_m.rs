@@ -1,0 +1,28 @@
+//! Figures 3, 4 and 5: execution cost, number of accesses and response time
+//! versus the number of lists `m` over the uniform database
+//! (n = 100 000, k = 20).
+
+use topk_bench::{print_header, print_metric_table, sweep_m, BenchScale, MetricKind};
+use topk_core::AlgorithmKind;
+use topk_datagen::DatabaseKind;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let n = scale.default_n();
+    let k = scale.default_k();
+    let ms = scale.m_sweep();
+
+    print_header(
+        "Figures 3-5",
+        "uniform database, varying the number of lists m",
+        &format!("n = {n}, k = {k}, f = sum, {}", scale.label()),
+    );
+    let points = sweep_m(DatabaseKind::Uniform, &ms, n, k, &AlgorithmKind::EVALUATED);
+    print_metric_table("m", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
+    print_metric_table("m", MetricKind::Accesses, &AlgorithmKind::EVALUATED, &points);
+    print_metric_table("m", MetricKind::ResponseTimeMs, &AlgorithmKind::EVALUATED, &points);
+    println!();
+    println!(
+        "Paper expectation: BPA beats TA by ~(m+6)/8 and BPA2 by ~(m+1)/2 on execution cost (m > 2)."
+    );
+}

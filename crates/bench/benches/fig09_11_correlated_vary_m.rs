@@ -1,0 +1,34 @@
+//! Figures 9, 10 and 11: execution cost versus the number of lists `m` over
+//! correlated databases with α = 0.001, 0.01 and 0.1 (n = 100 000, k = 20).
+
+use topk_bench::{print_header, print_metric_table, sweep_m, BenchScale, MetricKind};
+use topk_core::AlgorithmKind;
+use topk_datagen::DatabaseKind;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let n = scale.default_n();
+    let k = scale.default_k();
+    let ms = scale.m_sweep();
+
+    for (figure, alpha) in [("Figure 9", 0.001), ("Figure 10", 0.01), ("Figure 11", 0.1)] {
+        print_header(
+            figure,
+            "correlated database, varying the number of lists m",
+            &format!("alpha = {alpha}, n = {n}, k = {k}, f = sum, {}", scale.label()),
+        );
+        let points = sweep_m(
+            DatabaseKind::Correlated { alpha },
+            &ms,
+            n,
+            k,
+            &AlgorithmKind::EVALUATED,
+        );
+        print_metric_table("m", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
+    }
+    println!();
+    println!(
+        "Paper expectation: the more correlated the database (smaller alpha), the lower the \
+         execution cost of all three algorithms; BPA and BPA2 still stop much sooner than TA."
+    );
+}

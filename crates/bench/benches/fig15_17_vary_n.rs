@@ -1,0 +1,41 @@
+//! Figures 15, 16 and 17: execution cost versus the number of data items
+//! `n` over the uniform database and two correlated databases (α = 0.01 and
+//! α = 0.0001), with m = 8 and k = 20.
+
+use topk_bench::{print_header, print_metric_table, sweep_n, BenchScale, MetricKind};
+use topk_core::AlgorithmKind;
+use topk_datagen::DatabaseKind;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let m = scale.default_m();
+    let k = scale.default_k();
+    let ns = scale.n_sweep();
+
+    for (figure, kind, description) in [
+        ("Figure 15", DatabaseKind::Uniform, "uniform database"),
+        (
+            "Figure 16",
+            DatabaseKind::Correlated { alpha: 0.01 },
+            "correlated database, alpha = 0.01",
+        ),
+        (
+            "Figure 17",
+            DatabaseKind::Correlated { alpha: 0.0001 },
+            "correlated database, alpha = 0.0001",
+        ),
+    ] {
+        print_header(
+            figure,
+            &format!("{description}, varying n"),
+            &format!("m = {m}, k = {k}, f = sum, {}", scale.label()),
+        );
+        let points = sweep_n(kind, &ns, m, k, &AlgorithmKind::EVALUATED);
+        print_metric_table("n", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
+    }
+    println!();
+    println!(
+        "Paper expectation: n has a considerable impact on the uniform database and a much \
+         smaller one on highly correlated databases."
+    );
+}

@@ -1,0 +1,63 @@
+//! Reproduces the paper's worked examples (Figures 1 and 2, Examples 1-3
+//! and the Theorem 8 example): stopping positions and access counts of FA,
+//! TA, BPA and BPA2 on the two example databases.
+
+use topk_bench::report::algorithm_label;
+use topk_core::examples_paper::{figure1_database, figure2_database};
+use topk_core::{AlgorithmKind, TopKQuery};
+use topk_lists::Database;
+
+fn report(name: &str, database: &Database, expectations: &[(AlgorithmKind, &str)]) {
+    println!();
+    println!("=== {name} (m = {}, n = {}, k = 3, f = sum) ===", database.num_lists(), database.num_items());
+    println!(
+        "{:>10}{:>12}{:>10}{:>10}{:>10}{:>10}{:>28}",
+        "algorithm", "stop pos", "sorted", "random", "direct", "total", "paper says"
+    );
+    let query = TopKQuery::top(3);
+    for &(kind, expected) in expectations {
+        let result = kind
+            .create()
+            .run(database, &query)
+            .expect("the example databases accept k = 3");
+        let stats = result.stats();
+        println!(
+            "{:>10}{:>12}{:>10}{:>10}{:>10}{:>10}{:>28}",
+            algorithm_label(kind),
+            stats
+                .stop_position
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+            stats.accesses.sorted,
+            stats.accesses.random,
+            stats.accesses.direct,
+            stats.total_accesses(),
+            expected,
+        );
+    }
+}
+
+fn main() {
+    println!("Paper worked examples — Akbarinia et al., VLDB 2007");
+
+    report(
+        "Figure 1",
+        &figure1_database(),
+        &[
+            (AlgorithmKind::Fa, "stops at position 8"),
+            (AlgorithmKind::Ta, "stops at 6; 18 sorted + 36 random"),
+            (AlgorithmKind::Bpa, "stops at 3; 9 sorted + 18 random"),
+            (AlgorithmKind::Bpa2, "same answers as BPA"),
+        ],
+    );
+
+    report(
+        "Figure 2",
+        &figure2_database(),
+        &[
+            (AlgorithmKind::Ta, "(not discussed)"),
+            (AlgorithmKind::Bpa, "63 accesses in total"),
+            (AlgorithmKind::Bpa2, "36 accesses in total"),
+        ],
+    );
+}

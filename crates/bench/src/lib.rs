@@ -1,0 +1,27 @@
+//! Benchmark harness reproducing the evaluation of Akbarinia et al.
+//! (VLDB 2007), Section 6.
+//!
+//! Every figure of the paper has a bench target in `benches/` (see the
+//! per-experiment index in `DESIGN.md`); the targets share this library:
+//!
+//! * [`config`] — Table 1 defaults (`n = 100 000`, `k = 20`, `m = 8`) and
+//!   the parameter sweeps of each figure, scalable down via the
+//!   `TOPK_BENCH_SCALE=small` environment variable for quick runs;
+//! * [`measure`] — runs a set of algorithms on one generated database and
+//!   collects the paper's three metrics (execution cost, number of
+//!   accesses, response time);
+//! * [`report`] — aligned-table printing and the TA-relative gain factors
+//!   quoted in Section 6.2 ("BPA and BPA2 outperform TA by a factor of
+//!   approximately (m+6)/8 and (m+1)/2").
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod measure;
+pub mod report;
+pub mod sweeps;
+
+pub use config::{BenchScale, PAPER_DEFAULT_K, PAPER_DEFAULT_M, PAPER_DEFAULT_N};
+pub use measure::{measure_database, measure_spec, AlgorithmMeasurement, ExperimentPoint};
+pub use report::{format_factor, print_header, print_metric_table, MetricKind};
+pub use sweeps::{sweep_k, sweep_m, sweep_n};

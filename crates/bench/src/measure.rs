@@ -1,0 +1,120 @@
+//! Running experiments and collecting the paper's three metrics.
+
+use topk_core::{AlgorithmKind, CostModel, TopKQuery};
+use topk_datagen::DatabaseSpec;
+use topk_lists::Database;
+
+/// The measurements for one algorithm on one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgorithmMeasurement {
+    /// Which algorithm produced the numbers.
+    pub algorithm: AlgorithmKind,
+    /// Execution cost `as·cs + ar·cr` under the paper's cost model
+    /// (`cs = 1`, `cr = log₂ n`, direct ≡ random).
+    pub execution_cost: f64,
+    /// Total number of accesses to the lists (sorted + random + direct).
+    pub accesses: u64,
+    /// Response time in milliseconds.
+    pub response_ms: f64,
+    /// Stopping depth (sorted-scan position, or the final best position for
+    /// BPA2).
+    pub stop_position: Option<usize>,
+}
+
+/// One x-axis point of a figure: the varied parameter value plus one
+/// measurement per algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPoint {
+    /// The varied parameter value (m, k or n, depending on the figure).
+    pub x: usize,
+    /// One measurement per algorithm, in the order they were requested.
+    pub measurements: Vec<AlgorithmMeasurement>,
+}
+
+impl ExperimentPoint {
+    /// The measurement for a specific algorithm, if it was run.
+    pub fn for_algorithm(&self, algorithm: AlgorithmKind) -> Option<&AlgorithmMeasurement> {
+        self.measurements.iter().find(|m| m.algorithm == algorithm)
+    }
+}
+
+/// Runs the given algorithms once each on an already-generated database.
+pub fn measure_database(
+    database: &Database,
+    k: usize,
+    algorithms: &[AlgorithmKind],
+) -> Vec<AlgorithmMeasurement> {
+    let query = TopKQuery::top(k);
+    let cost_model = CostModel::paper_default(database.num_items());
+    algorithms
+        .iter()
+        .map(|&algorithm| {
+            let result = algorithm
+                .create()
+                .run(database, &query)
+                .expect("benchmark queries are valid by construction");
+            let stats = result.stats();
+            AlgorithmMeasurement {
+                algorithm,
+                execution_cost: stats.execution_cost(&cost_model),
+                accesses: stats.total_accesses(),
+                response_ms: stats.response_time_ms(),
+                stop_position: stats.stop_position,
+            }
+        })
+        .collect()
+}
+
+/// Generates the database described by `spec` (with the benchmark seed) and
+/// measures the given algorithms on it.
+pub fn measure_spec(
+    spec: &DatabaseSpec,
+    seed: u64,
+    k: usize,
+    algorithms: &[AlgorithmKind],
+) -> Vec<AlgorithmMeasurement> {
+    let database = spec.generate(seed);
+    measure_database(&database, k, algorithms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_datagen::DatabaseKind;
+
+    #[test]
+    fn measures_every_requested_algorithm() {
+        let spec = DatabaseSpec::new(DatabaseKind::Uniform, 3, 500);
+        let points = measure_spec(&spec, 1, 5, &AlgorithmKind::EVALUATED);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].algorithm, AlgorithmKind::Ta);
+        for p in &points {
+            assert!(p.execution_cost > 0.0);
+            assert!(p.accesses > 0);
+            assert!(p.stop_position.is_some());
+        }
+    }
+
+    #[test]
+    fn bpa_never_costs_more_than_ta() {
+        let spec = DatabaseSpec::new(DatabaseKind::Uniform, 4, 2_000);
+        let points = measure_spec(&spec, 7, 10, &AlgorithmKind::EVALUATED);
+        let ta = points.iter().find(|p| p.algorithm == AlgorithmKind::Ta).unwrap();
+        let bpa = points.iter().find(|p| p.algorithm == AlgorithmKind::Bpa).unwrap();
+        let bpa2 = points.iter().find(|p| p.algorithm == AlgorithmKind::Bpa2).unwrap();
+        assert!(bpa.execution_cost <= ta.execution_cost);
+        assert!(bpa2.accesses <= bpa.accesses);
+    }
+
+    #[test]
+    fn experiment_point_lookup() {
+        let spec = DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.01 }, 3, 1_000);
+        let point = ExperimentPoint {
+            x: 3,
+            measurements: measure_spec(&spec, 2, 5, &AlgorithmKind::EVALUATED),
+        };
+        assert!(point.for_algorithm(AlgorithmKind::Bpa2).is_some());
+        assert!(point.for_algorithm(AlgorithmKind::Naive).is_none());
+        assert_eq!(point.x, 3);
+    }
+}

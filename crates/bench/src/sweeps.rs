@@ -1,0 +1,100 @@
+//! Parameter sweeps shared by the figure-reproduction bench targets.
+
+use topk_core::AlgorithmKind;
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+
+use crate::config::BENCH_SEED;
+use crate::measure::{measure_spec, ExperimentPoint};
+
+/// Sweeps the number of lists `m` (Figures 3-11): one generated database
+/// per point, fixed `n` and `k`.
+pub fn sweep_m(
+    kind: DatabaseKind,
+    ms: &[usize],
+    n: usize,
+    k: usize,
+    algorithms: &[AlgorithmKind],
+) -> Vec<ExperimentPoint> {
+    ms.iter()
+        .map(|&m| ExperimentPoint {
+            x: m,
+            measurements: measure_spec(
+                &DatabaseSpec::new(kind, m, n),
+                BENCH_SEED ^ m as u64,
+                k,
+                algorithms,
+            ),
+        })
+        .collect()
+}
+
+/// Sweeps `k` (Figures 12-14): the database is generated once and reused
+/// for every point, as only the query changes.
+pub fn sweep_k(
+    kind: DatabaseKind,
+    ks: &[usize],
+    m: usize,
+    n: usize,
+    algorithms: &[AlgorithmKind],
+) -> Vec<ExperimentPoint> {
+    let database = DatabaseSpec::new(kind, m, n).generate(BENCH_SEED);
+    ks.iter()
+        .map(|&k| ExperimentPoint {
+            x: k,
+            measurements: crate::measure::measure_database(&database, k, algorithms),
+        })
+        .collect()
+}
+
+/// Sweeps the number of items `n` (Figures 15-17): one generated database
+/// per point, fixed `m` and `k`.
+pub fn sweep_n(
+    kind: DatabaseKind,
+    ns: &[usize],
+    m: usize,
+    k: usize,
+    algorithms: &[AlgorithmKind],
+) -> Vec<ExperimentPoint> {
+    ns.iter()
+        .map(|&n| ExperimentPoint {
+            x: n,
+            measurements: measure_spec(
+                &DatabaseSpec::new(kind, m, n),
+                BENCH_SEED ^ (n as u64).rotate_left(17),
+                k,
+                algorithms,
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALGOS: [AlgorithmKind; 3] = AlgorithmKind::EVALUATED;
+
+    #[test]
+    fn sweep_m_produces_one_point_per_m() {
+        let points = sweep_m(DatabaseKind::Uniform, &[2, 3], 300, 5, &ALGOS);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].x, 2);
+        assert_eq!(points[0].measurements.len(), 3);
+    }
+
+    #[test]
+    fn sweep_k_reuses_one_database() {
+        let points = sweep_k(DatabaseKind::Correlated { alpha: 0.05 }, &[2, 4, 8], 3, 400, &ALGOS);
+        assert_eq!(points.len(), 3);
+        // Larger k can never need fewer accesses on the same database.
+        let ta = |p: &ExperimentPoint| p.for_algorithm(AlgorithmKind::Ta).unwrap().accesses;
+        assert!(ta(&points[0]) <= ta(&points[2]));
+    }
+
+    #[test]
+    fn sweep_n_produces_one_point_per_n() {
+        let points = sweep_n(DatabaseKind::Uniform, &[200, 400], 3, 5, &ALGOS);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].x, 400);
+    }
+}

@@ -1,0 +1,234 @@
+//! The Best Position Algorithm (Section 4).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use topk_lists::tracker::{PositionTracker, TrackerKind};
+use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+
+use crate::algorithms::{collect_stats, TopKAlgorithm};
+use crate::error::TopKError;
+use crate::query::TopKQuery;
+use crate::result::TopKResult;
+use crate::topk_buffer::TopKBuffer;
+
+/// The Best Position Algorithm — the paper's first contribution.
+///
+/// BPA scans like TA (sorted access at each position of every list, plus
+/// `m - 1` random accesses per item seen) but it additionally records every
+/// position it sees, under sorted *or* random access, in a per-list
+/// [`PositionTracker`]. Its stopping threshold is the *best positions
+/// overall score* `λ = f(s₁(bp₁), …, s_m(bp_m))`, where `bp_i` is the
+/// greatest position of list `i` such that all positions `1..=bp_i` have
+/// been seen. Because `bp_i` is never smaller than the current sorted-scan
+/// depth, `λ ≤ δ` and BPA stops at least as early as TA (Lemma 1), up to
+/// `m - 1` times earlier (Lemma 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bpa {
+    /// Strategy used to maintain the best positions (Section 5.2).
+    pub tracker: TrackerKind,
+}
+
+impl Default for Bpa {
+    fn default() -> Self {
+        Bpa {
+            tracker: TrackerKind::BitArray,
+        }
+    }
+}
+
+impl Bpa {
+    /// BPA with an explicit best-position tracking strategy.
+    pub fn with_tracker(tracker: TrackerKind) -> Self {
+        Bpa { tracker }
+    }
+}
+
+impl TopKAlgorithm for Bpa {
+    fn name(&self) -> &'static str {
+        "bpa"
+    }
+
+    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
+        query.validate(database)?;
+        let started = Instant::now();
+        let session = AccessSession::new(database);
+        let m = session.num_lists();
+        let n = session.num_items();
+
+        let mut trackers: Vec<Box<dyn PositionTracker>> =
+            (0..m).map(|_| self.tracker.create(n)).collect();
+        let mut resolved: HashMap<ItemId, Score> = HashMap::new();
+        let mut buffer = TopKBuffer::new(query.k());
+        let mut stop_position = n;
+
+        'rounds: for pos in 1..=n {
+            let position = Position::new(pos).expect("pos >= 1");
+            for i in 0..m {
+                let entry = session
+                    .list(i)?
+                    .sorted_access(position)
+                    .expect("position within list bounds");
+                trackers[i].mark_seen(entry.position);
+
+                // Like TA's literal accounting, each sorted access triggers
+                // m - 1 random accesses; BPA additionally records the
+                // positions those random accesses reveal.
+                let mut locals = vec![Score::ZERO; m];
+                locals[i] = entry.score;
+                for (j, list) in session.lists().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let ps = list
+                        .random_access(entry.item)
+                        .expect("every item appears in every list");
+                    locals[j] = ps.score;
+                    trackers[j].mark_seen(ps.position);
+                }
+                let overall = query.combine(&locals);
+                resolved.insert(entry.item, overall);
+                buffer.offer(entry.item, overall);
+            }
+
+            // Best positions overall score λ. The local score at a best
+            // position was necessarily observed when that position was seen,
+            // so reading it back is originator-side bookkeeping, not a new
+            // list access.
+            let lambda = best_positions_score(&session, &trackers, query)?;
+            if let Some(lambda) = lambda {
+                if buffer.has_k_at_or_above(lambda) {
+                    stop_position = pos;
+                    break 'rounds;
+                }
+            }
+        }
+
+        let stats = collect_stats(
+            &session,
+            Some(stop_position),
+            stop_position as u64,
+            resolved.len(),
+            started,
+        );
+        Ok(TopKResult::new(buffer.into_ranked(), stats))
+    }
+}
+
+/// Computes `λ = f(s₁(bp₁), …, s_m(bp_m))`, or `None` if some list has no
+/// best position yet (i.e. its position 1 has not been seen).
+fn best_positions_score(
+    session: &AccessSession<'_>,
+    trackers: &[Box<dyn PositionTracker>],
+    query: &TopKQuery,
+) -> Result<Option<Score>, TopKError> {
+    let mut scores = Vec::with_capacity(trackers.len());
+    for (i, tracker) in trackers.iter().enumerate() {
+        match tracker.best_position() {
+            None => return Ok(None),
+            Some(bp) => {
+                let score = session
+                    .list(i)?
+                    .raw()
+                    .score_at(bp)
+                    .expect("best position is a valid position");
+                scores.push(score);
+            }
+        }
+    }
+    Ok(Some(query.combine(&scores)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{NaiveScan, Ta};
+    use crate::examples_paper::{figure1_database, figure2_database};
+    use crate::scoring::{Average, Min};
+
+    #[test]
+    fn example3_stops_at_position_3_with_the_papers_access_counts() {
+        // "BPA stops at position 3 … the number of sorted accesses and
+        // random accesses is 3·3 = 9 and 9·2 = 18, respectively."
+        let db = figure1_database();
+        let result = Bpa::default().run(&db, &TopKQuery::top(3)).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.stop_position, Some(3));
+        assert_eq!(stats.accesses.sorted, 9);
+        assert_eq!(stats.accesses.random, 18);
+        let ids: Vec<u64> = result.item_ids().iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![8, 3, 5]);
+    }
+
+    #[test]
+    fn figure2_bpa_stops_at_position_7_with_63_accesses() {
+        // "If we apply BPA on this example, it stops at position 7, so it
+        // does 7·3 sorted accesses and 7·3·2 random accesses … 63."
+        let db = figure2_database();
+        let result = Bpa::default().run(&db, &TopKQuery::top(3)).unwrap();
+        let stats = result.stats();
+        assert_eq!(stats.stop_position, Some(7));
+        assert_eq!(stats.accesses.sorted, 21);
+        assert_eq!(stats.accesses.random, 42);
+        assert_eq!(stats.total_accesses(), 63);
+    }
+
+    #[test]
+    fn stops_no_later_than_ta_and_finds_the_same_scores() {
+        for db in [figure1_database(), figure2_database()] {
+            for k in 1..=12 {
+                let query = TopKQuery::top(k);
+                let bpa = Bpa::default().run(&db, &query).unwrap();
+                let ta = Ta::literal().run(&db, &query).unwrap();
+                assert!(
+                    bpa.stats().stop_position.unwrap() <= ta.stats().stop_position.unwrap(),
+                    "Lemma 1 violated at k = {k}"
+                );
+                assert!(bpa.stats().accesses.sorted <= ta.stats().accesses.sorted);
+                assert!(bpa.stats().accesses.random <= ta.stats().accesses.random);
+                assert!(bpa.scores_match(&ta, 1e-9), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_tracker_kinds_produce_identical_runs() {
+        let db = figure1_database();
+        let query = TopKQuery::top(3);
+        let baseline = Bpa::default().run(&db, &query).unwrap();
+        for kind in TrackerKind::ALL {
+            let run = Bpa::with_tracker(kind).run(&db, &query).unwrap();
+            assert_eq!(run.stats().accesses, baseline.stats().accesses, "{kind:?}");
+            assert_eq!(run.stats().stop_position, baseline.stats().stop_position);
+            assert!(run.scores_match(&baseline, 1e-9));
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_naive_scan_under_other_functions() {
+        let db = figure2_database();
+        for k in [1, 4, 9] {
+            for query in [TopKQuery::new(k, Min), TopKQuery::new(k, Average)] {
+                let bpa = Bpa::default().run(&db, &query).unwrap();
+                let naive = NaiveScan.run(&db, &query).unwrap();
+                assert!(bpa.scores_match(&naive, 1e-9), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_access_count_is_m_minus_one_per_sorted_access() {
+        let db = figure2_database();
+        let result = Bpa::default().run(&db, &TopKQuery::top(2)).unwrap();
+        assert_eq!(
+            result.stats().accesses.random,
+            result.stats().accesses.sorted * 2
+        );
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let db = figure1_database();
+        assert!(Bpa::default().run(&db, &TopKQuery::top(0)).is_err());
+    }
+}

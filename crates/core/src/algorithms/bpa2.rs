@@ -1,0 +1,263 @@
+//! BPA2 (Section 5).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use topk_lists::tracker::{PositionTracker, TrackerKind};
+use topk_lists::{AccessSession, Database, ItemId, Score};
+
+use crate::algorithms::{collect_stats, TopKAlgorithm};
+use crate::error::TopKError;
+use crate::query::TopKQuery;
+use crate::result::TopKResult;
+use crate::topk_buffer::TopKBuffer;
+
+/// BPA2 — the paper's second contribution.
+///
+/// BPA2 keeps the best positions at the list owners and replaces sorted
+/// access by *direct access* to position `bp_i + 1`, which is always the
+/// smallest unseen position of list `i`. Each direct access reveals an item
+/// that has never been seen before (its positions in the other lists would
+/// otherwise already be marked), so BPA2 never accesses a position twice
+/// (Theorem 5) and its total number of accesses can be about `m - 1` times
+/// lower than BPA's (Theorem 8). It shares BPA's stopping condition, so it
+/// stops at the same best positions and returns the same answers.
+///
+/// Rounds process the lists sequentially and re-read each list's best
+/// position immediately before the direct access, so a position revealed by
+/// a random access earlier in the same round is never targeted again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bpa2 {
+    /// Strategy used by the (conceptual) list owners to maintain their best
+    /// positions (Section 5.2).
+    pub tracker: TrackerKind,
+}
+
+impl Default for Bpa2 {
+    fn default() -> Self {
+        Bpa2 {
+            tracker: TrackerKind::BitArray,
+        }
+    }
+}
+
+impl Bpa2 {
+    /// BPA2 with an explicit best-position tracking strategy.
+    pub fn with_tracker(tracker: TrackerKind) -> Self {
+        Bpa2 { tracker }
+    }
+}
+
+impl TopKAlgorithm for Bpa2 {
+    fn name(&self) -> &'static str {
+        "bpa2"
+    }
+
+    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
+        query.validate(database)?;
+        let started = Instant::now();
+        let session = AccessSession::new(database);
+        let m = session.num_lists();
+        let n = session.num_items();
+
+        let mut trackers: Vec<Box<dyn PositionTracker>> =
+            (0..m).map(|_| self.tracker.create(n)).collect();
+        let mut resolved: HashMap<ItemId, Score> = HashMap::new();
+        let mut buffer = TopKBuffer::new(query.k());
+        let mut rounds = 0u64;
+
+        loop {
+            rounds += 1;
+            let mut any_access = false;
+            for i in 0..m {
+                // Step 2: direct access to bp_i + 1, the smallest unseen
+                // position of list i (recomputed after the random accesses
+                // performed earlier in this round).
+                let next = trackers[i].first_unseen();
+                if next.get() > n {
+                    continue; // every position of this list has been seen
+                }
+                any_access = true;
+                let entry = session
+                    .list(i)?
+                    .direct_access(next)
+                    .expect("first unseen position is within list bounds");
+                trackers[i].mark_seen(entry.position);
+
+                // The item at an unseen position has never been resolved
+                // (otherwise a random access would have marked this
+                // position), so it always needs m - 1 random accesses.
+                let mut locals = vec![Score::ZERO; m];
+                locals[i] = entry.score;
+                for (j, list) in session.lists().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let ps = list
+                        .random_access(entry.item)
+                        .expect("every item appears in every list");
+                    locals[j] = ps.score;
+                    trackers[j].mark_seen(ps.position);
+                }
+                let overall = query.combine(&locals);
+                debug_assert!(
+                    !resolved.contains_key(&entry.item),
+                    "BPA2 direct access revealed an already-resolved item"
+                );
+                resolved.insert(entry.item, overall);
+                buffer.offer(entry.item, overall);
+            }
+
+            // Step 4: best positions overall score λ (same condition as BPA).
+            if let Some(lambda) = best_positions_score(&session, &trackers, query)? {
+                if buffer.has_k_at_or_above(lambda) {
+                    break;
+                }
+            }
+            if !any_access {
+                // Every position of every list has been seen; λ is then the
+                // score of the last entries and the condition above holds
+                // for any monotone function, so this is only a safety net.
+                break;
+            }
+        }
+
+        let stop_position = trackers
+            .iter()
+            .filter_map(|t| t.best_position())
+            .map(|p| p.get())
+            .max();
+        let stats = collect_stats(&session, stop_position, rounds, resolved.len(), started);
+        Ok(TopKResult::new(buffer.into_ranked(), stats))
+    }
+}
+
+/// Computes `λ = f(s₁(bp₁), …, s_m(bp_m))`, or `None` if some list has no
+/// best position yet.
+fn best_positions_score(
+    session: &AccessSession<'_>,
+    trackers: &[Box<dyn PositionTracker>],
+    query: &TopKQuery,
+) -> Result<Option<Score>, TopKError> {
+    let mut scores = Vec::with_capacity(trackers.len());
+    for (i, tracker) in trackers.iter().enumerate() {
+        match tracker.best_position() {
+            None => return Ok(None),
+            Some(bp) => {
+                let score = session
+                    .list(i)?
+                    .raw()
+                    .score_at(bp)
+                    .expect("best position is a valid position");
+                scores.push(score);
+            }
+        }
+    }
+    Ok(Some(query.combine(&scores)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bpa, NaiveScan};
+    use crate::examples_paper::{figure1_database, figure2_database};
+    use crate::scoring::Min;
+
+    #[test]
+    fn figure2_does_36_accesses_versus_bpa_63() {
+        // "If we apply BPA2, it does direct access to positions 1, 2, 3 and
+        // 7 in all lists, so a total of 4·3 direct accesses and 4·3·2 random
+        // accesses … 36. Therefore nbpa ≈ 2·nbpa2."
+        let db = figure2_database();
+        let query = TopKQuery::top(3);
+        let bpa2 = Bpa2::default().run(&db, &query).unwrap();
+        let stats = bpa2.stats();
+        assert_eq!(stats.accesses.direct, 12);
+        assert_eq!(stats.accesses.random, 24);
+        assert_eq!(stats.accesses.sorted, 0);
+        assert_eq!(stats.total_accesses(), 36);
+        assert_eq!(stats.rounds, 4);
+
+        let bpa = Bpa::default().run(&db, &query).unwrap();
+        assert_eq!(bpa.stats().total_accesses(), 63);
+        assert!(bpa2.scores_match(&bpa, 1e-9));
+    }
+
+    #[test]
+    fn figure1_returns_the_same_answers_with_fewer_or_equal_accesses() {
+        let db = figure1_database();
+        for k in 1..=12 {
+            let query = TopKQuery::top(k);
+            let bpa2 = Bpa2::default().run(&db, &query).unwrap();
+            let bpa = Bpa::default().run(&db, &query).unwrap();
+            assert!(
+                bpa2.stats().total_accesses() <= bpa.stats().total_accesses(),
+                "Theorem 7 violated at k = {k}"
+            );
+            assert!(bpa2.scores_match(&bpa, 1e-9), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn never_accesses_a_position_twice() {
+        // Theorem 5, checked structurally: the total number of accesses to
+        // each list cannot exceed n if every access targets a fresh position.
+        let db = figure2_database();
+        let result = Bpa2::default().run(&db, &TopKQuery::top(3)).unwrap();
+        for per_list in &result.stats().per_list {
+            assert!(per_list.total() <= db.num_items() as u64);
+        }
+    }
+
+    #[test]
+    fn stops_at_the_same_best_position_as_bpa() {
+        // "BPA2 has the same stopping mechanism as BPA. Thus, they both stop
+        // at the same (best) position."
+        let db = figure2_database();
+        let query = TopKQuery::top(3);
+        let bpa2 = Bpa2::default().run(&db, &query).unwrap();
+        // On Figure 2 both algorithms have seen every position when they
+        // stop, so the final best position is n = 12.
+        assert_eq!(bpa2.stats().stop_position, Some(12));
+    }
+
+    #[test]
+    fn agrees_with_the_naive_scan() {
+        for db in [figure1_database(), figure2_database()] {
+            for k in [1, 3, 7, 12] {
+                let query = TopKQuery::top(k);
+                let bpa2 = Bpa2::default().run(&db, &query).unwrap();
+                let naive = NaiveScan.run(&db, &query).unwrap();
+                assert!(bpa2.scores_match(&naive, 1e-9), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_tracker_kinds_produce_identical_runs() {
+        let db = figure2_database();
+        let query = TopKQuery::top(3);
+        let baseline = Bpa2::default().run(&db, &query).unwrap();
+        for kind in TrackerKind::ALL {
+            let run = Bpa2::with_tracker(kind).run(&db, &query).unwrap();
+            assert_eq!(run.stats().accesses, baseline.stats().accesses, "{kind:?}");
+            assert!(run.scores_match(&baseline, 1e-9));
+        }
+    }
+
+    #[test]
+    fn supports_other_monotone_functions() {
+        let db = figure1_database();
+        let query = TopKQuery::new(2, Min);
+        let bpa2 = Bpa2::default().run(&db, &query).unwrap();
+        let naive = NaiveScan.run(&db, &query).unwrap();
+        assert!(bpa2.scores_match(&naive, 1e-9));
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let db = figure1_database();
+        assert!(Bpa2::default().run(&db, &TopKQuery::top(0)).is_err());
+        assert!(Bpa2::default().run(&db, &TopKQuery::top(999)).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Fagin's Algorithm (Section 3.1).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+
+use crate::algorithms::{collect_stats, TopKAlgorithm};
+use crate::error::TopKError;
+use crate::query::TopKQuery;
+use crate::result::TopKResult;
+use crate::topk_buffer::TopKBuffer;
+
+/// Fagin's Algorithm: scan all lists in parallel under sorted access until
+/// at least `k` items have been seen in *every* list, then resolve the
+/// remaining local scores of every seen item by random access and return
+/// the k best.
+///
+/// FA predates TA and stops later than it on every database (the paper's
+/// Figure 1 example: FA stops at position 8 where TA stops at 6); it is
+/// implemented here as the historical baseline of Section 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fa;
+
+impl TopKAlgorithm for Fa {
+    fn name(&self) -> &'static str {
+        "fa"
+    }
+
+    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
+        query.validate(database)?;
+        let started = Instant::now();
+        let session = AccessSession::new(database);
+        let m = session.num_lists();
+        let n = session.num_items();
+        let k = query.k();
+
+        // Phase 1: sorted access in parallel until >= k items are seen in
+        // every list. `seen[item][i]` holds the local score of `item` in
+        // list `i` if it has been seen there under sorted access.
+        let mut seen: HashMap<ItemId, Vec<Option<Score>>> = HashMap::new();
+        let mut fully_seen = 0usize;
+        let mut stop_position = n;
+        'scan: for pos in 1..=n {
+            let position = Position::new(pos).expect("pos >= 1");
+            for (i, list) in session.lists().enumerate() {
+                let entry = list
+                    .sorted_access(position)
+                    .expect("position within list bounds");
+                let locals = seen
+                    .entry(entry.item)
+                    .or_insert_with(|| vec![None; m]);
+                if locals[i].is_none() {
+                    locals[i] = Some(entry.score);
+                    if locals.iter().all(Option::is_some) {
+                        fully_seen += 1;
+                    }
+                }
+            }
+            if fully_seen >= k {
+                stop_position = pos;
+                break 'scan;
+            }
+        }
+
+        // Phase 2: random access for the missing local scores of every seen
+        // item, then keep the k best overall scores.
+        let mut buffer = TopKBuffer::new(k);
+        let items_scored = seen.len();
+        for (item, mut locals) in seen {
+            for (i, slot) in locals.iter_mut().enumerate() {
+                if slot.is_none() {
+                    let ps = session
+                        .list(i)?
+                        .random_access(item)
+                        .expect("every item appears in every list");
+                    *slot = Some(ps.score);
+                }
+            }
+            let resolved: Vec<Score> = locals
+                .into_iter()
+                .map(|s| s.expect("all local scores resolved"))
+                .collect();
+            buffer.offer(item, query.combine(&resolved));
+        }
+
+        let stats = collect_stats(
+            &session,
+            Some(stop_position),
+            stop_position as u64,
+            items_scored,
+            started,
+        );
+        Ok(TopKResult::new(buffer.into_ranked(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::NaiveScan;
+    use crate::examples_paper::figure1_database;
+
+    #[test]
+    fn stops_at_position_8_on_the_figure1_database() {
+        // "At position 8, the number of data items which are seen in all
+        // lists is 5 … thus FA stops doing sorted access to the lists."
+        let db = figure1_database();
+        let result = Fa.run(&db, &TopKQuery::top(3)).unwrap();
+        assert_eq!(result.stats().stop_position, Some(8));
+        assert_eq!(result.stats().accesses.sorted, 8 * 3);
+        let ids: Vec<u64> = result.item_ids().iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![8, 3, 5]);
+    }
+
+    #[test]
+    fn agrees_with_the_naive_scan() {
+        let db = figure1_database();
+        for k in 1..=12 {
+            let fa = Fa.run(&db, &TopKQuery::top(k)).unwrap();
+            let naive = NaiveScan.run(&db, &TopKQuery::top(k)).unwrap();
+            assert!(fa.scores_match(&naive, 1e-9), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_1_stops_as_soon_as_one_item_is_seen_everywhere() {
+        let db = figure1_database();
+        let result = Fa.run(&db, &TopKQuery::top(1)).unwrap();
+        // d5 and d8 are the first items seen in all three lists (position 7).
+        assert_eq!(result.stats().stop_position, Some(7));
+    }
+
+    #[test]
+    fn random_accesses_only_resolve_partially_seen_items() {
+        let db = figure1_database();
+        let result = Fa.run(&db, &TopKQuery::top(3)).unwrap();
+        let stats = result.stats();
+        // Every random access resolves a missing (item, list) pair, so the
+        // count is bounded by items_scored * (m - 1).
+        assert!(stats.accesses.random <= (stats.items_scored as u64) * 2);
+        assert!(stats.accesses.random > 0);
+        assert_eq!(stats.accesses.direct, 0);
+    }
+
+    #[test]
+    fn k_equal_to_n_scans_all_lists() {
+        let db = figure1_database();
+        let result = Fa.run(&db, &TopKQuery::top(12)).unwrap();
+        assert_eq!(result.len(), 12);
+        assert_eq!(result.stats().stop_position, Some(12));
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let db = figure1_database();
+        assert!(Fa.run(&db, &TopKQuery::top(0)).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Top-k query processing algorithms over sorted lists.
+//!
+//! | Algorithm | Paper section | Type |
+//! |---|---|---|
+//! | [`NaiveScan`] | §1 | full scan baseline, O(m·n) |
+//! | [`Fa`] | §3.1 | Fagin's Algorithm |
+//! | [`Ta`] | §3.2 | Threshold Algorithm (baseline of the evaluation) |
+//! | [`Bpa`] | §4 | Best Position Algorithm (contribution 1) |
+//! | [`Bpa2`] | §5 | BPA2, direct accesses driven by best positions (contribution 2) |
+//! | [`Tput`] | §7 (related work) | Three-Phase Uniform Threshold baseline (sum scoring only) |
+//!
+//! All algorithms implement [`TopKAlgorithm`] and therefore produce a
+//! [`TopKResult`] carrying both the answers and the measured
+//! [`RunStats`](crate::stats::RunStats).
+
+mod bpa;
+mod bpa2;
+mod fa;
+mod naive;
+mod ta;
+mod tput;
+
+pub use bpa::Bpa;
+pub use bpa2::Bpa2;
+pub use fa::Fa;
+pub use naive::NaiveScan;
+pub use ta::Ta;
+pub use tput::Tput;
+
+use std::time::Instant;
+
+use topk_lists::{AccessSession, Database};
+
+use crate::error::TopKError;
+use crate::query::TopKQuery;
+use crate::result::TopKResult;
+use crate::stats::RunStats;
+
+/// A top-k query processing algorithm.
+pub trait TopKAlgorithm {
+    /// Short identifier used in reports and benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Executes the query against the database and returns the top-k items
+    /// together with the run statistics.
+    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError>;
+}
+
+/// Run-time selection of an algorithm (used by benches and examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Full scan of every list.
+    Naive,
+    /// Fagin's Algorithm.
+    Fa,
+    /// Threshold Algorithm with the paper's literal access accounting.
+    Ta,
+    /// Threshold Algorithm that skips random accesses for items whose
+    /// overall score is already known (an ablation, not a paper algorithm).
+    TaCached,
+    /// Best Position Algorithm.
+    Bpa,
+    /// BPA2.
+    Bpa2,
+}
+
+impl AlgorithmKind {
+    /// Instantiates the algorithm with its default configuration.
+    pub fn create(self) -> Box<dyn TopKAlgorithm> {
+        match self {
+            AlgorithmKind::Naive => Box::new(NaiveScan),
+            AlgorithmKind::Fa => Box::new(Fa),
+            AlgorithmKind::Ta => Box::new(Ta::literal()),
+            AlgorithmKind::TaCached => Box::new(Ta::memoizing()),
+            AlgorithmKind::Bpa => Box::new(Bpa::default()),
+            AlgorithmKind::Bpa2 => Box::new(Bpa2::default()),
+        }
+    }
+
+    /// All algorithm kinds, in presentation order.
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::Naive,
+        AlgorithmKind::Fa,
+        AlgorithmKind::Ta,
+        AlgorithmKind::TaCached,
+        AlgorithmKind::Bpa,
+        AlgorithmKind::Bpa2,
+    ];
+
+    /// The three algorithms compared in the paper's evaluation (Section 6):
+    /// TA, BPA and BPA2.
+    pub const EVALUATED: [AlgorithmKind; 3] =
+        [AlgorithmKind::Ta, AlgorithmKind::Bpa, AlgorithmKind::Bpa2];
+}
+
+/// Collects run statistics from a finished access session.
+pub(crate) fn collect_stats(
+    session: &AccessSession<'_>,
+    stop_position: Option<usize>,
+    rounds: u64,
+    items_scored: usize,
+    started: Instant,
+) -> RunStats {
+    RunStats {
+        accesses: session.total_counters(),
+        per_list: session.per_list_counters(),
+        stop_position,
+        rounds,
+        items_scored,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Runs every algorithm kind in `kinds` against the same database and query,
+/// returning `(kind, result)` pairs. Convenience for tests and benches.
+pub fn run_all(
+    kinds: &[AlgorithmKind],
+    database: &Database,
+    query: &TopKQuery,
+) -> Result<Vec<(AlgorithmKind, TopKResult)>, TopKError> {
+    kinds
+        .iter()
+        .map(|&kind| kind.create().run(database, query).map(|r| (kind, r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::figure1_database;
+
+    #[test]
+    fn kinds_create_their_algorithms() {
+        let expected = ["naive", "fa", "ta", "ta-cached", "bpa", "bpa2"];
+        for (kind, name) in AlgorithmKind::ALL.iter().zip(expected) {
+            assert_eq!(kind.create().name(), name);
+        }
+    }
+
+    #[test]
+    fn evaluated_set_matches_the_paper() {
+        assert_eq!(
+            AlgorithmKind::EVALUATED,
+            [AlgorithmKind::Ta, AlgorithmKind::Bpa, AlgorithmKind::Bpa2]
+        );
+    }
+
+    #[test]
+    fn run_all_returns_one_result_per_kind() {
+        let db = figure1_database();
+        let query = TopKQuery::top(3);
+        let results = run_all(&AlgorithmKind::ALL, &db, &query).unwrap();
+        assert_eq!(results.len(), AlgorithmKind::ALL.len());
+        // Every algorithm returns the same top-3 score multiset {71, 70, 70}.
+        for (kind, result) in &results {
+            let scores: Vec<f64> = result.scores().iter().map(|s| s.value()).collect();
+            assert_eq!(scores, vec![71.0, 70.0, 70.0], "scores from {kind:?}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The Three-Phase Uniform Threshold algorithm (TPUT), the related-work
+//! baseline discussed in Section 7 of the paper.
+//!
+//! TPUT (Cao & Wang, PODC 2004) answers top-k queries with a bounded number
+//! of round trips: phase 1 fetches the top-k of every list and computes a
+//! lower bound `τ₁` on the k-th best overall score from partial sums;
+//! phase 2 fetches from every list all entries whose local score is at
+//! least the *uniform threshold* `T = τ₁ / m` and re-estimates the bound as
+//! `τ₂`; phase 3 resolves, by random access, the exact score of every
+//! remaining candidate whose upper bound reaches `τ₂`.
+//!
+//! The paper contrasts it with BPA/BPA2: "there are many databases over
+//! which TPUT is not instance optimal … if one of the lists has n data
+//! items with a fixed value that is just over the threshold of TPUT, then
+//! all data items must be retrieved". The tests below include exactly that
+//! pathological family.
+//!
+//! TPUT's pruning rule is specific to the **sum** scoring function, so this
+//! implementation rejects queries that use any other function.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+
+use crate::algorithms::{collect_stats, TopKAlgorithm};
+use crate::error::TopKError;
+use crate::query::TopKQuery;
+use crate::result::TopKResult;
+use crate::topk_buffer::TopKBuffer;
+
+/// The Three-Phase Uniform Threshold algorithm (sum scoring only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tput;
+
+/// Per-item bookkeeping across the three phases.
+#[derive(Debug, Clone)]
+struct Candidate {
+    /// Known local scores (`None` where the item has not been seen).
+    locals: Vec<Option<Score>>,
+}
+
+impl Candidate {
+    fn new(m: usize) -> Self {
+        Candidate {
+            locals: vec![None; m],
+        }
+    }
+
+    /// Lower bound on the overall (sum) score: unknown scores count as 0.
+    fn lower_bound(&self) -> f64 {
+        self.locals
+            .iter()
+            .map(|s| s.map(|s| s.value()).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Upper bound on the overall (sum) score: unknown scores count as the
+    /// phase-2 threshold `t` (no unseen local score can reach `t`, otherwise
+    /// phase 2 would have returned it).
+    fn upper_bound(&self, t: f64) -> f64 {
+        self.locals
+            .iter()
+            .map(|s| s.map(|s| s.value()).unwrap_or(t))
+            .sum()
+    }
+}
+
+/// The k-th largest value of `values` (or the smallest value when fewer
+/// than k are present), used for the τ₁ / τ₂ bounds.
+fn kth_largest(values: &mut [f64], k: usize) -> f64 {
+    values.sort_by(|a, b| b.total_cmp(a));
+    if values.is_empty() {
+        0.0
+    } else {
+        values[(k - 1).min(values.len() - 1)]
+    }
+}
+
+impl TopKAlgorithm for Tput {
+    fn name(&self) -> &'static str {
+        "tput"
+    }
+
+    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
+        query.validate(database)?;
+        if query.scoring().name() != "sum" {
+            return Err(TopKError::UnsupportedScoring {
+                algorithm: "tput",
+                scoring: query.scoring().name().to_owned(),
+            });
+        }
+        let started = Instant::now();
+        let session = AccessSession::new(database);
+        let m = session.num_lists();
+        let n = session.num_items();
+        let k = query.k();
+
+        let mut candidates: HashMap<ItemId, Candidate> = HashMap::new();
+        // How deep phase 1/2 has read each list under sorted access, so
+        // phase 2 continues where phase 1 stopped instead of re-reading.
+        let mut depth = vec![0usize; m];
+
+        // Phase 1: top-k of every list.
+        for (i, list) in session.lists().enumerate() {
+            for pos in 1..=k.min(n) {
+                let entry = list
+                    .sorted_access(Position::new(pos).expect("pos >= 1"))
+                    .expect("position within list bounds");
+                candidates
+                    .entry(entry.item)
+                    .or_insert_with(|| Candidate::new(m))
+                    .locals[i] = Some(entry.score);
+                depth[i] = pos;
+            }
+        }
+        let mut lower_bounds: Vec<f64> = candidates.values().map(Candidate::lower_bound).collect();
+        let tau1 = kth_largest(&mut lower_bounds, k);
+        let threshold = (tau1 / m as f64).max(0.0);
+
+        // Phase 2: every entry with a local score >= T, per list.
+        for (i, list) in session.lists().enumerate() {
+            let mut pos = depth[i] + 1;
+            while pos <= n {
+                let entry = list
+                    .sorted_access(Position::new(pos).expect("pos >= 1"))
+                    .expect("position within list bounds");
+                depth[i] = pos;
+                if entry.score.value() < threshold {
+                    break;
+                }
+                candidates
+                    .entry(entry.item)
+                    .or_insert_with(|| Candidate::new(m))
+                    .locals[i] = Some(entry.score);
+                pos += 1;
+            }
+        }
+        let mut lower_bounds: Vec<f64> = candidates.values().map(Candidate::lower_bound).collect();
+        let tau2 = kth_largest(&mut lower_bounds, k);
+
+        // Phase 3: prune by upper bound, then resolve the survivors exactly.
+        let mut buffer = TopKBuffer::new(k);
+        let mut items_scored = 0usize;
+        for (item, candidate) in &candidates {
+            if candidate.upper_bound(threshold) < tau2 {
+                continue;
+            }
+            let mut locals = Vec::with_capacity(m);
+            for (i, list) in session.lists().enumerate() {
+                match candidate.locals[i] {
+                    Some(score) => locals.push(score),
+                    None => {
+                        let ps = list
+                            .random_access(*item)
+                            .expect("every item appears in every list");
+                        locals.push(ps.score);
+                    }
+                }
+            }
+            items_scored += 1;
+            buffer.offer(*item, query.combine(&locals));
+        }
+
+        let stats = collect_stats(
+            &session,
+            Some(*depth.iter().max().expect("m >= 1")),
+            3,
+            items_scored,
+            started,
+        );
+        Ok(TopKResult::new(buffer.into_ranked(), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bpa2, NaiveScan};
+    use crate::examples_paper::{figure1_database, figure2_database};
+    use crate::scoring::Min;
+
+    #[test]
+    fn agrees_with_the_naive_scan_on_the_fixtures() {
+        for db in [figure1_database(), figure2_database()] {
+            for k in [1, 3, 7, 12] {
+                let query = TopKQuery::top(k);
+                let tput = Tput.run(&db, &query).unwrap();
+                let naive = NaiveScan.run(&db, &query).unwrap();
+                assert!(tput.scores_match(&naive, 1e-9), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_three_phases() {
+        let db = figure1_database();
+        let result = Tput.run(&db, &TopKQuery::top(3)).unwrap();
+        assert_eq!(result.stats().rounds, 3);
+        assert!(result.stats().accesses.sorted >= 9, "phase 1 reads top-3 of each list");
+        assert_eq!(Tput.name(), "tput");
+    }
+
+    #[test]
+    fn rejects_non_sum_scoring() {
+        let db = figure1_database();
+        let err = Tput.run(&db, &TopKQuery::new(2, Min)).unwrap_err();
+        assert!(matches!(err, TopKError::UnsupportedScoring { algorithm: "tput", .. }));
+        assert!(err.to_string().contains("tput"));
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        let db = figure1_database();
+        assert!(Tput.run(&db, &TopKQuery::top(0)).is_err());
+    }
+
+    /// When the overall winners sit at the top of every list, TPUT's
+    /// uniform threshold is high, phase 2 returns almost nothing and TPUT
+    /// is far cheaper than a full scan.
+    #[test]
+    fn well_behaved_database_is_cheap() {
+        let n = 400u64;
+        let lists: Vec<Vec<(u64, f64)>> = (0..2)
+            .map(|_| {
+                (0..n)
+                    .map(|d| match d {
+                        0 => (0, 100.0),
+                        1 => (1, 99.0),
+                        _ => (d, 1.0 - d as f64 * 1e-4),
+                    })
+                    .collect()
+            })
+            .collect();
+        let db = Database::from_unsorted_lists(lists).unwrap();
+        let query = TopKQuery::top(2);
+        let tput = Tput.run(&db, &query).unwrap();
+        let naive = NaiveScan.run(&db, &query).unwrap();
+        assert!(tput.scores_match(&naive, 1e-9));
+        assert!(tput.stats().total_accesses() * 10 < naive.stats().total_accesses());
+    }
+
+    /// The non-instance-optimality example of Section 7: one list holds a
+    /// long plateau of items whose fixed value is just over TPUT's uniform
+    /// threshold, forcing phase 2 to retrieve essentially the whole list,
+    /// while BPA2 stops after a handful of positions.
+    #[test]
+    fn pathological_database_shows_non_instance_optimality() {
+        let n = 400u64;
+        let k = 2usize;
+        // List 1: the true winners d0, d1 on top, then a long plateau of
+        // scores ~5. List 2: its own top entries (d2, d3) are modest, the
+        // winners sit a little below them, everything else is tiny. Phase 1
+        // therefore sees partial sums of at most 10, giving the uniform
+        // threshold T = tau1 / m = 4.5 — just below the plateau, so phase 2
+        // must fetch the entire plateau of list 1.
+        let list1: Vec<(u64, f64)> = (0..n)
+            .map(|d| match d {
+                0 => (0, 10.0),
+                1 => (1, 9.0),
+                _ => (d, 5.0 - d as f64 * 1e-5),
+            })
+            .collect();
+        let list2: Vec<(u64, f64)> = (0..n)
+            .map(|d| match d {
+                2 => (2, 5.5),
+                3 => (3, 5.4),
+                0 => (0, 4.9),
+                1 => (1, 4.8),
+                _ => (d, 0.2 - d as f64 * 1e-5),
+            })
+            .collect();
+        let db = Database::from_unsorted_lists(vec![list1, list2]).unwrap();
+        let query = TopKQuery::top(k);
+
+        let tput = Tput.run(&db, &query).unwrap();
+        let bpa2 = Bpa2::default().run(&db, &query).unwrap();
+        let naive = NaiveScan.run(&db, &query).unwrap();
+
+        // Both are correct (top-2 = d0 with 14.9, d1 with 13.8)...
+        assert!(tput.scores_match(&naive, 1e-9));
+        assert!(bpa2.scores_match(&naive, 1e-9));
+        assert_eq!(naive.items()[0].item, ItemId(0));
+
+        // ...but TPUT reads the whole plateau of list 1 while BPA2's best
+        // positions let it stop within the first few positions.
+        assert!(
+            tput.stats().accesses.sorted as usize >= db.num_items(),
+            "phase 2 should have read (at least) all of list 1"
+        );
+        assert!(
+            tput.stats().total_accesses() > 10 * bpa2.stats().total_accesses(),
+            "TPUT did {} accesses, BPA2 only {}",
+            tput.stats().total_accesses(),
+            bpa2.stats().total_accesses()
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! The middleware cost model (Section 2 and Section 6.1).
+
+use topk_lists::AccessCounters;
+
+/// Execution-cost model: `cost = as·cs + ar·cr (+ ad·cd)`.
+///
+/// The paper's evaluation sets the sorted-access cost `cs = 1` unit and the
+/// random-access cost `cr = log n` units ("we assume that there is an index
+/// on data items such that each entry of the index points to the position
+/// of the data item in the lists"), and charges BPA2's direct accesses like
+/// random accesses ("we consider each direct access equivalent to a random
+/// access"). [`CostModel::paper_default`] reproduces exactly that; custom
+/// models can be built with [`CostModel::new`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one sorted access (`cs`).
+    pub sorted_cost: f64,
+    /// Cost of one random access (`cr`).
+    pub random_cost: f64,
+    /// Cost of one direct access (`cd`).
+    pub direct_cost: f64,
+}
+
+impl CostModel {
+    /// Builds a cost model with explicit per-access costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cost is negative or non-finite.
+    pub fn new(sorted_cost: f64, random_cost: f64, direct_cost: f64) -> Self {
+        for (name, c) in [
+            ("sorted", sorted_cost),
+            ("random", random_cost),
+            ("direct", direct_cost),
+        ] {
+            assert!(c.is_finite() && c >= 0.0, "{name} access cost must be non-negative and finite");
+        }
+        CostModel {
+            sorted_cost,
+            random_cost,
+            direct_cost,
+        }
+    }
+
+    /// The model used in the paper's evaluation for a database of `n` items
+    /// per list: `cs = 1`, `cr = cd = log₂ n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn paper_default(n: usize) -> Self {
+        assert!(n > 0, "the cost model needs a non-empty list");
+        let log_n = (n as f64).log2().max(1.0);
+        Self::new(1.0, log_n, log_n)
+    }
+
+    /// A model that simply counts accesses (`cs = cr = cd = 1`), i.e. the
+    /// paper's *number of accesses* metric expressed as a cost.
+    pub fn unit() -> Self {
+        Self::new(1.0, 1.0, 1.0)
+    }
+
+    /// The execution cost of a run with the given access counts.
+    pub fn execution_cost(&self, accesses: &AccessCounters) -> f64 {
+        accesses.sorted as f64 * self.sorted_cost
+            + accesses.random as f64 * self.random_cost
+            + accesses.direct as f64 * self.direct_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_uses_log2_n() {
+        let model = CostModel::paper_default(1024);
+        assert_eq!(model.sorted_cost, 1.0);
+        assert_eq!(model.random_cost, 10.0);
+        assert_eq!(model.direct_cost, 10.0);
+    }
+
+    #[test]
+    fn tiny_lists_clamp_random_cost_to_one() {
+        let model = CostModel::paper_default(1);
+        assert_eq!(model.random_cost, 1.0);
+    }
+
+    #[test]
+    fn execution_cost_combines_all_modes() {
+        let model = CostModel::new(1.0, 10.0, 5.0);
+        let accesses = AccessCounters {
+            sorted: 3,
+            random: 2,
+            direct: 4,
+        };
+        assert_eq!(model.execution_cost(&accesses), 3.0 + 20.0 + 20.0);
+    }
+
+    #[test]
+    fn unit_model_counts_accesses() {
+        let accesses = AccessCounters {
+            sorted: 5,
+            random: 7,
+            direct: 1,
+        };
+        assert_eq!(CostModel::unit().execution_cost(&accesses), 13.0);
+        assert_eq!(accesses.total(), 13);
+    }
+
+    #[test]
+    fn figure1_example_costs() {
+        // For the Figure 1 database (m=3, TA stops at position 6):
+        // TA: 18 sorted + 36 random; BPA: 9 sorted + 18 random.
+        let model = CostModel::new(1.0, 2.0, 2.0);
+        let ta = AccessCounters { sorted: 18, random: 36, direct: 0 };
+        let bpa = AccessCounters { sorted: 9, random: 18, direct: 0 };
+        assert_eq!(model.execution_cost(&ta), 90.0);
+        assert_eq!(model.execution_cost(&bpa), 45.0);
+        // (m - 1) = 2 times lower, as Theorem 3 promises for this database.
+        assert_eq!(model.execution_cost(&ta) / model.execution_cost(&bpa), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_costs_are_rejected() {
+        let _ = CostModel::new(1.0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_n_is_rejected() {
+        let _ = CostModel::paper_default(0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors produced by query execution.
+
+use std::fmt;
+
+use topk_lists::ListError;
+
+/// Errors raised when validating or executing a top-k query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopKError {
+    /// `k` must satisfy `1 ≤ k ≤ n`.
+    InvalidK {
+        /// The requested `k`.
+        k: usize,
+        /// The number of items per list.
+        n: usize,
+    },
+    /// The algorithm does not support the query's scoring function (e.g.
+    /// TPUT's uniform threshold is only sound for the sum).
+    UnsupportedScoring {
+        /// The algorithm that rejected the query.
+        algorithm: &'static str,
+        /// The name of the unsupported scoring function.
+        scoring: String,
+    },
+    /// An error bubbled up from the sorted-list substrate.
+    List(ListError),
+}
+
+impl fmt::Display for TopKError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopKError::InvalidK { k, n } => {
+                write!(f, "k must satisfy 1 <= k <= n, got k = {k} with n = {n}")
+            }
+            TopKError::UnsupportedScoring { algorithm, scoring } => {
+                write!(f, "{algorithm} does not support the '{scoring}' scoring function")
+            }
+            TopKError::List(err) => write!(f, "list error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for TopKError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TopKError::List(err) => Some(err),
+            TopKError::InvalidK { .. } | TopKError::UnsupportedScoring { .. } => None,
+        }
+    }
+}
+
+impl From<ListError> for TopKError {
+    fn from(err: ListError) -> Self {
+        TopKError::List(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TopKError::InvalidK { k: 0, n: 10 };
+        assert!(e.to_string().contains("k = 0"));
+        let e: TopKError = ListError::NoLists.into();
+        assert!(e.to_string().contains("list error"));
+    }
+
+    #[test]
+    fn source_chains_to_list_errors() {
+        use std::error::Error;
+        let e: TopKError = ListError::EmptyList.into();
+        assert!(e.source().is_some());
+        assert!(TopKError::InvalidK { k: 1, n: 0 }.source().is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! The worked example databases of the paper (Figures 1 and 2).
+//!
+//! The paper's figures show the first ten positions of three sorted lists
+//! over twelve distinct items (`d1..d9`, `d11`, `d13`, `d14`); the trailing
+//! "…" rows are unspecified. To obtain valid databases (every item appears
+//! in every list) the three items missing from each list are appended at
+//! positions 11 and 12 with scores strictly below the lowest displayed
+//! score. The appended rows do not change any of the behaviour the paper
+//! derives from these figures:
+//!
+//! * **Figure 1** — TA stops at position 6 (18 sorted + 36 random
+//!   accesses), BPA stops at position 3 (9 + 18), FA stops at position 8;
+//!   the top-3 by sum are `d8 (71), d3 (70), d5 (70)`.
+//! * **Figure 2** — BPA stops at position 7 (21 sorted + 42 random = 63
+//!   accesses) while BPA2 performs direct accesses at positions 1, 2, 3 and
+//!   7 only (12 direct + 24 random = 36 accesses); the top-3 by sum are
+//!   `d3 (70), d4 (68), d6 (66)`.
+//!
+//! These fixtures are used by unit tests, the integration suite and the
+//! `paper_examples` bench target.
+
+use topk_lists::Database;
+
+/// The database of Figure 1 (Example 1-3 of the paper).
+pub fn figure1_database() -> Database {
+    Database::from_unsorted_lists(vec![
+        // List 1: positions 1..10 as printed, then d13, d14 appended.
+        vec![
+            (1, 30.0),
+            (4, 28.0),
+            (9, 27.0),
+            (3, 26.0),
+            (7, 25.0),
+            (8, 23.0),
+            (5, 17.0),
+            (6, 14.0),
+            (2, 11.0),
+            (11, 10.0),
+            (13, 9.0),
+            (14, 8.0),
+        ],
+        // List 2: positions 1..10 as printed, then d11, d13 appended.
+        vec![
+            (2, 28.0),
+            (6, 27.0),
+            (7, 25.0),
+            (5, 24.0),
+            (9, 23.0),
+            (1, 21.0),
+            (8, 20.0),
+            (3, 14.0),
+            (4, 13.0),
+            (14, 12.0),
+            (11, 11.0),
+            (13, 10.0),
+        ],
+        // List 3: positions 1..10 as printed, then d11, d14 appended.
+        vec![
+            (3, 30.0),
+            (5, 29.0),
+            (8, 28.0),
+            (4, 25.0),
+            (2, 24.0),
+            (6, 19.0),
+            (13, 15.0),
+            (1, 14.0),
+            (9, 12.0),
+            (7, 11.0),
+            (11, 10.0),
+            (14, 9.0),
+        ],
+    ])
+    .expect("the Figure 1 fixture is a valid database")
+}
+
+/// The database of Figure 2 (used by Theorem 8's example comparing BPA and
+/// BPA2).
+pub fn figure2_database() -> Database {
+    Database::from_unsorted_lists(vec![
+        // List 1: positions 1..10 as printed, then d13, d14 appended.
+        vec![
+            (1, 30.0),
+            (4, 28.0),
+            (9, 27.0),
+            (3, 26.0),
+            (7, 25.0),
+            (8, 24.0),
+            (11, 17.0),
+            (6, 14.0),
+            (2, 11.0),
+            (5, 10.0),
+            (13, 9.0),
+            (14, 8.0),
+        ],
+        // List 2: positions 1..10 as printed, then d11, d13 appended.
+        vec![
+            (2, 28.0),
+            (6, 27.0),
+            (7, 25.0),
+            (5, 24.0),
+            (9, 23.0),
+            (1, 22.0),
+            (14, 20.0),
+            (3, 14.0),
+            (4, 13.0),
+            (8, 12.0),
+            (11, 11.0),
+            (13, 10.0),
+        ],
+        // List 3: positions 1..10 as printed, then d11, d14 appended.
+        vec![
+            (3, 30.0),
+            (5, 29.0),
+            (8, 28.0),
+            (4, 27.0),
+            (2, 26.0),
+            (6, 25.0),
+            (13, 15.0),
+            (1, 13.0),
+            (9, 12.0),
+            (7, 11.0),
+            (11, 10.0),
+            (14, 9.0),
+        ],
+    ])
+    .expect("the Figure 2 fixture is a valid database")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_lists::{ItemId, Position};
+
+    #[test]
+    fn figure1_dimensions_and_heads() {
+        let db = figure1_database();
+        assert_eq!(db.num_lists(), 3);
+        assert_eq!(db.num_items(), 12);
+        // Heads of the three lists as printed in the figure.
+        let heads: Vec<_> = db
+            .lists()
+            .map(|l| l.entry_at(Position::FIRST).unwrap().item)
+            .collect();
+        assert_eq!(heads, vec![ItemId(1), ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn figure1_overall_scores_match_figure_1c() {
+        let db = figure1_database();
+        let expected = [
+            (1u64, 65.0),
+            (2, 63.0),
+            (3, 70.0),
+            (4, 66.0),
+            (5, 70.0),
+            (6, 60.0),
+            (7, 61.0),
+            (8, 71.0),
+            (9, 62.0),
+        ];
+        for (id, score) in expected {
+            let total: f64 = db
+                .local_scores(ItemId(id))
+                .unwrap()
+                .iter()
+                .map(|s| s.value())
+                .sum();
+            assert_eq!(total, score, "overall score of d{id}");
+        }
+    }
+
+    #[test]
+    fn figure1_ta_thresholds_match_figure_1b() {
+        let db = figure1_database();
+        let expected = [88.0, 84.0, 80.0, 75.0, 72.0, 63.0, 52.0, 42.0, 36.0, 33.0];
+        for (i, want) in expected.iter().enumerate() {
+            let pos = Position::new(i + 1).unwrap();
+            let threshold: f64 = db
+                .lists()
+                .map(|l| l.entry_at(pos).unwrap().score.value())
+                .sum();
+            assert_eq!(threshold, *want, "threshold at position {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn figure2_overall_scores_match_the_figure() {
+        let db = figure2_database();
+        let expected = [
+            (1u64, 65.0),
+            (2, 65.0),
+            (3, 70.0),
+            (4, 68.0),
+            (5, 63.0),
+            (6, 66.0),
+            (7, 61.0),
+            (8, 64.0),
+            (9, 62.0),
+        ];
+        for (id, score) in expected {
+            let total: f64 = db
+                .local_scores(ItemId(id))
+                .unwrap()
+                .iter()
+                .map(|s| s.value())
+                .sum();
+            assert_eq!(total, score, "overall score of d{id}");
+        }
+    }
+
+    #[test]
+    fn appended_items_have_low_scores_in_every_list() {
+        for db in [figure1_database(), figure2_database()] {
+            for id in [11u64, 13, 14] {
+                let total: f64 = db
+                    .local_scores(ItemId(id))
+                    .unwrap()
+                    .iter()
+                    .map(|s| s.value())
+                    .sum();
+                assert!(total < 60.0, "d{id} must stay out of the top 3 (got {total})");
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Top-k query processing over sorted lists: the algorithms of
+//! *"Best Position Algorithms for Top-k Queries"* (Akbarinia, Pacitti,
+//! Valduriez — VLDB 2007).
+//!
+//! A top-k query asks for the `k` data items whose *overall scores* — a
+//! monotone aggregation of one local score per sorted list — are the
+//! highest, while touching the lists as little as possible. This crate
+//! provides:
+//!
+//! * the query model: [`TopKQuery`], monotone [`scoring`] functions, the
+//!   middleware [`cost::CostModel`] and per-run [`stats::RunStats`];
+//! * the algorithms (all behind the [`TopKAlgorithm`] trait):
+//!   [`NaiveScan`], Fagin's Algorithm [`Fa`], the Threshold Algorithm
+//!   [`Ta`], and the paper's contributions [`Bpa`] and [`Bpa2`];
+//! * the worked example databases of the paper's figures
+//!   ([`examples_paper`]), used by tests and benches.
+//!
+//! # Quick example
+//!
+//! ```
+//! use topk_core::prelude::*;
+//! use topk_core::examples_paper::figure1_database;
+//!
+//! let db = figure1_database();
+//! let query = TopKQuery::top(3); // top-3 by sum of local scores
+//!
+//! let ta = Ta::literal().run(&db, &query).unwrap();
+//! let bpa = Bpa::default().run(&db, &query).unwrap();
+//!
+//! // Same answers...
+//! assert!(bpa.scores_match(&ta, 1e-9));
+//! // ...but BPA stops at position 3 where TA scans to position 6.
+//! assert_eq!(bpa.stats().stop_position, Some(3));
+//! assert_eq!(ta.stats().stop_position, Some(6));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod cost;
+pub mod error;
+pub mod examples_paper;
+pub mod query;
+pub mod result;
+pub mod scoring;
+pub mod stats;
+pub mod topk_buffer;
+
+pub use algorithms::{AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput};
+pub use cost::CostModel;
+pub use error::TopKError;
+pub use query::TopKQuery;
+pub use result::{RankedItem, TopKResult};
+pub use scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
+pub use stats::RunStats;
+pub use topk_buffer::TopKBuffer;
+
+/// Commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::algorithms::{
+        AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput,
+    };
+    pub use crate::cost::CostModel;
+    pub use crate::error::TopKError;
+    pub use crate::query::TopKQuery;
+    pub use crate::result::{RankedItem, TopKResult};
+    pub use crate::scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
+    pub use crate::stats::RunStats;
+}

@@ -1,0 +1,151 @@
+//! Query description: how many answers to return and how to aggregate
+//! local scores.
+
+use std::sync::Arc;
+
+use topk_lists::{Database, Score};
+
+use crate::error::TopKError;
+use crate::scoring::{ScoringFunction, Sum};
+
+/// A top-k query: the number of answers `k` and the monotone scoring
+/// function used to aggregate local scores.
+///
+/// The query is cheap to clone (the scoring function is reference-counted),
+/// which the distributed simulation relies on to hand the same query to the
+/// originator and the list owners.
+#[derive(Clone)]
+pub struct TopKQuery {
+    k: usize,
+    scoring: Arc<dyn ScoringFunction>,
+}
+
+impl std::fmt::Debug for TopKQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKQuery")
+            .field("k", &self.k)
+            .field("scoring", &self.scoring.name())
+            .finish()
+    }
+}
+
+impl TopKQuery {
+    /// Creates a query returning the `k` highest-scored items under the
+    /// scoring function `f`.
+    pub fn new<F: ScoringFunction + 'static>(k: usize, f: F) -> Self {
+        TopKQuery {
+            k,
+            scoring: Arc::new(f),
+        }
+    }
+
+    /// Creates a top-k query with the paper's default scoring function
+    /// (sum of the local scores).
+    pub fn top(k: usize) -> Self {
+        Self::new(k, Sum)
+    }
+
+    /// Creates a query from an already shared scoring function.
+    pub fn with_shared(k: usize, f: Arc<dyn ScoringFunction>) -> Self {
+        TopKQuery { k, scoring: f }
+    }
+
+    /// The number of answers requested.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The scoring function.
+    #[inline]
+    pub fn scoring(&self) -> &dyn ScoringFunction {
+        self.scoring.as_ref()
+    }
+
+    /// A shareable handle to the scoring function.
+    pub fn scoring_arc(&self) -> Arc<dyn ScoringFunction> {
+        Arc::clone(&self.scoring)
+    }
+
+    /// Combines one local score per list into an overall score.
+    #[inline]
+    pub fn combine(&self, locals: &[Score]) -> Score {
+        self.scoring.combine(locals)
+    }
+
+    /// Checks that the query is well-formed for the given database
+    /// (`1 ≤ k ≤ n`).
+    pub fn validate(&self, database: &Database) -> Result<(), TopKError> {
+        let n = database.num_items();
+        if self.k == 0 || self.k > n {
+            return Err(TopKError::InvalidK { k: self.k, n });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::Max;
+    use topk_lists::Database;
+
+    fn db() -> Database {
+        Database::from_unsorted_lists(vec![
+            vec![(1, 1.0), (2, 2.0), (3, 3.0)],
+            vec![(1, 3.0), (2, 2.0), (3, 1.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn default_query_uses_sum() {
+        let q = TopKQuery::top(2);
+        assert_eq!(q.k(), 2);
+        assert_eq!(q.scoring().name(), "sum");
+        assert_eq!(
+            q.combine(&[Score::from_f64(1.0), Score::from_f64(2.0)]).value(),
+            3.0
+        );
+    }
+
+    #[test]
+    fn custom_scoring_function() {
+        let q = TopKQuery::new(1, Max);
+        assert_eq!(q.scoring().name(), "max");
+        let shared = TopKQuery::with_shared(3, q.scoring_arc());
+        assert_eq!(shared.scoring().name(), "max");
+        assert_eq!(shared.k(), 3);
+    }
+
+    #[test]
+    fn validation_checks_k_bounds() {
+        let db = db();
+        assert!(TopKQuery::top(1).validate(&db).is_ok());
+        assert!(TopKQuery::top(3).validate(&db).is_ok());
+        assert_eq!(
+            TopKQuery::top(0).validate(&db).unwrap_err(),
+            TopKError::InvalidK { k: 0, n: 3 }
+        );
+        assert_eq!(
+            TopKQuery::top(4).validate(&db).unwrap_err(),
+            TopKError::InvalidK { k: 4, n: 3 }
+        );
+    }
+
+    #[test]
+    fn debug_shows_k_and_function_name() {
+        let q = TopKQuery::top(5);
+        let s = format!("{q:?}");
+        assert!(s.contains("k: 5"));
+        assert!(s.contains("sum"));
+    }
+
+    #[test]
+    fn clone_shares_the_scoring_function() {
+        let q = TopKQuery::top(2);
+        let q2 = q.clone();
+        assert_eq!(q2.k(), 2);
+        assert_eq!(q2.scoring().name(), "sum");
+    }
+}

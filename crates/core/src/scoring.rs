@@ -1,0 +1,265 @@
+//! Monotone scoring functions.
+//!
+//! The overall score of a data item is `f(s1(d), …, sm(d))` where `f` is a
+//! *monotonic* scoring function (Section 2): `f(x1, …, xm) ≤ f(x'1, …, x'm)`
+//! whenever `xi ≤ x'i` for every `i`. Monotonicity is what makes the
+//! thresholds of TA (`δ`) and BPA (`λ`) sound, so implementations of
+//! [`ScoringFunction`] promise it as part of the trait contract.
+
+use topk_lists::Score;
+
+/// A monotone aggregation of `m` local scores into one overall score.
+///
+/// # Contract
+///
+/// Implementations must be monotonic in every argument. The query
+/// processing algorithms (`Ta`, `Bpa`, `Bpa2`) are only correct under this
+/// assumption; [`check_monotone_on`] offers a probabilistic check used by
+/// the test-suite.
+pub trait ScoringFunction: Send + Sync {
+    /// Combines one local score per list into the overall score.
+    ///
+    /// `locals` always has exactly `m` entries, in list order.
+    fn combine(&self, locals: &[Score]) -> Score;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// Sum of the local scores — the function used throughout the paper's
+/// examples and evaluation ("we use a scoring function that computes the
+/// sum of the local scores").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sum;
+
+impl ScoringFunction for Sum {
+    fn combine(&self, locals: &[Score]) -> Score {
+        Score::from_f64(locals.iter().map(|s| s.value()).sum())
+    }
+
+    fn name(&self) -> &str {
+        "sum"
+    }
+}
+
+/// Arithmetic mean of the local scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Average;
+
+impl ScoringFunction for Average {
+    fn combine(&self, locals: &[Score]) -> Score {
+        let total: f64 = locals.iter().map(|s| s.value()).sum();
+        Score::from_f64(total / locals.len() as f64)
+    }
+
+    fn name(&self) -> &str {
+        "average"
+    }
+}
+
+/// Minimum of the local scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min;
+
+impl ScoringFunction for Min {
+    fn combine(&self, locals: &[Score]) -> Score {
+        locals.iter().copied().min().unwrap_or(Score::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "min"
+    }
+}
+
+/// Maximum of the local scores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl ScoringFunction for Max {
+    fn combine(&self, locals: &[Score]) -> Score {
+        locals.iter().copied().max().unwrap_or(Score::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "max"
+    }
+}
+
+/// Weighted sum `Σ wᵢ·sᵢ` with non-negative weights.
+///
+/// Non-negative weights keep the function monotone; the constructor rejects
+/// negative or non-finite weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSum {
+    weights: Vec<f64>,
+}
+
+impl WeightedSum {
+    /// Creates a weighted sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a negative or non-finite
+    /// weight (which would break monotonicity).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "weighted sum needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be non-negative and finite to keep the scoring function monotone"
+        );
+        WeightedSum { weights }
+    }
+
+    /// The weights, in list order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ScoringFunction for WeightedSum {
+    fn combine(&self, locals: &[Score]) -> Score {
+        assert_eq!(
+            locals.len(),
+            self.weights.len(),
+            "weighted sum configured for {} lists but got {} local scores",
+            self.weights.len(),
+            locals.len()
+        );
+        Score::from_f64(
+            locals
+                .iter()
+                .zip(&self.weights)
+                .map(|(s, w)| s.value() * w)
+                .sum(),
+        )
+    }
+
+    fn name(&self) -> &str {
+        "weighted-sum"
+    }
+}
+
+/// Probabilistically checks that `f` is monotone over `samples` random pairs
+/// of score vectors of length `arity`, drawn from the values produced by
+/// `value_at(trial, position)`.
+///
+/// Returns the first counter-example found, if any. This cannot prove
+/// monotonicity but catches obviously broken custom functions; the
+/// test-suite applies it to every built-in function.
+pub fn check_monotone_on<F: ScoringFunction + ?Sized>(
+    f: &F,
+    arity: usize,
+    samples: usize,
+    mut value_at: impl FnMut(usize, usize) -> f64,
+) -> Option<(Vec<f64>, Vec<f64>)> {
+    for trial in 0..samples {
+        let lower: Vec<f64> = (0..arity).map(|i| value_at(trial * 2, i)).collect();
+        // Build an upper vector by adding non-negative offsets.
+        let upper: Vec<f64> = lower
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + value_at(trial * 2 + 1, i).abs())
+            .collect();
+        let lo = f.combine(&lower.iter().map(|&v| Score::from_f64(v)).collect::<Vec<_>>());
+        let hi = f.combine(&upper.iter().map(|&v| Score::from_f64(v)).collect::<Vec<_>>());
+        if lo > hi {
+            return Some((lower, upper));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: &[f64]) -> Vec<Score> {
+        values.iter().map(|&v| Score::from_f64(v)).collect()
+    }
+
+    #[test]
+    fn sum_matches_paper_example() {
+        // Figure 1: overall score of d3 is 26 + 14 + 30 = 70.
+        assert_eq!(Sum.combine(&s(&[26.0, 14.0, 30.0])).value(), 70.0);
+        assert_eq!(Sum.name(), "sum");
+    }
+
+    #[test]
+    fn average_min_max() {
+        let locals = s(&[2.0, 4.0, 6.0]);
+        assert_eq!(Average.combine(&locals).value(), 4.0);
+        assert_eq!(Min.combine(&locals).value(), 2.0);
+        assert_eq!(Max.combine(&locals).value(), 6.0);
+        assert_eq!(Average.name(), "average");
+        assert_eq!(Min.name(), "min");
+        assert_eq!(Max.name(), "max");
+    }
+
+    #[test]
+    fn min_max_of_empty_input_default_to_zero() {
+        assert_eq!(Min.combine(&[]).value(), 0.0);
+        assert_eq!(Max.combine(&[]).value(), 0.0);
+    }
+
+    #[test]
+    fn weighted_sum_applies_weights() {
+        let f = WeightedSum::new(vec![1.0, 0.5, 0.0]);
+        assert_eq!(f.combine(&s(&[10.0, 4.0, 100.0])).value(), 12.0);
+        assert_eq!(f.weights(), &[1.0, 0.5, 0.0]);
+        assert_eq!(f.name(), "weighted-sum");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_sum_rejects_negative_weights() {
+        let _ = WeightedSum::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn weighted_sum_rejects_empty_weights() {
+        let _ = WeightedSum::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "configured for 2 lists")]
+    fn weighted_sum_rejects_arity_mismatch() {
+        let f = WeightedSum::new(vec![1.0, 1.0]);
+        let _ = f.combine(&s(&[1.0]));
+    }
+
+    #[test]
+    fn builtins_pass_the_monotonicity_check() {
+        // Deterministic pseudo-random values keep the test reproducible.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move |_trial: usize, _i: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f64 / 100.0) - 10.0
+        };
+        assert!(check_monotone_on(&Sum, 4, 200, &mut next).is_none());
+        assert!(check_monotone_on(&Average, 4, 200, &mut next).is_none());
+        assert!(check_monotone_on(&Min, 4, 200, &mut next).is_none());
+        assert!(check_monotone_on(&Max, 4, 200, &mut next).is_none());
+        assert!(
+            check_monotone_on(&WeightedSum::new(vec![0.1, 2.0, 0.0, 1.0]), 4, 200, &mut next)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn monotonicity_check_catches_a_broken_function() {
+        struct Negated;
+        impl ScoringFunction for Negated {
+            fn combine(&self, locals: &[Score]) -> Score {
+                Score::from_f64(-locals.iter().map(|s| s.value()).sum::<f64>())
+            }
+        }
+        let counter = check_monotone_on(&Negated, 2, 50, |t, i| (t + i) as f64 + 1.0);
+        assert!(counter.is_some());
+        assert_eq!(Negated.name(), "custom");
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-run statistics: access counts, stopping depth, wall-clock time.
+
+use std::time::Duration;
+
+use topk_lists::AccessCounters;
+
+use crate::cost::CostModel;
+
+/// Everything measured about one algorithm run, covering the three metrics
+/// of the paper's evaluation (execution cost, number of accesses, response
+/// time) plus the stopping depth used in the analysis sections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Aggregate access counts over all lists.
+    pub accesses: AccessCounters,
+    /// Access counts per list, in list order.
+    pub per_list: Vec<AccessCounters>,
+    /// The depth at which the algorithm stopped:
+    ///
+    /// * for the scan-based algorithms (FA, TA, BPA) the last position read
+    ///   under sorted access,
+    /// * for BPA2 the largest best position over all lists when it stopped,
+    /// * `None` for the naive full scan (it has no early stop).
+    pub stop_position: Option<usize>,
+    /// Number of sorted/direct rounds the algorithm performed.
+    pub rounds: u64,
+    /// Number of distinct data items whose overall score was computed.
+    pub items_scored: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Total number of accesses of any mode (the paper's *number of
+    /// accesses* metric).
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.total()
+    }
+
+    /// Execution cost under the given cost model.
+    pub fn execution_cost(&self, model: &CostModel) -> f64 {
+        model.execution_cost(&self.accesses)
+    }
+
+    /// Response time in milliseconds (the paper's third metric).
+    pub fn response_time_ms(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        RunStats {
+            accesses: AccessCounters {
+                sorted: 18,
+                random: 36,
+                direct: 0,
+            },
+            per_list: vec![
+                AccessCounters { sorted: 6, random: 12, direct: 0 };
+                3
+            ],
+            stop_position: Some(6),
+            rounds: 6,
+            items_scored: 13,
+            elapsed: Duration::from_micros(1500),
+        }
+    }
+
+    #[test]
+    fn total_accesses_sums_all_modes() {
+        assert_eq!(stats().total_accesses(), 54);
+    }
+
+    #[test]
+    fn execution_cost_delegates_to_the_model() {
+        let model = CostModel::new(1.0, 2.0, 2.0);
+        assert_eq!(stats().execution_cost(&model), 18.0 + 72.0);
+    }
+
+    #[test]
+    fn response_time_is_reported_in_milliseconds() {
+        assert!((stats().response_time_ms() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_list_counters_are_preserved() {
+        let s = stats();
+        assert_eq!(s.per_list.len(), 3);
+        assert_eq!(s.per_list[0].sorted, 6);
+        assert_eq!(s.stop_position, Some(6));
+        assert_eq!(s.rounds, 6);
+        assert_eq!(s.items_scored, 13);
+    }
+}

@@ -1,0 +1,293 @@
+//! Correlated database generator (Section 6.1).
+//!
+//! "We use a correlation parameter α (0 ≤ α ≤ 1), and we generate the
+//! correlated databases as follows. For the first list, we randomly select
+//! the position of data items. Let p1 be the position of a data item in the
+//! first list, then for each list Li (2 ≤ i ≤ m) we generate a random number
+//! r in interval [1 .. n·α] … and we put the data item at a position p whose
+//! distance from p1 is r. If p is not free … we put the data item at the
+//! free position closest to p. … we generate the scores of the data items in
+//! each list in such a way that they follow the Zipf law with θ = 0.7."
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use topk_lists::{Database, ItemId, SortedList};
+
+use crate::spec::DatabaseGenerator;
+use crate::zipf::ZipfScores;
+
+/// Generates databases whose item positions are correlated across lists.
+///
+/// Smaller `α` means stronger correlation (an item sits at nearly the same
+/// rank in every list); `α = 1` allows an item to move anywhere, which is
+/// close to the independent case.
+///
+/// The paper leaves the *sign* of the displacement unspecified ("a position
+/// p whose distance from p1 is r"); this implementation picks the direction
+/// uniformly at random and clamps the result to `[1, n]` before applying the
+/// nearest-free-position rule, as documented in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelatedGenerator {
+    num_lists: usize,
+    num_items: usize,
+    alpha: f64,
+    zipf: ZipfScores,
+}
+
+impl CorrelatedGenerator {
+    /// Creates a generator for `m` lists of `n` items with correlation
+    /// parameter `alpha` and the paper's Zipf(θ = 0.7) score profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lists`/`num_items` is zero or `alpha` is outside
+    /// `[0, 1]`.
+    pub fn new(num_lists: usize, num_items: usize, alpha: f64) -> Self {
+        Self::with_zipf(num_lists, num_items, alpha, ZipfScores::paper_default())
+    }
+
+    /// As [`CorrelatedGenerator::new`] but with a custom Zipf profile.
+    pub fn with_zipf(num_lists: usize, num_items: usize, alpha: f64, zipf: ZipfScores) -> Self {
+        assert!(num_lists > 0, "a database needs at least one list");
+        assert!(num_items > 0, "a database needs at least one item");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "the correlation parameter alpha must be in [0, 1]"
+        );
+        CorrelatedGenerator {
+            num_lists,
+            num_items,
+            alpha,
+            zipf,
+        }
+    }
+
+    /// The correlation parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Maximum displacement `max(1, round(n·α))` used when drawing `r`.
+    fn max_displacement(&self) -> usize {
+        ((self.num_items as f64 * self.alpha).round() as usize).max(1)
+    }
+}
+
+/// Finds the free position closest to `target` and removes it from `free`.
+///
+/// Ties (one free position below and one above at the same distance) are
+/// broken toward the smaller position, which keeps the procedure
+/// deterministic.
+fn take_closest_free(free: &mut BTreeSet<usize>, target: usize) -> usize {
+    let below = free.range(..=target).next_back().copied();
+    let above = free.range(target..).next().copied();
+    let chosen = match (below, above) {
+        (Some(b), Some(a)) => {
+            if target - b <= a - target {
+                b
+            } else {
+                a
+            }
+        }
+        (Some(b), None) => b,
+        (None, Some(a)) => a,
+        (None, None) => unreachable!("one free position exists per remaining item"),
+    };
+    free.remove(&chosen);
+    chosen
+}
+
+impl DatabaseGenerator for CorrelatedGenerator {
+    fn num_lists(&self) -> usize {
+        self.num_lists
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn generate(&self, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.num_items;
+
+        // First list: a random permutation of the items over positions 1..=n.
+        // `first_positions[item]` is the item's 1-based position in list 1.
+        let mut items_in_order: Vec<u64> = (0..n as u64).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            items_in_order.swap(i, j);
+        }
+        let mut first_positions = vec![0usize; n];
+        for (index, &item) in items_in_order.iter().enumerate() {
+            first_positions[item as usize] = index + 1;
+        }
+
+        // Per-list positions: list 0 from the permutation, the others by
+        // displacing each item's list-1 position by r ∈ [1, n·α].
+        let max_r = self.max_displacement();
+        let mut positions_per_list: Vec<Vec<usize>> = Vec::with_capacity(self.num_lists);
+        positions_per_list.push(first_positions.clone());
+        for _ in 1..self.num_lists {
+            let mut free: BTreeSet<usize> = (1..=n).collect();
+            let mut positions = vec![0usize; n];
+            for item in 0..n {
+                let p1 = first_positions[item];
+                let r = rng.random_range(1..=max_r);
+                // Displace by exactly r, choosing the direction at random
+                // among those that stay inside [1, n]. Falling back to the
+                // in-range direction (rather than clamping) avoids piling
+                // items back onto the list boundaries, which would
+                // artificially strengthen the correlation at the head of the
+                // lists for large alpha.
+                let down = (p1 > r).then(|| p1 - r);
+                let up = (p1 + r <= n).then_some(p1 + r);
+                let target = match (down, up) {
+                    (Some(d), Some(u)) => {
+                        if rng.random::<bool>() {
+                            d
+                        } else {
+                            u
+                        }
+                    }
+                    (Some(d), None) => d,
+                    (None, Some(u)) => u,
+                    // r exceeds both distances to the boundaries (only
+                    // possible for alpha close to 1): clamp to the farther
+                    // boundary.
+                    (None, None) => {
+                        if n - p1 > p1 - 1 {
+                            n
+                        } else {
+                            1
+                        }
+                    }
+                };
+                positions[item] = take_closest_free(&mut free, target);
+            }
+            positions_per_list.push(positions);
+        }
+
+        // Scores follow the Zipf profile by rank, identically in every list.
+        let profile = self.zipf.profile(n);
+        let lists = positions_per_list
+            .into_iter()
+            .map(|positions| {
+                let mut pairs: Vec<(ItemId, f64)> = positions
+                    .iter()
+                    .enumerate()
+                    .map(|(item, &pos)| (ItemId(item as u64), profile[pos - 1]))
+                    .collect();
+                // Sort by ascending position == descending Zipf score.
+                pairs.sort_by_key(|(item, _)| positions[item.0 as usize]);
+                SortedList::from_sorted(pairs).expect("generated list is valid")
+            })
+            .collect();
+        Database::new(lists).expect("generated database is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mean absolute rank displacement of items between list 0 and list 1.
+    fn mean_displacement(db: &Database) -> f64 {
+        let l0 = db.list(0).unwrap();
+        let l1 = db.list(1).unwrap();
+        let n = db.num_items();
+        let mut total = 0.0;
+        for item in db.items() {
+            let p0 = l0.position_of(item).unwrap().get() as f64;
+            let p1 = l1.position_of(item).unwrap().get() as f64;
+            total += (p0 - p1).abs();
+        }
+        total / n as f64
+    }
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let g = CorrelatedGenerator::new(3, 200, 0.01);
+        let a = g.generate(4);
+        assert_eq!(a.num_lists(), 3);
+        assert_eq!(a.num_items(), 200);
+        let b = g.generate(4);
+        for (la, lb) in a.lists().zip(b.lists()) {
+            assert_eq!(la.items().collect::<Vec<_>>(), lb.items().collect::<Vec<_>>());
+        }
+        assert_eq!(g.alpha(), 0.01);
+    }
+
+    #[test]
+    fn every_position_is_used_exactly_once() {
+        let db = CorrelatedGenerator::new(4, 300, 0.1).generate(7);
+        for list in db.lists() {
+            let mut seen = vec![false; 301];
+            for item in db.items() {
+                let p = list.position_of(item).unwrap().get();
+                assert!(!seen[p], "position {p} assigned twice");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_alpha_means_stronger_correlation() {
+        let strong = CorrelatedGenerator::new(2, 2000, 0.001).generate(42);
+        let weak = CorrelatedGenerator::new(2, 2000, 0.5).generate(42);
+        let d_strong = mean_displacement(&strong);
+        let d_weak = mean_displacement(&weak);
+        assert!(
+            d_strong * 5.0 < d_weak,
+            "expected much smaller displacement for alpha=0.001 ({d_strong}) than 0.5 ({d_weak})"
+        );
+    }
+
+    #[test]
+    fn scores_follow_zipf_profile_by_rank() {
+        let n = 500;
+        let db = CorrelatedGenerator::new(2, n, 0.05).generate(3);
+        let profile = ZipfScores::paper_default().profile(n);
+        for list in db.lists() {
+            for (entry, expected) in list.iter().zip(profile.iter()) {
+                assert!((entry.score.value() - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_keeps_items_near_their_first_list_position() {
+        // alpha = 0 clamps the displacement budget to 1 rank; collision
+        // cascades can push individual items a bit further, but on average
+        // items barely move.
+        let db = CorrelatedGenerator::new(3, 100, 0.0).generate(1);
+        assert!(
+            mean_displacement(&db) < 3.0,
+            "mean displacement {} too large for alpha = 0",
+            mean_displacement(&db)
+        );
+    }
+
+    #[test]
+    fn take_closest_free_prefers_nearest_then_smaller() {
+        let mut free: BTreeSet<usize> = [1, 5, 9].into_iter().collect();
+        assert_eq!(take_closest_free(&mut free, 6), 5);
+        assert_eq!(take_closest_free(&mut free, 6), 9);
+        assert_eq!(take_closest_free(&mut free, 6), 1);
+        assert!(free.is_empty());
+    }
+
+    #[test]
+    fn tie_breaks_toward_smaller_position() {
+        let mut free: BTreeSet<usize> = [4, 8].into_iter().collect();
+        assert_eq!(take_closest_free(&mut free, 6), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn alpha_out_of_range_panics() {
+        let _ = CorrelatedGenerator::new(2, 10, 1.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Gaussian database generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use topk_lists::{Database, ItemId, SortedList};
+
+use crate::spec::DatabaseGenerator;
+
+/// Generates databases where each item's local score in each list is an
+/// independent Gaussian random number with mean 0 and standard deviation 1
+/// (Section 6.1: "the scores of the data items in each list are Gaussian
+/// random numbers with a mean of 0 and a standard deviation of 1").
+///
+/// Samples are produced with the Box–Muller transform so the crate needs no
+/// distribution dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaussianGenerator {
+    num_lists: usize,
+    num_items: usize,
+}
+
+impl GaussianGenerator {
+    /// Creates a generator for `m` lists of `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lists` or `num_items` is zero.
+    pub fn new(num_lists: usize, num_items: usize) -> Self {
+        assert!(num_lists > 0, "a database needs at least one list");
+        assert!(num_items > 0, "a database needs at least one item");
+        GaussianGenerator {
+            num_lists,
+            num_items,
+        }
+    }
+}
+
+/// Draws one standard normal sample using the Box–Muller transform.
+fn standard_normal(rng: &mut impl RngExt) -> f64 {
+    // Avoid ln(0) by keeping the first uniform strictly positive.
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl DatabaseGenerator for GaussianGenerator {
+    fn num_lists(&self) -> usize {
+        self.num_lists
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn generate(&self, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lists = (0..self.num_lists)
+            .map(|_| {
+                let pairs: Vec<(ItemId, f64)> = (0..self.num_items)
+                    .map(|id| (ItemId(id as u64), standard_normal(&mut rng)))
+                    .collect();
+                SortedList::from_unsorted(pairs).expect("generated list is valid")
+            })
+            .collect();
+        Database::new(lists).expect("generated database is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_determinism() {
+        let g = GaussianGenerator::new(4, 300);
+        let a = g.generate(5);
+        assert_eq!(a.num_lists(), 4);
+        assert_eq!(a.num_items(), 300);
+        let b = g.generate(5);
+        for (la, lb) in a.lists().zip(b.lists()) {
+            assert_eq!(la.items().collect::<Vec<_>>(), lb.items().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sample_moments_are_close_to_standard_normal() {
+        let db = GaussianGenerator::new(1, 20_000).generate(123);
+        let scores: Vec<f64> = db.list(0).unwrap().iter().map(|e| e.score.value()).collect();
+        let n = scores.len() as f64;
+        let mean = scores.iter().sum::<f64>() / n;
+        let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn negative_scores_are_allowed_and_lists_are_sorted() {
+        let db = GaussianGenerator::new(2, 1000).generate(9);
+        let mut saw_negative = false;
+        for list in db.lists() {
+            let mut prev = f64::INFINITY;
+            for e in list.iter() {
+                saw_negative |= e.score.value() < 0.0;
+                assert!(e.score.value() <= prev);
+                prev = e.score.value();
+            }
+        }
+        assert!(saw_negative, "a standard normal sample of 2000 should contain negatives");
+    }
+
+    #[test]
+    fn standard_normal_helper_is_finite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let x = standard_normal(&mut rng);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_dimensions_panic() {
+        let _ = GaussianGenerator::new(0, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Generator trait and run-time selection of database families.
+
+use topk_lists::Database;
+
+use crate::correlated::CorrelatedGenerator;
+use crate::gaussian::GaussianGenerator;
+use crate::uniform::UniformGenerator;
+
+/// A deterministic generator of databases (`m` sorted lists of `n` items).
+pub trait DatabaseGenerator {
+    /// Number of lists the generated databases will have.
+    fn num_lists(&self) -> usize;
+
+    /// Number of items per list the generated databases will have.
+    fn num_items(&self) -> usize;
+
+    /// Generates a database. The same seed always yields the same database.
+    fn generate(&self, seed: u64) -> Database;
+}
+
+/// The database families of the paper's evaluation, selectable at run time
+/// (used by the benchmark harness configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DatabaseKind {
+    /// Independent uniform scores (the paper's default setting).
+    Uniform,
+    /// Independent Gaussian scores (mean 0, standard deviation 1).
+    Gaussian,
+    /// Correlated positions with the given correlation parameter `α`,
+    /// Zipf(θ = 0.7) scores.
+    Correlated {
+        /// Correlation parameter `α ∈ [0, 1]`; smaller is more correlated.
+        alpha: f64,
+    },
+}
+
+impl DatabaseKind {
+    /// Short human-readable label used in benchmark report headers.
+    pub fn label(&self) -> String {
+        match self {
+            DatabaseKind::Uniform => "uniform".to_string(),
+            DatabaseKind::Gaussian => "gaussian".to_string(),
+            DatabaseKind::Correlated { alpha } => format!("correlated(alpha={alpha})"),
+        }
+    }
+}
+
+/// A fully specified workload: database family plus dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatabaseSpec {
+    /// Database family.
+    pub kind: DatabaseKind,
+    /// Number of lists `m`.
+    pub num_lists: usize,
+    /// Number of items per list `n`.
+    pub num_items: usize,
+}
+
+impl DatabaseSpec {
+    /// Creates a spec.
+    pub fn new(kind: DatabaseKind, num_lists: usize, num_items: usize) -> Self {
+        DatabaseSpec {
+            kind,
+            num_lists,
+            num_items,
+        }
+    }
+
+    /// Generates the database for this spec with the given seed.
+    pub fn generate(&self, seed: u64) -> Database {
+        match self.kind {
+            DatabaseKind::Uniform => {
+                UniformGenerator::new(self.num_lists, self.num_items).generate(seed)
+            }
+            DatabaseKind::Gaussian => {
+                GaussianGenerator::new(self.num_lists, self.num_items).generate(seed)
+            }
+            DatabaseKind::Correlated { alpha } => {
+                CorrelatedGenerator::new(self.num_lists, self.num_items, alpha).generate(seed)
+            }
+        }
+    }
+}
+
+impl DatabaseGenerator for DatabaseSpec {
+    fn num_lists(&self) -> usize {
+        self.num_lists
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn generate(&self, seed: u64) -> Database {
+        DatabaseSpec::generate(self, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_identify_families() {
+        assert_eq!(DatabaseKind::Uniform.label(), "uniform");
+        assert_eq!(DatabaseKind::Gaussian.label(), "gaussian");
+        assert_eq!(
+            DatabaseKind::Correlated { alpha: 0.01 }.label(),
+            "correlated(alpha=0.01)"
+        );
+    }
+
+    #[test]
+    fn spec_dispatches_to_the_right_generator() {
+        for kind in [
+            DatabaseKind::Uniform,
+            DatabaseKind::Gaussian,
+            DatabaseKind::Correlated { alpha: 0.05 },
+        ] {
+            let spec = DatabaseSpec::new(kind, 3, 50);
+            assert_eq!(DatabaseGenerator::num_lists(&spec), 3);
+            assert_eq!(DatabaseGenerator::num_items(&spec), 50);
+            let db = DatabaseGenerator::generate(&spec, 7);
+            assert_eq!(db.num_lists(), 3);
+            assert_eq!(db.num_items(), 50);
+        }
+    }
+
+    #[test]
+    fn spec_is_deterministic() {
+        let spec = DatabaseSpec::new(DatabaseKind::Uniform, 2, 30);
+        let a = spec.generate(9);
+        let b = spec.generate(9);
+        for (la, lb) in a.lists().zip(b.lists()) {
+            assert_eq!(la.items().collect::<Vec<_>>(), lb.items().collect::<Vec<_>>());
+        }
+    }
+}

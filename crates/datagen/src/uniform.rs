@@ -1,0 +1,137 @@
+//! Uniform database generator (the paper's default setting).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use topk_lists::{Database, ItemId, SortedList};
+
+use crate::spec::DatabaseGenerator;
+
+/// Generates databases where each item's local score in each list is an
+/// independent uniform random number in `[0, 1)`.
+///
+/// "With Uniform database, the positions of a data item in any two lists
+/// are independent of each other. To generate this database, the scores of
+/// the data items in each list are generated using a uniform random
+/// generator, and then the list is sorted." (Section 6.1)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformGenerator {
+    num_lists: usize,
+    num_items: usize,
+}
+
+impl UniformGenerator {
+    /// Creates a generator for `m` lists of `n` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lists` or `num_items` is zero.
+    pub fn new(num_lists: usize, num_items: usize) -> Self {
+        assert!(num_lists > 0, "a database needs at least one list");
+        assert!(num_items > 0, "a database needs at least one item");
+        UniformGenerator {
+            num_lists,
+            num_items,
+        }
+    }
+}
+
+impl DatabaseGenerator for UniformGenerator {
+    fn num_lists(&self) -> usize {
+        self.num_lists
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn generate(&self, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lists = (0..self.num_lists)
+            .map(|_| {
+                let pairs: Vec<(ItemId, f64)> = (0..self.num_items)
+                    .map(|id| (ItemId(id as u64), rng.random::<f64>()))
+                    .collect();
+                SortedList::from_unsorted(pairs).expect("generated list is valid")
+            })
+            .collect();
+        Database::new(lists).expect("generated database is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_lists::Position;
+
+    #[test]
+    fn dimensions_match_request() {
+        let db = UniformGenerator::new(5, 200).generate(1);
+        assert_eq!(db.num_lists(), 5);
+        assert_eq!(db.num_items(), 200);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed_and_distinct_for_different_seeds() {
+        let g = UniformGenerator::new(3, 100);
+        let a = g.generate(7);
+        let b = g.generate(7);
+        let c = g.generate(8);
+        let first = |db: &Database| {
+            db.list(0)
+                .unwrap()
+                .entry_at(Position::FIRST)
+                .unwrap()
+                .item
+        };
+        assert_eq!(first(&a), first(&b));
+        // Different seeds *almost surely* differ in at least one list head;
+        // compare whole orderings to avoid a flaky single-item check.
+        let order = |db: &Database| {
+            db.lists()
+                .map(|l| l.items().collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(order(&a), order(&c));
+    }
+
+    #[test]
+    fn scores_are_within_unit_interval_and_sorted() {
+        let db = UniformGenerator::new(2, 500).generate(3);
+        for list in db.lists() {
+            let mut prev = f64::INFINITY;
+            for entry in list.iter() {
+                let s = entry.score.value();
+                assert!((0.0..1.0).contains(&s));
+                assert!(s <= prev);
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn scores_cover_the_unit_interval_roughly_uniformly() {
+        // Sanity check on the distribution: quartile counts of 2000 samples
+        // should each be within a loose band around 500.
+        let db = UniformGenerator::new(1, 2000).generate(11);
+        let mut buckets = [0usize; 4];
+        for entry in db.list(0).unwrap().iter() {
+            let b = (entry.score.value() * 4.0).floor() as usize;
+            buckets[b.min(3)] += 1;
+        }
+        for count in buckets {
+            assert!((350..650).contains(&count), "bucket count {count} out of band");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one list")]
+    fn zero_lists_panics() {
+        let _ = UniformGenerator::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = UniformGenerator::new(2, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Zipf-law score profiles.
+//!
+//! "The Zipf law states that the score of an item in a ranked list is
+//! inversely proportional to its rank (position) in the list." (Section 6.1)
+//! The correlated databases of the paper assign scores by rank following
+//! Zipf with parameter `θ = 0.7`.
+
+/// A Zipf score profile: `score(rank) = scale / rank^θ`.
+///
+/// The default `scale` of 1.0 gives scores in `(0, 1]` with the head of the
+/// list at exactly 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfScores {
+    theta: f64,
+    scale: f64,
+}
+
+/// The Zipf parameter used throughout the paper's evaluation.
+pub const PAPER_THETA: f64 = 0.7;
+
+impl ZipfScores {
+    /// Creates a profile with the given exponent `θ` and scale 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be a non-negative finite number");
+        ZipfScores { theta, scale: 1.0 }
+    }
+
+    /// The profile used by the paper (`θ = 0.7`).
+    pub fn paper_default() -> Self {
+        Self::new(PAPER_THETA)
+    }
+
+    /// Returns a copy with a different multiplicative scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive finite number.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be a positive finite number");
+        self.scale = scale;
+        self
+    }
+
+    /// The exponent `θ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The score of the item at 1-based `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is zero (ranks are 1-based like list positions).
+    pub fn score_for_rank(&self, rank: usize) -> f64 {
+        assert!(rank >= 1, "ranks are 1-based");
+        self.scale / (rank as f64).powf(self.theta)
+    }
+
+    /// The full score profile for a list of `n` items, in rank order
+    /// (descending scores).
+    pub fn profile(&self, n: usize) -> Vec<f64> {
+        (1..=n).map(|rank| self.score_for_rank(rank)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_of_list_gets_scale() {
+        let z = ZipfScores::new(0.7);
+        assert!((z.score_for_rank(1) - 1.0).abs() < 1e-12);
+        let scaled = z.with_scale(50.0);
+        assert!((scaled.score_for_rank(1) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scores_decrease_with_rank() {
+        let z = ZipfScores::paper_default();
+        let profile = z.profile(1000);
+        assert_eq!(profile.len(), 1000);
+        assert!(profile.windows(2).all(|w| w[0] > w[1]));
+        assert!(profile.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn theta_zero_gives_flat_scores() {
+        let z = ZipfScores::new(0.0);
+        assert_eq!(z.score_for_rank(1), z.score_for_rank(1000));
+    }
+
+    #[test]
+    fn paper_default_uses_point_seven() {
+        assert_eq!(ZipfScores::paper_default().theta(), 0.7);
+    }
+
+    #[test]
+    fn inverse_proportionality_at_theta_one() {
+        let z = ZipfScores::new(1.0);
+        assert!((z.score_for_rank(10) - 0.1).abs() < 1e-12);
+        assert!((z.score_for_rank(4) * 4.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_panics() {
+        let _ = ZipfScores::paper_default().score_for_rank(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        let _ = ZipfScores::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_panics() {
+        let _ = ZipfScores::new(0.5).with_scale(0.0);
+    }
+}

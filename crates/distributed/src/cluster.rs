@@ -1,0 +1,157 @@
+//! The simulated cluster: list owners plus network accounting.
+
+use topk_lists::tracker::TrackerKind;
+use topk_lists::Database;
+
+use crate::message::{Request, Response};
+use crate::owner::ListOwner;
+
+/// Aggregate network statistics for one distributed query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total number of messages exchanged (requests + responses).
+    pub messages: u64,
+    /// Number of request messages sent by the originator.
+    pub requests: u64,
+    /// Number of response messages returned by list owners.
+    pub responses: u64,
+    /// Total payload shipped, in scalar units (see
+    /// [`crate::message::Request::payload_units`]).
+    pub payload_units: u64,
+}
+
+impl NetworkStats {
+    fn record(&mut self, request: &Request, response: &Response) {
+        self.requests += 1;
+        self.responses += 1;
+        self.messages += 2;
+        self.payload_units += request.payload_units() + response.payload_units();
+    }
+}
+
+/// A set of [`ListOwner`] nodes (one per list of a database) reachable only
+/// through [`Cluster::send`], which tallies every exchanged message.
+#[derive(Debug)]
+pub struct Cluster {
+    owners: Vec<ListOwner>,
+    stats: NetworkStats,
+}
+
+impl Cluster {
+    /// Builds one owner per list of the database, each with the default
+    /// bit-array best-position tracker.
+    pub fn new(database: &Database) -> Self {
+        Self::with_tracker(database, TrackerKind::BitArray)
+    }
+
+    /// As [`Cluster::new`] with an explicit tracker strategy for the owners.
+    pub fn with_tracker(database: &Database, kind: TrackerKind) -> Self {
+        Cluster {
+            owners: database
+                .lists()
+                .map(|list| ListOwner::with_tracker(list.clone(), kind))
+                .collect(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of list-owner nodes (`m`).
+    pub fn num_owners(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Number of items per list (`n`).
+    pub fn num_items(&self) -> usize {
+        self.owners[0].len()
+    }
+
+    /// Sends a request to owner `i` and returns its response, counting both
+    /// messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid owner index; protocols only address
+    /// owners `0..m`.
+    pub fn send(&mut self, owner: usize, request: Request) -> Response {
+        let response = self.owners[owner].handle(request);
+        self.stats.record(&request, &response);
+        response
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn network(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Total accesses served by every owner (sorted + random + direct).
+    pub fn accesses_served(&self) -> u64 {
+        self.owners.iter().map(|o| o.accesses_served()).sum()
+    }
+
+    /// Read-only view of the owners (used by tests).
+    pub fn owners(&self) -> &[ListOwner] {
+        &self.owners
+    }
+
+    /// Resets network statistics, keeping owner state. Useful when a single
+    /// cluster serves several measured queries in a bench.
+    pub fn reset_network(&mut self) {
+        self.stats = NetworkStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_core::examples_paper::figure1_database;
+    use topk_lists::{ItemId, Position};
+
+    #[test]
+    fn cluster_mirrors_database_dimensions() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        assert_eq!(cluster.num_owners(), 3);
+        assert_eq!(cluster.num_items(), 12);
+        assert_eq!(cluster.owners().len(), 3);
+        assert_eq!(cluster.accesses_served(), 0);
+        assert_eq!(cluster.network(), NetworkStats::default());
+    }
+
+    #[test]
+    fn send_counts_messages_and_payload() {
+        let db = figure1_database();
+        let mut cluster = Cluster::new(&db);
+        let resp = cluster.send(
+            0,
+            Request::SortedAccess {
+                position: Position::FIRST,
+                track: false,
+            },
+        );
+        match resp {
+            Response::Entry { item, .. } => assert_eq!(item, ItemId(1)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let stats = cluster.network();
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.responses, 1);
+        // 1 unit for the position operand + 3 units for the entry response.
+        assert_eq!(stats.payload_units, 4);
+        assert_eq!(cluster.accesses_served(), 1);
+
+        cluster.reset_network();
+        assert_eq!(cluster.network().messages, 0);
+        assert_eq!(cluster.accesses_served(), 1, "owner state survives a reset");
+    }
+
+    #[test]
+    fn owners_can_use_any_tracker() {
+        let db = figure1_database();
+        for kind in TrackerKind::ALL {
+            let mut cluster = Cluster::with_tracker(&db, kind);
+            cluster.send(1, Request::DirectAccessNext);
+            assert_eq!(cluster.owners()[1].best_position(), Position::new(1));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Distributed top-k query execution, simulated.
+//!
+//! Section 5 of the paper motivates BPA2 with distributed systems: "in a
+//! distributed system, BPA needs to retrieve the position of each accessed
+//! data item and keep the seen positions at the query originator … thus
+//! incurring communication cost", and the evaluation argues that "the
+//! number of messages … is proportional to the number of accesses done to
+//! the lists".
+//!
+//! This crate simulates that setting in process:
+//!
+//! * every sorted list is held by a [`ListOwner`] node that also manages
+//!   the list's best position (as BPA2 prescribes),
+//! * a query-originator protocol ([`DistributedTa`], [`DistributedBpa`],
+//!   [`DistributedBpa2`]) talks to the owners exclusively through typed
+//!   [`message`]s routed by a [`Cluster`], which counts every message and
+//!   its payload size,
+//! * the resulting [`NetworkStats`] quantify the communication-cost claims:
+//!   BPA2 sends fewer messages than BPA (fewer accesses) *and* smaller ones
+//!   (no positions shipped to the originator).
+//!
+//! The simulation is deterministic and single-process; it models message
+//! counts and sizes, not latencies.
+//!
+//! ```
+//! use topk_core::TopKQuery;
+//! use topk_core::examples_paper::figure2_database;
+//! use topk_distributed::{Cluster, DistributedBpa2, DistributedProtocol};
+//!
+//! let db = figure2_database();
+//! let mut cluster = Cluster::new(&db);
+//! let result = DistributedBpa2::default()
+//!     .execute(&mut cluster, &TopKQuery::top(3))
+//!     .unwrap();
+//! assert_eq!(result.answers.len(), 3);
+//! // One request and one response per access: 36 accesses -> 72 messages.
+//! assert_eq!(result.network.messages, 72);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod message;
+pub mod owner;
+pub mod protocol;
+
+pub use cluster::{Cluster, NetworkStats};
+pub use message::{Request, Response};
+pub use owner::ListOwner;
+pub use protocol::{
+    DistributedBpa, DistributedBpa2, DistributedProtocol, DistributedResult, DistributedTa,
+};

@@ -1,0 +1,264 @@
+//! List-owner nodes.
+
+use topk_lists::tracker::{PositionTracker, TrackerKind};
+use topk_lists::{ItemId, Position, Score, SortedList};
+
+use crate::message::{Request, Response};
+
+/// A node that owns one sorted list and, for BPA2-style protocols, manages
+/// the list's best position locally (Section 5.2: "the best positions are
+/// managed by the list owners").
+#[derive(Debug)]
+pub struct ListOwner {
+    list: SortedList,
+    tracker: Box<dyn PositionTracker>,
+    accesses: u64,
+}
+
+impl ListOwner {
+    /// Creates an owner for a copy of the given list using the default
+    /// (bit-array) best-position tracker.
+    pub fn new(list: SortedList) -> Self {
+        Self::with_tracker(list, TrackerKind::BitArray)
+    }
+
+    /// Creates an owner with an explicit best-position tracking strategy.
+    pub fn with_tracker(list: SortedList, kind: TrackerKind) -> Self {
+        let n = list.len();
+        ListOwner {
+            list,
+            tracker: kind.create(n),
+            accesses: 0,
+        }
+    }
+
+    /// Number of items in the owned list.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the owned list is empty (never true for validated databases).
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Number of list accesses this owner has served (sorted + random +
+    /// direct).
+    pub fn accesses_served(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The owner's current best position, if any position has been seen.
+    pub fn best_position(&self) -> Option<Position> {
+        self.tracker.best_position()
+    }
+
+    /// The local score at the current best position.
+    pub fn best_position_score(&self) -> Option<Score> {
+        self.best_position().and_then(|bp| self.list.score_at(bp))
+    }
+
+    /// Handles one request from the query originator.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::SortedAccess { position, track } => {
+                self.accesses += 1;
+                match self.list.entry_at(position) {
+                    None => Response::Exhausted,
+                    Some(entry) => {
+                        let best = if track {
+                            self.mark_and_report_best_change(position)
+                        } else {
+                            None
+                        };
+                        Response::Entry {
+                            item: entry.item,
+                            score: entry.score,
+                            position,
+                            best_position_score: best,
+                        }
+                    }
+                }
+            }
+            Request::RandomAccess {
+                item,
+                with_position,
+                track,
+            } => {
+                self.accesses += 1;
+                match self.list.lookup(item) {
+                    None => Response::Exhausted,
+                    Some(ps) => {
+                        let best = if track {
+                            self.mark_and_report_best_change(ps.position)
+                        } else {
+                            None
+                        };
+                        Response::LocalScore {
+                            score: ps.score,
+                            position: with_position.then_some(ps.position),
+                            best_position_score: best,
+                        }
+                    }
+                }
+            }
+            Request::DirectAccessNext => {
+                let next = self.tracker.first_unseen();
+                if next.get() > self.list.len() {
+                    return Response::Exhausted;
+                }
+                self.accesses += 1;
+                let entry = self
+                    .list
+                    .entry_at(next)
+                    .expect("first unseen position is within bounds");
+                let best = self.mark_and_report_best_change(next);
+                Response::Entry {
+                    item: entry.item,
+                    score: entry.score,
+                    position: next,
+                    best_position_score: best,
+                }
+            }
+            Request::BestPositionScore => Response::BestPositionScore(self.best_position_score()),
+        }
+    }
+
+    /// Marks a position as seen; if the best position changed, returns the
+    /// local score at the new best position (BPA2 step 3).
+    fn mark_and_report_best_change(&mut self, position: Position) -> Option<Score> {
+        let before = self.tracker.best_position();
+        self.tracker.mark_seen(position);
+        let after = self.tracker.best_position();
+        if after != before {
+            after.and_then(|bp| self.list.score_at(bp))
+        } else {
+            None
+        }
+    }
+
+    /// Lookup of an item without going through the protocol; used by tests.
+    pub fn lookup_item(&self, item: ItemId) -> Option<(Position, Score)> {
+        self.list.lookup(item).map(|ps| (ps.position, ps.score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_lists::ItemId;
+
+    fn owner() -> ListOwner {
+        let list = SortedList::from_unsorted(vec![
+            (ItemId(1), 30.0),
+            (ItemId(2), 20.0),
+            (ItemId(3), 10.0),
+        ])
+        .unwrap();
+        ListOwner::new(list)
+    }
+
+    fn pos(p: usize) -> Position {
+        Position::new(p).unwrap()
+    }
+
+    #[test]
+    fn sorted_access_reads_and_optionally_tracks() {
+        let mut o = owner();
+        let resp = o.handle(Request::SortedAccess { position: pos(1), track: false });
+        match resp {
+            Response::Entry { item, score, best_position_score, .. } => {
+                assert_eq!(item, ItemId(1));
+                assert_eq!(score.value(), 30.0);
+                assert!(best_position_score.is_none());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(o.best_position(), None, "track=false must not update the tracker");
+
+        let resp = o.handle(Request::SortedAccess { position: pos(1), track: true });
+        match resp {
+            Response::Entry { best_position_score, .. } => {
+                assert_eq!(best_position_score.unwrap().value(), 30.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(o.best_position(), Some(pos(1)));
+        assert_eq!(o.accesses_served(), 2);
+    }
+
+    #[test]
+    fn sorted_access_past_the_end_is_exhausted() {
+        let mut o = owner();
+        assert_eq!(
+            o.handle(Request::SortedAccess { position: pos(9), track: true }),
+            Response::Exhausted
+        );
+    }
+
+    #[test]
+    fn random_access_reports_position_only_when_asked() {
+        let mut o = owner();
+        let r = o.handle(Request::RandomAccess { item: ItemId(3), with_position: false, track: false });
+        match r {
+            Response::LocalScore { score, position, .. } => {
+                assert_eq!(score.value(), 10.0);
+                assert!(position.is_none());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let r = o.handle(Request::RandomAccess { item: ItemId(3), with_position: true, track: true });
+        match r {
+            Response::LocalScore { position, .. } => assert_eq!(position, Some(pos(3))),
+            other => panic!("unexpected response {other:?}"),
+        }
+        let r = o.handle(Request::RandomAccess { item: ItemId(42), with_position: true, track: true });
+        assert_eq!(r, Response::Exhausted);
+    }
+
+    #[test]
+    fn direct_access_walks_unseen_positions_and_reports_best_changes() {
+        let mut o = owner();
+        // Mark position 2 via a tracked random access first.
+        o.handle(Request::RandomAccess { item: ItemId(2), with_position: false, track: true });
+        assert_eq!(o.best_position(), None);
+
+        // Direct access must hit position 1 (smallest unseen) and, because
+        // position 2 is already seen, the best position jumps to 2.
+        let r = o.handle(Request::DirectAccessNext);
+        match r {
+            Response::Entry { item, position, best_position_score, .. } => {
+                assert_eq!(item, ItemId(1));
+                assert_eq!(position, pos(1));
+                assert_eq!(best_position_score.unwrap().value(), 20.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Next direct access hits position 3; afterwards the list is
+        // exhausted.
+        let r = o.handle(Request::DirectAccessNext);
+        match r {
+            Response::Entry { position, .. } => assert_eq!(position, pos(3)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(o.handle(Request::DirectAccessNext), Response::Exhausted);
+        assert_eq!(o.accesses_served(), 3, "the exhausted direct access is not an access");
+    }
+
+    #[test]
+    fn best_position_score_query() {
+        let mut o = owner();
+        assert_eq!(
+            o.handle(Request::BestPositionScore),
+            Response::BestPositionScore(None)
+        );
+        o.handle(Request::SortedAccess { position: pos(1), track: true });
+        assert_eq!(
+            o.handle(Request::BestPositionScore),
+            Response::BestPositionScore(Some(Score::from_f64(30.0)))
+        );
+        assert_eq!(o.len(), 3);
+        assert!(!o.is_empty());
+        assert_eq!(o.lookup_item(ItemId(2)).unwrap().0, pos(2));
+    }
+}

@@ -1,0 +1,431 @@
+//! Query-originator protocols: distributed TA, BPA and BPA2.
+
+use std::collections::HashMap;
+
+use topk_core::{RankedItem, TopKBuffer, TopKError, TopKQuery};
+use topk_lists::tracker::{BitArrayTracker, PositionTracker};
+use topk_lists::{Position, Score};
+
+use crate::cluster::{Cluster, NetworkStats};
+use crate::message::{Request, Response};
+
+/// The outcome of a distributed query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedResult {
+    /// The top-k answers in descending overall-score order.
+    pub answers: Vec<RankedItem>,
+    /// Messages and payload exchanged between originator and owners.
+    pub network: NetworkStats,
+    /// Total list accesses served by the owners.
+    pub accesses: u64,
+    /// Number of rounds the originator drove.
+    pub rounds: u64,
+}
+
+/// A distributed top-k protocol driven by the query originator.
+pub trait DistributedProtocol {
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes the query against a cluster of list owners.
+    fn execute(
+        &self,
+        cluster: &mut Cluster,
+        query: &TopKQuery,
+    ) -> Result<DistributedResult, TopKError>;
+}
+
+fn validate(cluster: &Cluster, query: &TopKQuery) -> Result<(), TopKError> {
+    let n = cluster.num_items();
+    if query.k() == 0 || query.k() > n {
+        return Err(TopKError::InvalidK { k: query.k(), n });
+    }
+    Ok(())
+}
+
+fn sort_answers(buffer: TopKBuffer) -> Vec<RankedItem> {
+    buffer.into_ranked()
+}
+
+/// Distributed Threshold Algorithm: the direct adaptation of TA where the
+/// originator requests one sorted access per list per round and `m - 1`
+/// random accesses per item seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributedTa;
+
+impl DistributedProtocol for DistributedTa {
+    fn name(&self) -> &'static str {
+        "distributed-ta"
+    }
+
+    fn execute(
+        &self,
+        cluster: &mut Cluster,
+        query: &TopKQuery,
+    ) -> Result<DistributedResult, TopKError> {
+        validate(cluster, query)?;
+        let m = cluster.num_owners();
+        let n = cluster.num_items();
+        let mut buffer = TopKBuffer::new(query.k());
+        let mut last_scores = vec![Score::ZERO; m];
+        let mut rounds = 0u64;
+
+        for pos in 1..=n {
+            rounds += 1;
+            let position = Position::new(pos).expect("pos >= 1");
+            for i in 0..m {
+                let entry = match cluster.send(i, Request::SortedAccess { position, track: false })
+                {
+                    Response::Entry { item, score, .. } => (item, score),
+                    other => unreachable!("sorted access within bounds returned {other:?}"),
+                };
+                last_scores[i] = entry.1;
+                let mut locals = vec![Score::ZERO; m];
+                locals[i] = entry.1;
+                for (j, local) in locals.iter_mut().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    match cluster.send(
+                        j,
+                        Request::RandomAccess {
+                            item: entry.0,
+                            with_position: false,
+                            track: false,
+                        },
+                    ) {
+                        Response::LocalScore { score, .. } => *local = score,
+                        other => unreachable!("random access of a known item returned {other:?}"),
+                    }
+                }
+                let overall = query.combine(&locals);
+                buffer.offer(entry.0, overall);
+            }
+            let threshold = query.combine(&last_scores);
+            if buffer.has_k_at_or_above(threshold) {
+                break;
+            }
+        }
+
+        Ok(DistributedResult {
+            answers: sort_answers(buffer),
+            network: cluster.network(),
+            accesses: cluster.accesses_served(),
+            rounds,
+        })
+    }
+}
+
+/// Distributed BPA: like distributed TA but the originator additionally
+/// requests item positions on every random access and maintains the seen
+/// positions (and their local scores) itself — exactly the originator-side
+/// burden that Section 5 criticises and BPA2 removes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributedBpa;
+
+impl DistributedProtocol for DistributedBpa {
+    fn name(&self) -> &'static str {
+        "distributed-bpa"
+    }
+
+    fn execute(
+        &self,
+        cluster: &mut Cluster,
+        query: &TopKQuery,
+    ) -> Result<DistributedResult, TopKError> {
+        validate(cluster, query)?;
+        let m = cluster.num_owners();
+        let n = cluster.num_items();
+        let mut buffer = TopKBuffer::new(query.k());
+        // Originator-side bookkeeping: one tracker and one position->score
+        // map per list.
+        let mut trackers: Vec<BitArrayTracker> = (0..m).map(|_| BitArrayTracker::new(n)).collect();
+        let mut seen_scores: Vec<HashMap<Position, Score>> = vec![HashMap::new(); m];
+        let mut rounds = 0u64;
+
+        'rounds: for pos in 1..=n {
+            rounds += 1;
+            let position = Position::new(pos).expect("pos >= 1");
+            for i in 0..m {
+                let (item, score) =
+                    match cluster.send(i, Request::SortedAccess { position, track: false }) {
+                        Response::Entry { item, score, .. } => (item, score),
+                        other => unreachable!("sorted access within bounds returned {other:?}"),
+                    };
+                trackers[i].mark_seen(position);
+                seen_scores[i].insert(position, score);
+
+                let mut locals = vec![Score::ZERO; m];
+                locals[i] = score;
+                for (j, local) in locals.iter_mut().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    match cluster.send(
+                        j,
+                        Request::RandomAccess {
+                            item,
+                            with_position: true,
+                            track: false,
+                        },
+                    ) {
+                        Response::LocalScore {
+                            score,
+                            position: Some(p),
+                            ..
+                        } => {
+                            *local = score;
+                            trackers[j].mark_seen(p);
+                            seen_scores[j].insert(p, score);
+                        }
+                        other => unreachable!("random access of a known item returned {other:?}"),
+                    }
+                }
+                let overall = query.combine(&locals);
+                buffer.offer(item, overall);
+            }
+
+            // λ from the originator's own view of the best positions.
+            let mut bp_scores = Vec::with_capacity(m);
+            let mut complete = true;
+            for i in 0..m {
+                match trackers[i].best_position() {
+                    Some(bp) => bp_scores.push(seen_scores[i][&bp]),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                let lambda = query.combine(&bp_scores);
+                if buffer.has_k_at_or_above(lambda) {
+                    break 'rounds;
+                }
+            }
+        }
+
+        Ok(DistributedResult {
+            answers: sort_answers(buffer),
+            network: cluster.network(),
+            accesses: cluster.accesses_served(),
+            rounds,
+        })
+    }
+}
+
+/// Distributed BPA2: best positions live at the owners, the originator only
+/// keeps the answer buffer and the `m` current best-position scores
+/// (Section 5.1: "the only data that the query originator must maintain is
+/// the set Y … and the local scores of the m best positions").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributedBpa2;
+
+impl DistributedProtocol for DistributedBpa2 {
+    fn name(&self) -> &'static str {
+        "distributed-bpa2"
+    }
+
+    fn execute(
+        &self,
+        cluster: &mut Cluster,
+        query: &TopKQuery,
+    ) -> Result<DistributedResult, TopKError> {
+        validate(cluster, query)?;
+        let m = cluster.num_owners();
+        let mut buffer = TopKBuffer::new(query.k());
+        let mut best_scores: Vec<Option<Score>> = vec![None; m];
+        let mut rounds = 0u64;
+
+        loop {
+            rounds += 1;
+            let mut any_access = false;
+            for i in 0..m {
+                let (item, score) = match cluster.send(i, Request::DirectAccessNext) {
+                    Response::Entry {
+                        item,
+                        score,
+                        best_position_score,
+                        ..
+                    } => {
+                        if let Some(best) = best_position_score {
+                            best_scores[i] = Some(best);
+                        }
+                        (item, score)
+                    }
+                    Response::Exhausted => continue,
+                    other => unreachable!("direct access returned {other:?}"),
+                };
+                any_access = true;
+                let mut locals = vec![Score::ZERO; m];
+                locals[i] = score;
+                for (j, local) in locals.iter_mut().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    match cluster.send(
+                        j,
+                        Request::RandomAccess {
+                            item,
+                            with_position: false,
+                            track: true,
+                        },
+                    ) {
+                        Response::LocalScore {
+                            score,
+                            best_position_score,
+                            ..
+                        } => {
+                            *local = score;
+                            if let Some(best) = best_position_score {
+                                *best_scores.get_mut(j).expect("j < m") = Some(best);
+                            }
+                        }
+                        other => unreachable!("random access of a known item returned {other:?}"),
+                    }
+                }
+                let overall = query.combine(&locals);
+                buffer.offer(item, overall);
+            }
+
+            if best_scores.iter().all(Option::is_some) {
+                let lambda = query.combine(
+                    &best_scores
+                        .iter()
+                        .map(|s| s.expect("checked above"))
+                        .collect::<Vec<_>>(),
+                );
+                if buffer.has_k_at_or_above(lambda) {
+                    break;
+                }
+            }
+            if !any_access {
+                break;
+            }
+        }
+
+        Ok(DistributedResult {
+            answers: sort_answers(buffer),
+            network: cluster.network(),
+            accesses: cluster.accesses_served(),
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_core::examples_paper::{figure1_database, figure2_database};
+    use topk_core::{Bpa, Bpa2, Ta, TopKAlgorithm};
+
+    fn scores(result: &DistributedResult) -> Vec<f64> {
+        result.answers.iter().map(|r| r.score.value()).collect()
+    }
+
+    #[test]
+    fn all_protocols_agree_with_the_centralized_algorithms() {
+        for db in [figure1_database(), figure2_database()] {
+            for k in [1, 3, 6, 12] {
+                let query = TopKQuery::top(k);
+                let reference = Ta::literal().run(&db, &query).unwrap();
+                let reference_scores: Vec<f64> =
+                    reference.scores().iter().map(|s| s.value()).collect();
+
+                for protocol in [
+                    Box::new(DistributedTa) as Box<dyn DistributedProtocol>,
+                    Box::new(DistributedBpa),
+                    Box::new(DistributedBpa2),
+                ] {
+                    let mut cluster = Cluster::new(&db);
+                    let result = protocol.execute(&mut cluster, &query).unwrap();
+                    assert_eq!(
+                        scores(&result),
+                        reference_scores,
+                        "{} with k = {k}",
+                        protocol.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_counts_are_proportional_to_accesses() {
+        // "The number of messages … is proportional to the number of
+        // accesses done to the lists": one request + one response each.
+        let db = figure1_database();
+        for protocol in [
+            Box::new(DistributedTa) as Box<dyn DistributedProtocol>,
+            Box::new(DistributedBpa),
+            Box::new(DistributedBpa2),
+        ] {
+            let mut cluster = Cluster::new(&db);
+            let result = protocol.execute(&mut cluster, &TopKQuery::top(3)).unwrap();
+            assert_eq!(result.network.messages, 2 * result.accesses, "{}", protocol.name());
+        }
+    }
+
+    #[test]
+    fn distributed_ta_and_bpa_match_centralized_access_counts() {
+        let db = figure1_database();
+        let query = TopKQuery::top(3);
+
+        let mut cluster = Cluster::new(&db);
+        let d_ta = DistributedTa.execute(&mut cluster, &query).unwrap();
+        let c_ta = Ta::literal().run(&db, &query).unwrap();
+        assert_eq!(d_ta.accesses, c_ta.stats().total_accesses());
+
+        let mut cluster = Cluster::new(&db);
+        let d_bpa = DistributedBpa.execute(&mut cluster, &query).unwrap();
+        let c_bpa = Bpa::default().run(&db, &query).unwrap();
+        assert_eq!(d_bpa.accesses, c_bpa.stats().total_accesses());
+    }
+
+    #[test]
+    fn distributed_bpa2_matches_centralized_bpa2_on_figure2() {
+        let db = figure2_database();
+        let query = TopKQuery::top(3);
+        let mut cluster = Cluster::new(&db);
+        let d = DistributedBpa2.execute(&mut cluster, &query).unwrap();
+        let c = Bpa2::default().run(&db, &query).unwrap();
+        assert_eq!(d.accesses, c.stats().total_accesses());
+        assert_eq!(d.accesses, 36);
+        assert_eq!(d.rounds, 4);
+    }
+
+    #[test]
+    fn bpa2_ships_less_payload_than_bpa() {
+        // BPA ships item positions back to the originator on every random
+        // access; BPA2 does not. On top of doing fewer accesses, each BPA2
+        // response is therefore smaller.
+        let db = figure2_database();
+        let query = TopKQuery::top(3);
+
+        let mut cluster = Cluster::new(&db);
+        let bpa = DistributedBpa.execute(&mut cluster, &query).unwrap();
+        let mut cluster = Cluster::new(&db);
+        let bpa2 = DistributedBpa2.execute(&mut cluster, &query).unwrap();
+
+        assert!(bpa2.accesses < bpa.accesses);
+        assert!(bpa2.network.payload_units < bpa.network.payload_units);
+        assert!(bpa2.network.messages < bpa.network.messages);
+    }
+
+    #[test]
+    fn protocols_expose_names_and_validate_k() {
+        assert_eq!(DistributedTa.name(), "distributed-ta");
+        assert_eq!(DistributedBpa.name(), "distributed-bpa");
+        assert_eq!(DistributedBpa2.name(), "distributed-bpa2");
+        let db = figure1_database();
+        let mut cluster = Cluster::new(&db);
+        assert!(matches!(
+            DistributedTa.execute(&mut cluster, &TopKQuery::top(0)),
+            Err(TopKError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            DistributedBpa2.execute(&mut cluster, &TopKQuery::top(100)),
+            Err(TopKError::InvalidK { .. })
+        ));
+    }
+}

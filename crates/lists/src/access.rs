@@ -1,0 +1,313 @@
+//! Instrumented access to sorted lists.
+//!
+//! The paper's cost model (Section 2) charges each algorithm per *sorted
+//! access* (read the next entry of a list in score order) and per *random
+//! access* (look up a given item in a list); BPA2 adds *direct access*
+//! (read the entry at a given position, Section 5.1). All three modes are
+//! exposed here through [`ListAccessor`], which increments per-list
+//! [`AccessCounters`] on every call. Algorithms in `topk-core` only touch
+//! list data through accessors, so the reported counts are exactly the
+//! accesses performed.
+
+use std::cell::Cell;
+
+use crate::database::Database;
+use crate::error::ListError;
+use crate::item::{ItemId, Position};
+use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
+
+/// The three access modes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Sequential access to the next entry in descending score order (§2).
+    Sorted,
+    /// Lookup of a given data item in a list (§2).
+    Random,
+    /// Read of the entry at a given position (§5.1, used by BPA2).
+    Direct,
+}
+
+/// Counts of accesses performed against one list (or aggregated over a
+/// whole database).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounters {
+    /// Number of sorted accesses.
+    pub sorted: u64,
+    /// Number of random accesses.
+    pub random: u64,
+    /// Number of direct accesses.
+    pub direct: u64,
+}
+
+impl AccessCounters {
+    /// Total number of accesses of any mode.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.sorted + self.random + self.direct
+    }
+
+    /// Component-wise sum of two counter sets.
+    #[inline]
+    pub fn combined(&self, other: &AccessCounters) -> AccessCounters {
+        AccessCounters {
+            sorted: self.sorted + other.sorted,
+            random: self.random + other.random,
+            direct: self.direct + other.direct,
+        }
+    }
+
+    /// Count for one specific mode.
+    #[inline]
+    pub fn of(&self, mode: AccessMode) -> u64 {
+        match mode {
+            AccessMode::Sorted => self.sorted,
+            AccessMode::Random => self.random,
+            AccessMode::Direct => self.direct,
+        }
+    }
+}
+
+/// An instrumented handle to one sorted list.
+///
+/// Reads go through one of the three access methods, each of which
+/// increments the corresponding counter. Counters use [`Cell`] so that an
+/// accessor can be shared immutably by the algorithm driving the scan.
+#[derive(Debug)]
+pub struct ListAccessor<'a> {
+    list: &'a SortedList,
+    sorted: Cell<u64>,
+    random: Cell<u64>,
+    direct: Cell<u64>,
+}
+
+impl<'a> ListAccessor<'a> {
+    /// Wraps a sorted list in a fresh accessor with zeroed counters.
+    pub fn new(list: &'a SortedList) -> Self {
+        ListAccessor {
+            list,
+            sorted: Cell::new(0),
+            random: Cell::new(0),
+            direct: Cell::new(0),
+        }
+    }
+
+    /// Number of entries in the underlying list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the underlying list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// *Sorted access*: read the entry at `position`, counting one sorted
+    /// access. Callers drive positions `1, 2, 3, …` to emulate the paper's
+    /// "do sorted access in parallel to each of the m sorted lists".
+    ///
+    /// Returns `None` past the end of the list (the access is still
+    /// counted, mirroring a read attempt on an exhausted list).
+    pub fn sorted_access(&self, position: Position) -> Option<ListEntry> {
+        self.sorted.set(self.sorted.get() + 1);
+        self.list.entry_at(position)
+    }
+
+    /// *Random access*: look up `item`, counting one random access.
+    ///
+    /// By the database invariant every item appears in every list, so for
+    /// items discovered through sorted/direct access in a sibling list this
+    /// returns `Some`.
+    pub fn random_access(&self, item: ItemId) -> Option<PositionedScore> {
+        self.random.set(self.random.get() + 1);
+        self.list.lookup(item)
+    }
+
+    /// *Direct access*: read the entry at `position`, counting one direct
+    /// access (BPA2, Section 5.1).
+    pub fn direct_access(&self, position: Position) -> Option<ListEntry> {
+        self.direct.set(self.direct.get() + 1);
+        self.list.entry_at(position)
+    }
+
+    /// Snapshot of this accessor's counters.
+    pub fn counters(&self) -> AccessCounters {
+        AccessCounters {
+            sorted: self.sorted.get(),
+            random: self.random.get(),
+            direct: self.direct.get(),
+        }
+    }
+
+    /// The underlying list, for reads that must not be counted (e.g. the
+    /// ground-truth naive baseline or test assertions).
+    pub fn raw(&self) -> &SortedList {
+        self.list
+    }
+}
+
+/// A per-query access session over a [`Database`]: one [`ListAccessor`]
+/// per list, plus aggregation helpers.
+#[derive(Debug)]
+pub struct AccessSession<'a> {
+    accessors: Vec<ListAccessor<'a>>,
+}
+
+impl<'a> AccessSession<'a> {
+    /// Opens a session over all lists of a database with zeroed counters.
+    pub fn new(database: &'a Database) -> Self {
+        AccessSession {
+            accessors: database.lists().map(ListAccessor::new).collect(),
+        }
+    }
+
+    /// Number of lists (`m`).
+    #[inline]
+    pub fn num_lists(&self) -> usize {
+        self.accessors.len()
+    }
+
+    /// Number of items per list (`n`).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.accessors[0].len()
+    }
+
+    /// The accessor for list `i` (0-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ListError::ListIndexOutOfRange`] when `i` is out of range.
+    pub fn list(&self, i: usize) -> Result<&ListAccessor<'a>, ListError> {
+        self.accessors.get(i).ok_or(ListError::ListIndexOutOfRange {
+            index: i,
+            len: self.accessors.len(),
+        })
+    }
+
+    /// Iterates over the per-list accessors.
+    pub fn lists(&self) -> impl Iterator<Item = &ListAccessor<'a>> + '_ {
+        self.accessors.iter()
+    }
+
+    /// Slice view of the accessors.
+    #[inline]
+    pub fn as_slice(&self) -> &[ListAccessor<'a>] {
+        &self.accessors
+    }
+
+    /// Per-list counter snapshots.
+    pub fn per_list_counters(&self) -> Vec<AccessCounters> {
+        self.accessors.iter().map(|a| a.counters()).collect()
+    }
+
+    /// Counters aggregated over all lists.
+    pub fn total_counters(&self) -> AccessCounters {
+        self.accessors
+            .iter()
+            .map(|a| a.counters())
+            .fold(AccessCounters::default(), |acc, c| acc.combined(&c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    fn db() -> Database {
+        Database::from_unsorted_lists(vec![
+            vec![(1, 30.0), (2, 11.0), (3, 26.0)],
+            vec![(1, 21.0), (2, 28.0), (3, 14.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let db = db();
+        let session = AccessSession::new(&db);
+        assert_eq!(session.total_counters(), AccessCounters::default());
+        assert_eq!(session.num_lists(), 2);
+        assert_eq!(session.num_items(), 3);
+    }
+
+    #[test]
+    fn sorted_access_counts_and_reads() {
+        let db = db();
+        let session = AccessSession::new(&db);
+        let l0 = session.list(0).unwrap();
+        let e = l0.sorted_access(Position::FIRST).unwrap();
+        assert_eq!(e.item, ItemId(1));
+        assert_eq!(l0.counters().sorted, 1);
+        // Past-the-end sorted access is counted but returns None.
+        assert!(l0.sorted_access(Position::new(9).unwrap()).is_none());
+        assert_eq!(l0.counters().sorted, 2);
+    }
+
+    #[test]
+    fn random_access_counts_and_returns_position() {
+        let db = db();
+        let session = AccessSession::new(&db);
+        let l1 = session.list(1).unwrap();
+        let ps = l1.random_access(ItemId(3)).unwrap();
+        assert_eq!(ps.position.get(), 3);
+        assert_eq!(ps.score.value(), 14.0);
+        assert_eq!(l1.counters().random, 1);
+        assert!(l1.random_access(ItemId(42)).is_none());
+        assert_eq!(l1.counters().random, 2);
+    }
+
+    #[test]
+    fn direct_access_counts_separately() {
+        let db = db();
+        let session = AccessSession::new(&db);
+        let l0 = session.list(0).unwrap();
+        l0.direct_access(Position::FIRST).unwrap();
+        let c = l0.counters();
+        assert_eq!(c, AccessCounters { sorted: 0, random: 0, direct: 1 });
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.of(AccessMode::Direct), 1);
+        assert_eq!(c.of(AccessMode::Sorted), 0);
+        assert_eq!(c.of(AccessMode::Random), 0);
+    }
+
+    #[test]
+    fn session_aggregates_over_lists() {
+        let db = db();
+        let session = AccessSession::new(&db);
+        session.list(0).unwrap().sorted_access(Position::FIRST);
+        session.list(1).unwrap().sorted_access(Position::FIRST);
+        session.list(1).unwrap().random_access(ItemId(1));
+        let total = session.total_counters();
+        assert_eq!(total.sorted, 2);
+        assert_eq!(total.random, 1);
+        assert_eq!(total.total(), 3);
+        let per_list = session.per_list_counters();
+        assert_eq!(per_list[0].sorted, 1);
+        assert_eq!(per_list[1].random, 1);
+        assert!(session.list(5).is_err());
+    }
+
+    #[test]
+    fn combined_adds_componentwise() {
+        let a = AccessCounters { sorted: 1, random: 2, direct: 3 };
+        let b = AccessCounters { sorted: 10, random: 20, direct: 30 };
+        assert_eq!(
+            a.combined(&b),
+            AccessCounters { sorted: 11, random: 22, direct: 33 }
+        );
+    }
+
+    #[test]
+    fn raw_bypasses_counting() {
+        let db = db();
+        let session = AccessSession::new(&db);
+        let l0 = session.list(0).unwrap();
+        let _ = l0.raw().entry_at(Position::FIRST);
+        assert_eq!(l0.counters().total(), 0);
+        assert!(!l0.is_empty());
+        assert_eq!(l0.len(), 3);
+    }
+}

@@ -1,0 +1,576 @@
+//! An order-configurable B+tree over `u64` keys with linked leaves.
+//!
+//! Section 5.2.2 of the paper proposes maintaining the *seen positions* of a
+//! list in a B+tree whose leaves form a linked list, so that the best
+//! position can be advanced by walking consecutive leaf cells. This module
+//! provides that structure: an insert-only B+tree (seen-position sets only
+//! grow during a query) with
+//!
+//! * O(log u) insertion and membership tests,
+//! * an ordered [`Cursor`] over the leaf chain,
+//! * [`BPlusTree::successor`] used by the best-position advance loop.
+//!
+//! Nodes are stored in an arena (`Vec<Node>`), so the tree is a single
+//! allocation-friendly value with no `unsafe` and no reference cycles.
+
+use std::fmt;
+
+/// Identifier of a node inside the arena.
+type NodeId = usize;
+
+/// Default maximum number of keys per node.
+pub const DEFAULT_ORDER: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[i+1]` holds keys `>= keys[i]`.
+        keys: Vec<u64>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<u64>,
+        next: Option<NodeId>,
+    },
+}
+
+/// An insert-only B+tree over `u64` keys with linked leaves.
+#[derive(Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    first_leaf: NodeId,
+    order: usize,
+    len: usize,
+}
+
+impl fmt::Debug for BPlusTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BPlusTree")
+            .field("order", &self.order)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree whose nodes hold at most `order` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 3` (splitting needs at least three keys).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+tree order must be at least 3");
+        let root = Node::Leaf {
+            keys: Vec::new(),
+            next: None,
+        };
+        BPlusTree {
+            nodes: vec![root],
+            root: 0,
+            first_leaf: 0,
+            order,
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured maximum number of keys per node.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Inserts a key. Returns `true` if the key was newly inserted, `false`
+    /// if it was already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        match self.insert_rec(self.root, key) {
+            InsertOutcome::Duplicate => false,
+            InsertOutcome::Inserted => {
+                self.len += 1;
+                true
+            }
+            InsertOutcome::Split(sep, right) => {
+                // Grow a new root.
+                let old_root = self.root;
+                let new_root = self.push_node(Node::Internal {
+                    keys: vec![sep],
+                    children: vec![old_root, right],
+                });
+                self.root = new_root;
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        let leaf = self.find_leaf(key);
+        match &self.nodes[leaf] {
+            Node::Leaf { keys, .. } => keys.binary_search(&key).is_ok(),
+            Node::Internal { .. } => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    /// The smallest stored key `>= key`, or `None` if no such key exists.
+    pub fn successor(&self, key: u64) -> Option<u64> {
+        let mut leaf = self.find_leaf(key);
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { keys, next } => {
+                    let slot = keys.partition_point(|&k| k < key);
+                    if slot < keys.len() {
+                        return Some(keys[slot]);
+                    }
+                    leaf = (*next)?;
+                }
+                Node::Internal { .. } => unreachable!("leaf chain only contains leaves"),
+            }
+        }
+    }
+
+    /// The smallest stored key, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.iter().next()
+    }
+
+    /// The largest stored key, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { children, .. } => node = *children.last().expect("non-empty"),
+                Node::Leaf { keys, .. } => return keys.last().copied(),
+            }
+        }
+    }
+
+    /// Iterates over all keys in ascending order by walking the leaf chain.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            tree: self,
+            cursor: Cursor {
+                leaf: self.first_leaf,
+                slot: 0,
+            },
+        }
+    }
+
+    /// Returns a cursor positioned at the smallest key `>= key` (which may
+    /// be the end of the tree).
+    pub fn cursor_at(&self, key: u64) -> Cursor {
+        let leaf = self.find_leaf(key);
+        let slot = match &self.nodes[leaf] {
+            Node::Leaf { keys, .. } => keys.partition_point(|&k| k < key),
+            Node::Internal { .. } => unreachable!(),
+        };
+        let mut cursor = Cursor { leaf, slot };
+        self.normalize(&mut cursor);
+        cursor
+    }
+
+    /// Reads the key under a cursor, or `None` if the cursor is at the end.
+    pub fn key_at(&self, cursor: Cursor) -> Option<u64> {
+        match &self.nodes[cursor.leaf] {
+            Node::Leaf { keys, .. } => keys.get(cursor.slot).copied(),
+            Node::Internal { .. } => None,
+        }
+    }
+
+    /// Advances a cursor to the next cell of the leaf chain. Returns the key
+    /// under the new cursor, or `None` when the end is reached.
+    pub fn advance(&self, cursor: &mut Cursor) -> Option<u64> {
+        cursor.slot += 1;
+        self.normalize(cursor);
+        self.key_at(*cursor)
+    }
+
+    /// Checks the structural invariants of the tree. Used by tests and
+    /// debug assertions; not part of normal operation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut leaf_keys = Vec::new();
+        self.check_node(self.root, None, None, &mut leaf_keys)?;
+        // Keys reachable from the root must match the leaf chain.
+        let chain: Vec<u64> = self.iter().collect();
+        if chain != leaf_keys {
+            return Err(format!(
+                "leaf chain yields {} keys but tree reaches {}",
+                chain.len(),
+                leaf_keys.len()
+            ));
+        }
+        if chain.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("keys are not strictly increasing".into());
+        }
+        if chain.len() != self.len {
+            return Err(format!("len says {} but {} keys reachable", self.len, chain.len()));
+        }
+        Ok(())
+    }
+
+    // ---- internal helpers -------------------------------------------------
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn find_leaf(&self, key: u64) -> NodeId {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    fn normalize(&self, cursor: &mut Cursor) {
+        loop {
+            match &self.nodes[cursor.leaf] {
+                Node::Leaf { keys, next } => {
+                    if cursor.slot < keys.len() {
+                        return;
+                    }
+                    match next {
+                        Some(next_leaf) => {
+                            cursor.leaf = *next_leaf;
+                            cursor.slot = 0;
+                        }
+                        None => {
+                            // Leave the cursor one past the end of the last leaf.
+                            cursor.slot = keys.len();
+                            return;
+                        }
+                    }
+                }
+                Node::Internal { .. } => unreachable!("cursor always points at a leaf"),
+            }
+        }
+    }
+
+    fn insert_rec(&mut self, node: NodeId, key: u64) -> InsertOutcome {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(_) => InsertOutcome::Duplicate,
+                    Err(slot) => {
+                        keys.insert(slot, key);
+                        if keys.len() > self.order {
+                            self.split_leaf(node)
+                        } else {
+                            InsertOutcome::Inserted
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let child = children[idx];
+                match self.insert_rec(child, key) {
+                    InsertOutcome::Split(sep, right) => {
+                        match &mut self.nodes[node] {
+                            Node::Internal { keys, children } => {
+                                keys.insert(idx, sep);
+                                children.insert(idx + 1, right);
+                                if keys.len() > self.order {
+                                    self.split_internal(node)
+                                } else {
+                                    InsertOutcome::Inserted
+                                }
+                            }
+                            Node::Leaf { .. } => unreachable!(),
+                        }
+                    }
+                    outcome => outcome,
+                }
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> InsertOutcome {
+        let (right_keys, old_next, sep) = match &mut self.nodes[node] {
+            Node::Leaf { keys, next } => {
+                let mid = keys.len() / 2;
+                let right_keys: Vec<u64> = keys.split_off(mid);
+                let sep = right_keys[0];
+                (right_keys, *next, sep)
+            }
+            Node::Internal { .. } => unreachable!(),
+        };
+        let right = self.push_node(Node::Leaf {
+            keys: right_keys,
+            next: old_next,
+        });
+        match &mut self.nodes[node] {
+            Node::Leaf { next, .. } => *next = Some(right),
+            Node::Internal { .. } => unreachable!(),
+        }
+        InsertOutcome::Split(sep, right)
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> InsertOutcome {
+        let (sep, right_keys, right_children) = match &mut self.nodes[node] {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let right_keys: Vec<u64> = keys.split_off(mid + 1);
+                keys.pop(); // remove the separator that moves up
+                let right_children: Vec<NodeId> = children.split_off(mid + 1);
+                (sep, right_keys, right_children)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let right = self.push_node(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        InsertOutcome::Split(sep, right)
+    }
+
+    fn check_node(
+        &self,
+        node: NodeId,
+        lower: Option<u64>,
+        upper: Option<u64>,
+        leaf_keys: &mut Vec<u64>,
+    ) -> Result<(), String> {
+        match &self.nodes[node] {
+            Node::Leaf { keys, .. } => {
+                for &k in keys {
+                    if let Some(lo) = lower {
+                        if k < lo {
+                            return Err(format!("leaf key {k} below lower bound {lo}"));
+                        }
+                    }
+                    if let Some(hi) = upper {
+                        if k >= hi {
+                            return Err(format!("leaf key {k} not below upper bound {hi}"));
+                        }
+                    }
+                }
+                if keys.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("leaf keys not strictly increasing".into());
+                }
+                leaf_keys.extend_from_slice(keys);
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err(format!(
+                        "internal node has {} keys but {} children",
+                        keys.len(),
+                        children.len()
+                    ));
+                }
+                if keys.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err("internal keys not strictly increasing".into());
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(keys[i - 1]) };
+                    let hi = if i == keys.len() { upper } else { Some(keys[i]) };
+                    self.check_node(child, lo, hi, leaf_keys)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+enum InsertOutcome {
+    /// Key already present; nothing changed.
+    Duplicate,
+    /// Key inserted without splitting the (sub)tree root.
+    Inserted,
+    /// Key inserted and the node split; the separator and new right sibling
+    /// must be installed in the parent.
+    Split(u64, NodeId),
+}
+
+/// A position in the leaf chain: a leaf node and a slot within it.
+///
+/// Cursors are cheap copies; they are only meaningful for the tree that
+/// produced them and are invalidated by later insertions (the tracker in
+/// [`crate::tracker`] therefore stores best positions by value, not by
+/// cursor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    leaf: NodeId,
+    slot: usize,
+}
+
+/// Ascending iterator over the keys of a [`BPlusTree`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    tree: &'a BPlusTree,
+    cursor: Cursor,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let mut cursor = self.cursor;
+        self.tree.normalize(&mut cursor);
+        let key = self.tree.key_at(cursor)?;
+        self.cursor = cursor;
+        self.cursor.slot += 1;
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(!t.contains(1));
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+        assert_eq!(t.successor(0), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 3")]
+    fn rejects_tiny_order() {
+        let _ = BPlusTree::with_order(2);
+    }
+
+    #[test]
+    fn insert_and_contains_small() {
+        let mut t = BPlusTree::with_order(4);
+        assert!(t.insert(5));
+        assert!(t.insert(1));
+        assert!(t.insert(9));
+        assert!(!t.insert(5), "duplicate insert must return false");
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(1) && t.contains(5) && t.contains(9));
+        assert!(!t.contains(2));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ascending_insert_splits_correctly() {
+        let mut t = BPlusTree::with_order(4);
+        for k in 1..=1000u64 {
+            assert!(t.insert(k));
+        }
+        assert_eq!(t.len(), 1000);
+        t.check_invariants().unwrap();
+        assert_eq!(t.iter().collect::<Vec<_>>(), (1..=1000).collect::<Vec<_>>());
+        assert_eq!(t.min(), Some(1));
+        assert_eq!(t.max(), Some(1000));
+    }
+
+    #[test]
+    fn descending_insert_splits_correctly() {
+        let mut t = BPlusTree::with_order(5);
+        for k in (1..=500u64).rev() {
+            assert!(t.insert(k));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.iter().collect::<Vec<_>>(), (1..=500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pseudo_random_insert_matches_btreeset() {
+        use std::collections::BTreeSet;
+        let mut t = BPlusTree::with_order(6);
+        let mut reference = BTreeSet::new();
+        // Simple LCG so the test needs no external RNG.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = state % 2000;
+            assert_eq!(t.insert(key), reference.insert(key));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), reference.len());
+        assert_eq!(t.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+        for probe in 0..2000 {
+            assert_eq!(t.contains(probe), reference.contains(&probe));
+            assert_eq!(t.successor(probe), reference.range(probe..).next().copied());
+        }
+    }
+
+    #[test]
+    fn successor_semantics() {
+        let mut t = BPlusTree::with_order(4);
+        for k in [10u64, 20, 30, 40] {
+            t.insert(k);
+        }
+        assert_eq!(t.successor(5), Some(10));
+        assert_eq!(t.successor(10), Some(10));
+        assert_eq!(t.successor(11), Some(20));
+        assert_eq!(t.successor(40), Some(40));
+        assert_eq!(t.successor(41), None);
+    }
+
+    #[test]
+    fn cursor_walks_leaf_chain_across_splits() {
+        let mut t = BPlusTree::with_order(3);
+        for k in 1..=50u64 {
+            t.insert(k * 2); // even keys only
+        }
+        let mut cursor = t.cursor_at(11);
+        assert_eq!(t.key_at(cursor), Some(12));
+        let mut walked = vec![12u64];
+        while let Some(k) = t.advance(&mut cursor) {
+            walked.push(k);
+        }
+        assert_eq!(walked, (6..=50).map(|k| k * 2).collect::<Vec<_>>());
+        // Cursor at a key past the maximum sits at the end.
+        let end = t.cursor_at(1000);
+        assert_eq!(t.key_at(end), None);
+    }
+
+    #[test]
+    fn order_is_reported() {
+        let t = BPlusTree::with_order(7);
+        assert_eq!(t.order(), 7);
+        assert_eq!(BPlusTree::default().order(), DEFAULT_ORDER);
+    }
+
+    #[test]
+    fn debug_formatting_is_compact() {
+        let mut t = BPlusTree::new();
+        t.insert(1);
+        let s = format!("{t:?}");
+        assert!(s.contains("BPlusTree"));
+        assert!(s.contains("len: 1"));
+    }
+}

@@ -1,0 +1,197 @@
+//! A database: `m` sorted lists over the same set of `n` data items.
+
+use crate::error::ListError;
+use crate::item::{ItemId, Score};
+use crate::sorted_list::SortedList;
+
+/// The paper's *database*: a set of `m` sorted lists such that every data
+/// item appears exactly once in every list.
+///
+/// Construction validates that invariant, so the algorithms in `topk-core`
+/// can rely on it (e.g. a random access for an item seen in one list never
+/// fails in another list).
+#[derive(Debug, Clone)]
+pub struct Database {
+    lists: Vec<SortedList>,
+    /// Number of data items in each list (`n`).
+    n: usize,
+}
+
+impl Database {
+    /// Builds a database from already-constructed sorted lists, validating
+    /// that every list has the same item set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no list is given, lists have different lengths or
+    /// an item of the first list is missing from another list (together with
+    /// the per-list validation done by [`SortedList`] construction).
+    pub fn new(lists: Vec<SortedList>) -> Result<Self, ListError> {
+        if lists.is_empty() {
+            return Err(ListError::NoLists);
+        }
+        let n = lists[0].len();
+        for (i, list) in lists.iter().enumerate().skip(1) {
+            if list.len() != n {
+                return Err(ListError::LengthMismatch {
+                    expected: n,
+                    list: i,
+                    found: list.len(),
+                });
+            }
+        }
+        // Same length + "every item of list 0 is present in list i" implies
+        // equal item sets, because items are unique within a list.
+        for item in lists[0].items() {
+            for (i, list) in lists.iter().enumerate().skip(1) {
+                if !list.contains(item) {
+                    return Err(ListError::MissingItem { item, list: i });
+                }
+            }
+        }
+        Ok(Database { lists, n })
+    }
+
+    /// Convenience constructor: builds each list with
+    /// [`SortedList::from_unsorted`] and then validates the database.
+    pub fn from_unsorted_lists(lists: Vec<Vec<(u64, f64)>>) -> Result<Self, ListError> {
+        let sorted = lists
+            .into_iter()
+            .map(|pairs| {
+                SortedList::from_unsorted(
+                    pairs.into_iter().map(|(id, s)| (ItemId(id), s)).collect(),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(sorted)
+    }
+
+    /// Number of lists (`m`).
+    #[inline]
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of data items in each list (`n`).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the `i`-th list (0-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ListError::ListIndexOutOfRange`] when `i >= m`.
+    pub fn list(&self, i: usize) -> Result<&SortedList, ListError> {
+        self.lists.get(i).ok_or(ListError::ListIndexOutOfRange {
+            index: i,
+            len: self.lists.len(),
+        })
+    }
+
+    /// Iterates over the lists in order.
+    pub fn lists(&self) -> impl Iterator<Item = &SortedList> + '_ {
+        self.lists.iter()
+    }
+
+    /// Slice view of the lists.
+    #[inline]
+    pub fn as_slice(&self) -> &[SortedList] {
+        &self.lists
+    }
+
+    /// Iterates over all item ids (taken from the first list, which by the
+    /// database invariant contains every item).
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.lists[0].items()
+    }
+
+    /// Returns the vector of local scores of `item`, one per list, or `None`
+    /// if the item is unknown.
+    ///
+    /// This bypasses access accounting and is intended for ground-truth
+    /// computations in tests and the naive baseline.
+    pub fn local_scores(&self, item: ItemId) -> Option<Vec<Score>> {
+        let mut scores = Vec::with_capacity(self.lists.len());
+        for list in &self.lists {
+            scores.push(list.score_of(item)?);
+        }
+        Some(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::from_unsorted_lists(vec![
+            vec![(1, 30.0), (2, 11.0), (3, 26.0)],
+            vec![(1, 21.0), (2, 28.0), (3, 14.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_reports_dimensions() {
+        let db = db();
+        assert_eq!(db.num_lists(), 2);
+        assert_eq!(db.num_items(), 3);
+        assert_eq!(db.lists().count(), 2);
+        assert_eq!(db.as_slice().len(), 2);
+        assert_eq!(db.items().count(), 3);
+    }
+
+    #[test]
+    fn list_access_checks_bounds() {
+        let db = db();
+        assert!(db.list(0).is_ok());
+        assert!(db.list(1).is_ok());
+        assert_eq!(
+            db.list(2).unwrap_err(),
+            ListError::ListIndexOutOfRange { index: 2, len: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_empty_database() {
+        assert_eq!(Database::new(vec![]).unwrap_err(), ListError::NoLists);
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let err = Database::from_unsorted_lists(vec![
+            vec![(1, 1.0), (2, 2.0)],
+            vec![(1, 1.0), (2, 2.0), (3, 3.0)],
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ListError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_mismatched_item_sets() {
+        let err = Database::from_unsorted_lists(vec![
+            vec![(1, 1.0), (2, 2.0)],
+            vec![(1, 1.0), (3, 3.0)],
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ListError::MissingItem { .. }));
+    }
+
+    #[test]
+    fn local_scores_collects_one_score_per_list() {
+        let db = db();
+        let scores = db.local_scores(ItemId(3)).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].value(), 26.0);
+        assert_eq!(scores[1].value(), 14.0);
+        assert!(db.local_scores(ItemId(42)).is_none());
+    }
+
+    #[test]
+    fn single_list_database_is_valid() {
+        let db = Database::from_unsorted_lists(vec![vec![(1, 1.0), (2, 0.5)]]).unwrap();
+        assert_eq!(db.num_lists(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Sorted-list substrate for top-k query processing.
+//!
+//! This crate implements the storage layer that the algorithms of
+//! [Akbarinia et al., VLDB 2007] run on:
+//!
+//! * [`SortedList`] — a list of `(item, local score)` pairs sorted in
+//!   descending score order, with an item → position index so that *random
+//!   access* (look up a given item) is O(1).
+//! * [`Database`] — a set of `m` sorted lists over the same `n` data items
+//!   (the paper's "database").
+//! * [`AccessSession`] / [`ListAccessor`] — instrumented handles through
+//!   which algorithms perform *sorted*, *random* and *direct* accesses.
+//!   Every access is counted, so the middleware-cost metrics of the paper's
+//!   evaluation are measured rather than estimated.
+//! * [`tracker`] — the *best position* bookkeeping of Section 5.2 of the
+//!   paper: a [`tracker::PositionTracker`] trait with the bit-array
+//!   (§5.2.1), B+tree (§5.2.2) and naive-set strategies.
+//! * [`bptree`] — the order-configurable B+tree with linked leaves used by
+//!   the B+tree tracker.
+//!
+//! The crate has no dependencies and is deliberately free of any algorithm
+//! logic; the algorithms live in `topk-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use topk_lists::prelude::*;
+//!
+//! let list = SortedList::from_unsorted(vec![(ItemId(7), 0.3), (ItemId(1), 0.9)]).unwrap();
+//! assert_eq!(list.entry_at(Position::new(1).unwrap()).unwrap().item, ItemId(1));
+//! assert_eq!(list.position_of(ItemId(7)), Some(Position::new(2).unwrap()));
+//! ```
+//!
+//! [Akbarinia et al., VLDB 2007]: https://hal.inria.fr/inria-00378836
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod bptree;
+pub mod database;
+pub mod error;
+pub mod item;
+pub mod sorted_list;
+pub mod tracker;
+
+pub use access::{AccessCounters, AccessMode, AccessSession, ListAccessor};
+pub use bptree::BPlusTree;
+pub use database::Database;
+pub use error::ListError;
+pub use item::{ItemId, Position, Score};
+pub use sorted_list::{ListEntry, PositionedScore, SortedList};
+pub use tracker::{
+    BitArrayTracker, BPlusTreeTracker, NaiveSetTracker, PositionTracker, TrackerKind,
+};
+
+/// Commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::access::{AccessCounters, AccessMode, AccessSession, ListAccessor};
+    pub use crate::database::Database;
+    pub use crate::error::ListError;
+    pub use crate::item::{ItemId, Position, Score};
+    pub use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
+    pub use crate::tracker::{
+        BitArrayTracker, BPlusTreeTracker, NaiveSetTracker, PositionTracker, TrackerKind,
+    };
+}

@@ -1,0 +1,297 @@
+//! A single sorted list `Li` of `(data item, local score)` pairs.
+
+use std::collections::HashMap;
+
+use crate::error::ListError;
+use crate::item::{ItemId, Position, Score};
+
+/// One entry of a sorted list: the data item at a given position together
+/// with its local score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListEntry {
+    /// 1-based position of the entry in the list.
+    pub position: Position,
+    /// The data item stored at this position.
+    pub item: ItemId,
+    /// The item's local score in this list.
+    pub score: Score,
+}
+
+/// The result of a *random access*: where a given item sits in the list and
+/// with which local score.
+///
+/// BPA needs both pieces of information (Section 4.1, step 1: "do random
+/// access to the other lists to find the local score **and the position**
+/// of d in every list"); TA only uses the score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionedScore {
+    /// 1-based position of the item in the list.
+    pub position: Position,
+    /// The item's local score in this list.
+    pub score: Score,
+}
+
+/// A list of `n` data items sorted in descending order of their local
+/// scores, with an item → position index for O(1) random access.
+///
+/// This is the paper's `Li`: "each list Li contains n pairs of the form
+/// (d, si(d)) … Each list Li is sorted in descending order of its local
+/// scores".
+#[derive(Debug, Clone)]
+pub struct SortedList {
+    /// Entries in descending score order. Index `i` holds position `i + 1`.
+    entries: Vec<(ItemId, Score)>,
+    /// Item → 0-based index into `entries`.
+    index: HashMap<ItemId, usize>,
+}
+
+impl SortedList {
+    /// Builds a sorted list from arbitrary `(item, score)` pairs, sorting
+    /// them by descending score (ties broken by ascending item id so that
+    /// construction is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is empty, contains NaN scores or
+    /// contains the same item twice.
+    pub fn from_unsorted(pairs: Vec<(ItemId, f64)>) -> Result<Self, ListError> {
+        let mut entries = Vec::with_capacity(pairs.len());
+        for (item, raw) in pairs {
+            entries.push((item, Score::new(raw)?));
+        }
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Self::from_descending_entries(entries)
+    }
+
+    /// Builds a sorted list from entries that are **already** in descending
+    /// score order, validating the order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is empty, out of order or contains the
+    /// same item twice.
+    pub fn from_sorted(pairs: Vec<(ItemId, f64)>) -> Result<Self, ListError> {
+        let mut entries = Vec::with_capacity(pairs.len());
+        for (item, raw) in pairs {
+            entries.push((item, Score::new(raw)?));
+        }
+        for (i, window) in entries.windows(2).enumerate() {
+            if window[0].1 < window[1].1 {
+                return Err(ListError::NotSorted { index: i + 1 });
+            }
+        }
+        Self::from_descending_entries(entries)
+    }
+
+    fn from_descending_entries(entries: Vec<(ItemId, Score)>) -> Result<Self, ListError> {
+        if entries.is_empty() {
+            return Err(ListError::EmptyList);
+        }
+        let mut index = HashMap::with_capacity(entries.len());
+        for (i, (item, _)) in entries.iter().enumerate() {
+            if index.insert(*item, i).is_some() {
+                return Err(ListError::DuplicateItem(*item));
+            }
+        }
+        Ok(SortedList { entries, index })
+    }
+
+    /// Number of entries (`n`) in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty. Always `false` for lists built through the
+    /// public constructors, which reject empty input.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the entry at a 1-based position, or `None` past the end.
+    ///
+    /// This is the raw read used by both sorted and direct access; the
+    /// *accounting* of those access modes lives in
+    /// [`crate::access::ListAccessor`].
+    #[inline]
+    pub fn entry_at(&self, position: Position) -> Option<ListEntry> {
+        self.entries.get(position.index()).map(|&(item, score)| ListEntry {
+            position,
+            item,
+            score,
+        })
+    }
+
+    /// Returns the 1-based position of an item, or `None` if the item does
+    /// not appear in this list.
+    #[inline]
+    pub fn position_of(&self, item: ItemId) -> Option<Position> {
+        self.index.get(&item).map(|&i| Position::from_index(i))
+    }
+
+    /// Returns the local score of an item, or `None` if the item does not
+    /// appear in this list.
+    #[inline]
+    pub fn score_of(&self, item: ItemId) -> Option<Score> {
+        self.index.get(&item).map(|&i| self.entries[i].1)
+    }
+
+    /// Looks up an item and returns its position and local score (the raw
+    /// read behind *random access*).
+    #[inline]
+    pub fn lookup(&self, item: ItemId) -> Option<PositionedScore> {
+        self.index.get(&item).map(|&i| PositionedScore {
+            position: Position::from_index(i),
+            score: self.entries[i].1,
+        })
+    }
+
+    /// Whether the item appears in this list.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.index.contains_key(&item)
+    }
+
+    /// Iterates over the entries in descending score order.
+    pub fn iter(&self) -> impl Iterator<Item = ListEntry> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(item, score))| ListEntry {
+                position: Position::from_index(i),
+                item,
+                score,
+            })
+    }
+
+    /// Iterates over the item ids in descending score order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.entries.iter().map(|&(item, _)| item)
+    }
+
+    /// The score at the given position, or `None` past the end.
+    #[inline]
+    pub fn score_at(&self, position: Position) -> Option<Score> {
+        self.entries.get(position.index()).map(|&(_, score)| score)
+    }
+
+    /// The last (lowest-scored) entry of the list.
+    pub fn last_entry(&self) -> ListEntry {
+        let i = self.entries.len() - 1;
+        let (item, score) = self.entries[i];
+        ListEntry {
+            position: Position::from_index(i),
+            item,
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> SortedList {
+        SortedList::from_unsorted(vec![
+            (ItemId(1), 30.0),
+            (ItemId(4), 28.0),
+            (ItemId(9), 27.0),
+            (ItemId(3), 26.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_unsorted_sorts_descending() {
+        let l = SortedList::from_unsorted(vec![(ItemId(2), 1.0), (ItemId(5), 9.0), (ItemId(7), 4.0)])
+            .unwrap();
+        let items: Vec<_> = l.items().collect();
+        assert_eq!(items, vec![ItemId(5), ItemId(7), ItemId(2)]);
+    }
+
+    #[test]
+    fn from_unsorted_breaks_ties_by_item_id() {
+        let l = SortedList::from_unsorted(vec![(ItemId(9), 5.0), (ItemId(2), 5.0), (ItemId(4), 5.0)])
+            .unwrap();
+        let items: Vec<_> = l.items().collect();
+        assert_eq!(items, vec![ItemId(2), ItemId(4), ItemId(9)]);
+    }
+
+    #[test]
+    fn from_sorted_accepts_descending_input() {
+        let l = SortedList::from_sorted(vec![(ItemId(1), 3.0), (ItemId(2), 2.0), (ItemId(3), 2.0)]);
+        assert!(l.is_ok());
+    }
+
+    #[test]
+    fn from_sorted_rejects_ascending_input() {
+        let err = SortedList::from_sorted(vec![(ItemId(1), 1.0), (ItemId(2), 2.0)]).unwrap_err();
+        assert_eq!(err, ListError::NotSorted { index: 1 });
+    }
+
+    #[test]
+    fn rejects_empty_duplicate_and_nan() {
+        assert_eq!(SortedList::from_unsorted(vec![]).unwrap_err(), ListError::EmptyList);
+        assert_eq!(
+            SortedList::from_unsorted(vec![(ItemId(1), 1.0), (ItemId(1), 2.0)]).unwrap_err(),
+            ListError::DuplicateItem(ItemId(1))
+        );
+        assert_eq!(
+            SortedList::from_unsorted(vec![(ItemId(1), f64::NAN)]).unwrap_err(),
+            ListError::NanScore
+        );
+    }
+
+    #[test]
+    fn entry_at_is_one_based() {
+        let l = list();
+        let e = l.entry_at(Position::new(1).unwrap()).unwrap();
+        assert_eq!(e.item, ItemId(1));
+        assert_eq!(e.score.value(), 30.0);
+        let e = l.entry_at(Position::new(4).unwrap()).unwrap();
+        assert_eq!(e.item, ItemId(3));
+        assert!(l.entry_at(Position::new(5).unwrap()).is_none());
+    }
+
+    #[test]
+    fn position_and_score_lookup() {
+        let l = list();
+        assert_eq!(l.position_of(ItemId(9)), Position::new(3));
+        assert_eq!(l.score_of(ItemId(9)).unwrap().value(), 27.0);
+        assert_eq!(l.position_of(ItemId(99)), None);
+        assert_eq!(l.score_of(ItemId(99)), None);
+        let ps = l.lookup(ItemId(4)).unwrap();
+        assert_eq!(ps.position, Position::new(2).unwrap());
+        assert_eq!(ps.score.value(), 28.0);
+        assert!(l.lookup(ItemId(100)).is_none());
+        assert!(l.contains(ItemId(1)));
+        assert!(!l.contains(ItemId(2)));
+    }
+
+    #[test]
+    fn iter_yields_positions_in_order() {
+        let l = list();
+        let positions: Vec<_> = l.iter().map(|e| e.position.get()).collect();
+        assert_eq!(positions, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_last_entry() {
+        let l = list();
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_empty());
+        let last = l.last_entry();
+        assert_eq!(last.item, ItemId(3));
+        assert_eq!(last.position.get(), 4);
+    }
+
+    #[test]
+    fn score_at_matches_entry_at() {
+        let l = list();
+        for e in l.iter() {
+            assert_eq!(l.score_at(e.position), Some(e.score));
+        }
+        assert_eq!(l.score_at(Position::new(10).unwrap()), None);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run every algorithm on the paper's Figure 1 database and on
+//! a generated workload, and compare their costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bpa_topk::core::examples_paper::figure1_database;
+use bpa_topk::datagen::{DatabaseGenerator, UniformGenerator};
+use bpa_topk::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The paper's worked example: 3 sorted lists, top-3 by sum.
+    // ------------------------------------------------------------------
+    let db = figure1_database();
+    let query = TopKQuery::top(3);
+
+    println!("Figure 1 database (m = 3, n = {}), top-3 by sum:", db.num_items());
+    for kind in AlgorithmKind::ALL {
+        let result = kind.create().run(&db, &query).expect("valid query");
+        let answers: Vec<String> = result
+            .items()
+            .iter()
+            .map(|r| format!("{}={}", r.item, r.score))
+            .collect();
+        let stats = result.stats();
+        println!(
+            "  {:<10} answers: {:<30} accesses: {:>3} (sorted {:>2}, random {:>2}, direct {:>2})  stop at {:?}",
+            kind.create().name(),
+            answers.join(" "),
+            stats.total_accesses(),
+            stats.accesses.sorted,
+            stats.accesses.random,
+            stats.accesses.direct,
+            stats.stop_position,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 2. A generated uniform database, the paper's default workload shape.
+    // ------------------------------------------------------------------
+    let db = UniformGenerator::new(8, 50_000).generate(42);
+    let query = TopKQuery::top(20);
+    let cost_model = CostModel::paper_default(db.num_items());
+
+    println!();
+    println!("Uniform database (m = 8, n = 50 000), top-20 by sum:");
+    let mut ta_cost = None;
+    for kind in AlgorithmKind::EVALUATED {
+        let result = kind.create().run(&db, &query).expect("valid query");
+        let cost = result.stats().execution_cost(&cost_model);
+        let gain = match (kind, ta_cost) {
+            (AlgorithmKind::Ta, _) | (_, None) => String::new(),
+            (_, Some(ta)) => format!("{:.2}x cheaper than TA", ta / cost),
+        };
+        if kind == AlgorithmKind::Ta {
+            ta_cost = Some(cost);
+        }
+        println!(
+            "  {:<6} execution cost {:>12.0}   accesses {:>9}   {}",
+            kind.create().name(),
+            cost,
+            result.stats().total_accesses(),
+            gain,
+        );
+    }
+}
