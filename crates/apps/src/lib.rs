@@ -16,6 +16,21 @@
 //! Each front-end turns its domain data into a [`topk_lists::Database`],
 //! answers queries through any [`topk_core::AlgorithmKind`] (BPA2 by
 //! default) and maps the answers back to domain keys.
+//!
+//! ```
+//! use topk_apps::Table;
+//! use topk_core::AlgorithmKind;
+//!
+//! let mut hotels = Table::new(vec!["price_score", "rating"]);
+//! hotels.insert(vec![0.9, 0.2]).unwrap();
+//! hotels.insert(vec![0.5, 0.8]).unwrap();
+//! hotels.insert(vec![0.1, 0.3]).unwrap();
+//!
+//! let best = hotels
+//!     .top_k_by_sum(&["price_score", "rating"], 1, AlgorithmKind::Bpa2)
+//!     .unwrap();
+//! assert_eq!(best.answers[0].key, 1); // row 1: 0.5 + 0.8 = 1.3
+//! ```
 
 #![warn(missing_docs)]
 

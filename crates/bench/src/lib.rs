@@ -13,6 +13,20 @@
 //! * [`report`] — aligned-table printing and the TA-relative gain factors
 //!   quoted in Section 6.2 ("BPA and BPA2 outperform TA by a factor of
 //!   approximately (m+6)/8 and (m+1)/2").
+//!
+//! ```
+//! use topk_bench::measure_database;
+//! use topk_core::AlgorithmKind;
+//! use topk_datagen::{DatabaseGenerator, UniformGenerator};
+//!
+//! let database = UniformGenerator::new(4, 500).generate(42);
+//! let runs = measure_database(&database, 10, &AlgorithmKind::EVALUATED);
+//!
+//! // EVALUATED order is [Ta, Bpa, Bpa2]; the paper's Lemma 1/Theorem 5
+//! // orderings hold on every database.
+//! assert!(runs[1].execution_cost <= runs[0].execution_cost);
+//! assert!(runs[2].accesses <= runs[1].accesses);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -11,7 +11,7 @@
 //!
 //! All algorithms implement [`TopKAlgorithm`] and therefore produce a
 //! [`TopKResult`] carrying both the answers and the measured
-//! [`RunStats`](crate::stats::RunStats).
+//! [`RunStats`].
 
 mod bpa;
 mod bpa2;

@@ -1,0 +1,203 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! The workspace builds fully offline, so this in-tree crate provides the
+//! subset of Criterion's API that the bench targets use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with [`BenchmarkGroup::sample_size`]
+//! and [`BenchmarkGroup::bench_with_input`], plus the [`criterion_group!`]
+//! and [`criterion_main!`] macros. Timing is honest but simple: each
+//! benchmark runs one warm-up sample, then `sample_size` timed samples, and
+//! reports the median, minimum and maximum per-iteration wall-clock time.
+//! There is no statistical analysis, outlier detection or HTML report.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("demo");
+//! group.sample_size(5);
+//! group.bench_function("sum", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+//! group.finish();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus the
+/// parameter value it was invoked with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new<F: Into<String>, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Entry point of the harness; hands out [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &mut bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark that needs no input value.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        self.report(&name.to_string(), &mut bencher.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &mut [Duration]) {
+        samples.sort_unstable();
+        let (min, median, max) = match samples.len() {
+            0 => (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            len => (samples[0], samples[len / 2], samples[len - 1]),
+        };
+        println!(
+            "{:<40} time: [{:>12?} {:>12?} {:>12?}]",
+            format!("{}/{}", self.name, id),
+            min,
+            median,
+            max
+        );
+    }
+
+    /// Ends the group. (The stand-in reports eagerly, so this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of a routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, one warm-up call plus `sample_size` timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($function:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_routines() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("inc", 1), &1u32, |b, &step| {
+            b.iter(|| calls += step)
+        });
+        group.finish();
+        // One warm-up + three samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("Bpa", 8).to_string(), "Bpa/8");
+    }
+}

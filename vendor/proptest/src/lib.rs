@@ -1,0 +1,384 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so this in-tree crate
+//! provides the subset of proptest's API that `tests/property_tests.rs`
+//! uses: the [`Strategy`](strategy::Strategy) trait with
+//! [`prop_map`](strategy::Strategy::prop_map) and
+//! [`prop_flat_map`](strategy::Strategy::prop_flat_map), range and tuple
+//! strategies, [`collection::vec`](fn@collection::vec),
+//! [`test_runner::ProptestConfig`], and the
+//! [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Inputs are drawn deterministically (the stream is a pure function of the
+//! test name and case index), so failures are reproducible run-to-run.
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! the assertion message and case number as-is.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!
+//!     // `#[test]` omitted so the doctest can invoke it directly.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case configuration and the deterministic input stream.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How the [`proptest!`](crate::proptest) macro runs each test.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The random source strategies draw from.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// A stream fully determined by the test name and case index.
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case))),
+            }
+        }
+
+        /// Access to the underlying generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::RngExt;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of an associated type.
+    ///
+    /// Unlike real proptest there is no value tree: strategies generate
+    /// plain values and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `map`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, map }
+        }
+
+        /// Generates a value, then generates from the strategy `flat_map`
+        /// builds out of it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
+            self,
+            flat_map: F,
+        ) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, flat_map }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        map: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        flat_map: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.flat_map)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(usize, u32, u64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "cannot sample from empty range");
+            let unit: f64 = rng.rng().random();
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "cannot sample from empty range");
+            let unit: f64 = rng.rng().random();
+            lo + unit * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use std::ops::RangeInclusive;
+
+    use rand::RngExt;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`vec()`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: RangeInclusive<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn uniformly from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: RangeInclusive<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything needed to write `proptest!` tests, for glob import.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the `#![proptest_config(...)]` header and one or more
+/// `fn name(pattern in strategy, ...) { body }` items. Each test runs
+/// `config.cases` deterministic cases; there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident
+         ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategy = ($($strategy,)+);
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        assert!($cond $(, $($fmt)+)?)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let strategy = (1usize..=5, 0u32..10, 0.0f64..=1.0);
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("bounds", case);
+            let (a, b, c) = strategy.generate(&mut rng);
+            assert!((1..=5).contains(&a));
+            assert!(b < 10);
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn flat_map_enables_dependent_generation() {
+        let strategy = (2usize..=4).prop_flat_map(|n| {
+            (crate::collection::vec(0u32..100, n..=n), 1usize..=n)
+        });
+        for case in 0..100 {
+            let mut rng = TestRng::deterministic("dependent", case);
+            let (items, k) = strategy.generate(&mut rng);
+            assert!((2..=4).contains(&items.len()));
+            assert!(k >= 1 && k <= items.len());
+        }
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let strategy = (1u64..=3).prop_map(|v| v * 10);
+        let mut rng = TestRng::deterministic("map", 0);
+        let v = strategy.generate(&mut rng);
+        assert!([10, 20, 30].contains(&v));
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name_and_case() {
+        let strategy = 0u64..u64::MAX;
+        let draw = |name: &str, case| strategy.generate(&mut TestRng::deterministic(name, case));
+        assert_eq!(draw("a", 0), draw("a", 0));
+        assert_ne!(draw("a", 0), draw("a", 1));
+        assert_ne!(draw("a", 0), draw("b", 0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..50, y in 0u32..50) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(x + y, y + x);
+        }
+    }
+}
