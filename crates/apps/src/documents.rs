@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use topk_core::planner::{plan_and_run, Plan};
 use topk_core::{AlgorithmKind, Sum, TopKQuery};
 use topk_lists::{Database, SortedList};
 
@@ -103,6 +104,30 @@ impl InvertedIndex {
     ) -> Result<AppResult<String>, AppError> {
         let db = self.database_for(keywords)?;
         let result = algorithm.create().run(&db, &TopKQuery::new(k, Sum))?;
+        Ok(self.to_app_result(result, algorithm))
+    }
+
+    /// Returns the `k` highest-relevance documents, letting the cost-based
+    /// planner pick the algorithm per query — keyword lists differ wildly
+    /// in skew and overlap, so the best algorithm genuinely varies with
+    /// the query terms. The returned [`Plan`] says what was chosen and
+    /// why.
+    pub fn search_planned(
+        &self,
+        keywords: &[&str],
+        k: usize,
+    ) -> Result<(AppResult<String>, Plan), AppError> {
+        let db = self.database_for(keywords)?;
+        let (plan, result) = plan_and_run(&db, &TopKQuery::new(k, Sum))?;
+        let choice = plan.choice();
+        Ok((self.to_app_result(result, choice), plan))
+    }
+
+    fn to_app_result(
+        &self,
+        result: topk_core::TopKResult,
+        algorithm: AlgorithmKind,
+    ) -> AppResult<String> {
         let answers = result
             .items()
             .iter()
@@ -115,11 +140,11 @@ impl InvertedIndex {
                 score: r.score.value(),
             })
             .collect();
-        Ok(AppResult {
+        AppResult {
             answers,
             stats: result.stats().clone(),
             algorithm,
-        })
+        }
     }
 }
 
@@ -154,6 +179,19 @@ mod tests {
             assert!((result.answers[0].score - 1.65).abs() < 1e-9);
             assert_eq!(result.answers[1].key, "query-opt");
         }
+    }
+
+    #[test]
+    fn planned_search_agrees_with_explicit_algorithms() {
+        let idx = index();
+        let (planned, plan) = idx.search_planned(&["databases", "queries"], 2).unwrap();
+        assert_eq!(planned.algorithm, plan.choice());
+        assert_eq!(planned.answers[0].key, "db-internals");
+        assert!((planned.answers[0].score - 1.65).abs() < 1e-9);
+        assert!(matches!(
+            idx.search_planned(&["golang"], 1),
+            Err(AppError::UnknownKey(_))
+        ));
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!   what are the top-k popular URLs?" ([`monitoring::MonitoringSystem`]).
 //!
 //! Each front-end turns its domain data into a [`topk_lists::Database`],
-//! answers queries through any [`topk_core::AlgorithmKind`] (BPA2 by
-//! default) and maps the answers back to domain keys.
+//! answers queries through any [`topk_core::AlgorithmKind`] — or lets the
+//! cost-based planner pick one per query from sampled statistics (the
+//! `*_planned` variants, built on [`topk_core::planner::plan_and_run`]) —
+//! and maps the answers back to domain keys.
 //!
 //! ```
 //! use topk_apps::Table;

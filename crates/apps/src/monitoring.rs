@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use topk_core::planner::{plan_and_run, Plan};
 use topk_core::{AlgorithmKind, Sum, TopKQuery};
 use topk_lists::{Database, ItemId, SortedList};
 
@@ -95,6 +96,26 @@ impl MonitoringSystem {
     ) -> Result<AppResult<String>, AppError> {
         let db = self.database()?;
         let result = algorithm.create().run(&db, &TopKQuery::new(k, Sum))?;
+        Ok(self.to_app_result(result, algorithm))
+    }
+
+    /// The `k` most popular URLs over all locations, with the cost-based
+    /// planner choosing the algorithm from the per-location frequency
+    /// statistics (location lists are naturally skewed and partially
+    /// correlated, which is exactly what the planner samples for). The
+    /// returned [`Plan`] says what was chosen and why.
+    pub fn top_k_urls_planned(&self, k: usize) -> Result<(AppResult<String>, Plan), AppError> {
+        let db = self.database()?;
+        let (plan, result) = plan_and_run(&db, &TopKQuery::new(k, Sum))?;
+        let choice = plan.choice();
+        Ok((self.to_app_result(result, choice), plan))
+    }
+
+    fn to_app_result(
+        &self,
+        result: topk_core::TopKResult,
+        algorithm: AlgorithmKind,
+    ) -> AppResult<String> {
         let answers = result
             .items()
             .iter()
@@ -107,11 +128,11 @@ impl MonitoringSystem {
                 score: r.score.value(),
             })
             .collect();
-        Ok(AppResult {
+        AppResult {
             answers,
             stats: result.stats().clone(),
             algorithm,
-        })
+        }
     }
 }
 
@@ -153,6 +174,17 @@ mod tests {
             assert_eq!(result.answers[1].key, "example.org/home");
             assert_eq!(result.answers[1].score, 260.0);
         }
+    }
+
+    #[test]
+    fn planned_query_agrees_with_explicit_algorithms() {
+        let sys = system();
+        let (planned, plan) = sys.top_k_urls_planned(2).unwrap();
+        assert_eq!(planned.algorithm, plan.choice());
+        assert_eq!(planned.answers[0].key, "example.org/docs");
+        assert_eq!(planned.answers[0].score, 280.0);
+        let empty = MonitoringSystem::new();
+        assert!(matches!(empty.top_k_urls_planned(1), Err(AppError::Empty)));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! each attribute involved in the scoring function, and return the k tuples
 //! whose overall scores in the lists are the highest." (Section 1)
 
+use topk_core::planner::{plan_and_run, Plan};
 use topk_core::{AlgorithmKind, Sum, TopKQuery, WeightedSum};
 use topk_lists::{Database, ItemId, SortedList};
 
@@ -129,6 +130,21 @@ impl Table {
         self.run(attributes, TopKQuery::new(k, WeightedSum::new(weights)), algorithm)
     }
 
+    /// Returns the `k` rows with the highest **sum** of the named
+    /// attributes, letting the cost-based planner pick the algorithm from
+    /// the table's statistics. The returned [`Plan`] says what was chosen
+    /// and why.
+    pub fn top_k_by_sum_planned(
+        &self,
+        attributes: &[&str],
+        k: usize,
+    ) -> Result<(AppResult<usize>, Plan), AppError> {
+        let db = self.database_for(attributes)?;
+        let (plan, result) = plan_and_run(&db, &TopKQuery::new(k, Sum))?;
+        let choice = plan.choice();
+        Ok((Self::to_app_result(result, choice), plan))
+    }
+
     fn run(
         &self,
         attributes: &[&str],
@@ -137,6 +153,13 @@ impl Table {
     ) -> Result<AppResult<usize>, AppError> {
         let db = self.database_for(attributes)?;
         let result = algorithm.create().run(&db, &query)?;
+        Ok(Self::to_app_result(result, algorithm))
+    }
+
+    fn to_app_result(
+        result: topk_core::TopKResult,
+        algorithm: AlgorithmKind,
+    ) -> AppResult<usize> {
         let answers = result
             .items()
             .iter()
@@ -145,11 +168,11 @@ impl Table {
                 score: r.score.value(),
             })
             .collect();
-        Ok(AppResult {
+        AppResult {
             answers,
             stats: result.stats().clone(),
             algorithm,
-        })
+        }
     }
 }
 
@@ -233,6 +256,24 @@ mod tests {
         assert!(matches!(
             empty.top_k_by_sum(&["x"], 1, AlgorithmKind::Ta),
             Err(AppError::Empty)
+        ));
+    }
+
+    #[test]
+    fn planned_query_matches_the_explicit_algorithms() {
+        let t = hotels();
+        let attrs = ["cheapness", "rating", "proximity"];
+        let (planned, plan) = t.top_k_by_sum_planned(&attrs, 2).unwrap();
+        assert_eq!(planned.algorithm, plan.choice());
+        assert!(!plan.explanation.is_empty());
+        let reference = t.top_k_by_sum(&attrs, 2, AlgorithmKind::Naive).unwrap();
+        for (p, r) in planned.answers.iter().zip(&reference.answers) {
+            assert!((p.score - r.score).abs() < 1e-9);
+        }
+        // Errors surface the same way as the explicit-algorithm path.
+        assert!(matches!(
+            t.top_k_by_sum_planned(&["no-such-column"], 1),
+            Err(AppError::UnknownKey(_))
         ));
     }
 

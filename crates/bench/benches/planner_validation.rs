@@ -1,0 +1,65 @@
+//! Planner validation: sweeps the m/n/k/correlation grid, runs every
+//! candidate algorithm at each point and checks the cost-based planner's
+//! choice against the measured-cost argmin.
+//!
+//! ```sh
+//! cargo bench --bench planner_validation                      # paper scale
+//! TOPK_BENCH_SCALE=smoke cargo bench --bench planner_validation  # CI smoke
+//! ```
+//!
+//! The target **exits non-zero** when the planner misses the acceptance
+//! bar (≥ 80% of points matching the measured argmin, and never choosing
+//! an algorithm whose measured cost exceeds the best by more than 2×), so
+//! planner regressions fail CI.
+
+use topk_bench::report::algorithm_label;
+use topk_bench::{print_header, validate_planner, BenchScale};
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Planner validation",
+        "cost-based choice vs measured-cost argmin",
+        scale.label(),
+    );
+
+    let report = validate_planner(scale);
+
+    println!();
+    println!(
+        "{:>24} {:>4} {:>8} {:>4}  {:>8} {:>8}  {:>7} {:>6}",
+        "database", "m", "n", "k", "choice", "best", "ratio", "match"
+    );
+    for outcome in &report.outcomes {
+        println!(
+            "{:>24} {:>4} {:>8} {:>4}  {:>8} {:>8}  {:>6.2}x {:>6}",
+            outcome.point.kind.label(),
+            outcome.point.m,
+            outcome.point.n,
+            outcome.point.k,
+            algorithm_label(outcome.choice),
+            algorithm_label(outcome.best),
+            outcome.cost_ratio(),
+            if outcome.matched() { "yes" } else { "NO" },
+        );
+    }
+
+    println!();
+    println!(
+        "planner matched the measured-cost argmin on {:.1}% of {} grid points \
+         (acceptance: >= 80%)",
+        report.match_rate() * 100.0,
+        report.outcomes.len(),
+    );
+    println!(
+        "worst measured cost of a planner choice: {:.2}x the best candidate \
+         (acceptance: <= 2.00x)",
+        report.worst_ratio(),
+    );
+
+    if !report.meets_acceptance() {
+        eprintln!("planner validation FAILED the acceptance bar");
+        std::process::exit(1);
+    }
+    println!("planner validation passed");
+}

@@ -15,20 +15,26 @@ pub const BENCH_SEED: u64 = 2007;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchScale {
     /// The paper's sizes (n = 100 000 by default). Used for the recorded
-    /// results in `EXPERIMENTS.md`.
+    /// results in the repository-root `EXPERIMENTS.md`.
     Paper,
     /// Reduced sizes (n = 20 000 by default) for quick local runs. Selected
     /// with `TOPK_BENCH_SCALE=small`.
     Small,
+    /// Tiny sizes (n = 2 000 by default) for CI smoke runs of the
+    /// non-criterion targets (e.g. `planner_validation`). Selected with
+    /// `TOPK_BENCH_SCALE=smoke`.
+    Smoke,
 }
 
 impl BenchScale {
     /// Reads the scale from the `TOPK_BENCH_SCALE` environment variable
-    /// (`small` selects [`BenchScale::Small`]; anything else, or an unset
-    /// variable, selects [`BenchScale::Paper`]).
+    /// (`small` selects [`BenchScale::Small`], `smoke` selects
+    /// [`BenchScale::Smoke`]; anything else, or an unset variable, selects
+    /// [`BenchScale::Paper`]).
     pub fn from_env() -> Self {
         match std::env::var("TOPK_BENCH_SCALE") {
             Ok(value) if value.eq_ignore_ascii_case("small") => BenchScale::Small,
+            Ok(value) if value.eq_ignore_ascii_case("smoke") => BenchScale::Smoke,
             _ => BenchScale::Paper,
         }
     }
@@ -38,6 +44,7 @@ impl BenchScale {
         match self {
             BenchScale::Paper => PAPER_DEFAULT_N,
             BenchScale::Small => 20_000,
+            BenchScale::Smoke => 2_000,
         }
     }
 
@@ -57,6 +64,7 @@ impl BenchScale {
         let max = match self {
             BenchScale::Paper => 18,
             BenchScale::Small => 10,
+            BenchScale::Smoke => 6,
         };
         (2..=max).step_by(2).collect()
     }
@@ -66,6 +74,7 @@ impl BenchScale {
         let max = match self {
             BenchScale::Paper => 100,
             BenchScale::Small => 50,
+            BenchScale::Smoke => 20,
         };
         (10..=max).step_by(10).collect()
     }
@@ -76,6 +85,7 @@ impl BenchScale {
         match self {
             BenchScale::Paper => (1..=8).map(|i| i * 25_000).collect(),
             BenchScale::Small => (1..=8).map(|i| i * 5_000).collect(),
+            BenchScale::Smoke => (1..=4).map(|i| i * 500).collect(),
         }
     }
 
@@ -84,6 +94,7 @@ impl BenchScale {
         match self {
             BenchScale::Paper => "paper scale",
             BenchScale::Small => "small scale (TOPK_BENCH_SCALE=small)",
+            BenchScale::Smoke => "smoke scale (TOPK_BENCH_SCALE=smoke)",
         }
     }
 }
@@ -113,5 +124,15 @@ mod tests {
         assert!(s.m_sweep().last().unwrap() < BenchScale::Paper.m_sweep().last().unwrap());
         assert!(s.n_sweep().last().unwrap() < BenchScale::Paper.n_sweep().last().unwrap());
         assert!(s.label().contains("small"));
+    }
+
+    #[test]
+    fn smoke_scale_shrinks_below_small() {
+        let s = BenchScale::Smoke;
+        assert!(s.default_n() < BenchScale::Small.default_n());
+        assert!(s.m_sweep().last().unwrap() < BenchScale::Small.m_sweep().last().unwrap());
+        assert!(s.k_sweep().last().unwrap() < BenchScale::Small.k_sweep().last().unwrap());
+        assert!(s.n_sweep().last().unwrap() < BenchScale::Small.n_sweep().last().unwrap());
+        assert!(s.label().contains("smoke"));
     }
 }

@@ -12,7 +12,11 @@
 //!   accesses, response time);
 //! * [`report`] — aligned-table printing and the TA-relative gain factors
 //!   quoted in Section 6.2 ("BPA and BPA2 outperform TA by a factor of
-//!   approximately (m+6)/8 and (m+1)/2").
+//!   approximately (m+6)/8 and (m+1)/2");
+//! * [`validation`] — the planner-validation sweep behind the
+//!   `planner_validation` bench target: the cost-based planner's choice is
+//!   checked against the measured-cost argmin over the m/n/k/correlation
+//!   grid.
 //!
 //! ```
 //! use topk_bench::measure_database;
@@ -34,8 +38,12 @@ pub mod config;
 pub mod measure;
 pub mod report;
 pub mod sweeps;
+pub mod validation;
 
 pub use config::{BenchScale, PAPER_DEFAULT_K, PAPER_DEFAULT_M, PAPER_DEFAULT_N};
 pub use measure::{measure_database, measure_spec, AlgorithmMeasurement, ExperimentPoint};
 pub use report::{format_factor, print_header, print_metric_table, MetricKind};
 pub use sweeps::{sweep_k, sweep_m, sweep_n};
+pub use validation::{
+    planner_grid, validate_planner, validate_point, GridPoint, PointOutcome, ValidationReport,
+};

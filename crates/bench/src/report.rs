@@ -44,6 +44,7 @@ pub fn algorithm_label(algorithm: AlgorithmKind) -> &'static str {
         AlgorithmKind::TaCached => "TA-CACHED",
         AlgorithmKind::Bpa => "BPA",
         AlgorithmKind::Bpa2 => "BPA2",
+        AlgorithmKind::Tput => "TPUT",
     }
 }
 

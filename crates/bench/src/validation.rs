@@ -1,0 +1,234 @@
+//! Planner validation: does the cost-based planner pick the algorithm the
+//! measurements would pick?
+//!
+//! [`validate_planner`] sweeps a grid over the paper's evaluation axes —
+//! number of lists `m`, list length `n`, answer count `k` and database
+//! family (uniform, gaussian, correlated at two α values) — and at every
+//! grid point
+//!
+//! 1. asks the [`Planner`] (under [`CostModel::paper_default`]) for its
+//!    choice, then
+//! 2. runs **every** candidate and measures its actual execution cost
+//!    under the same model.
+//!
+//! A point *matches* when the planner's choice has the minimal measured
+//! cost (ties in measured cost count as a match). The acceptance bar
+//! enforced by the `planner_validation` bench target is a match rate of at
+//! least 80% with no choice ever costing more than 2× the measured best.
+
+use topk_core::planner::Planner;
+use topk_core::{AlgorithmKind, CostModel, TopKQuery};
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+
+use crate::config::{BenchScale, BENCH_SEED};
+
+/// One point of the validation grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Database family.
+    pub kind: DatabaseKind,
+    /// Number of lists.
+    pub m: usize,
+    /// Items per list.
+    pub n: usize,
+    /// Requested answers.
+    pub k: usize,
+}
+
+/// The outcome of validating one grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// The validated grid point.
+    pub point: GridPoint,
+    /// The planner's choice.
+    pub choice: AlgorithmKind,
+    /// The measured-cost argmin over the candidates.
+    pub best: AlgorithmKind,
+    /// Measured execution cost per candidate, in
+    /// [`Planner::CANDIDATES`] order.
+    pub measured: Vec<(AlgorithmKind, f64)>,
+}
+
+impl PointOutcome {
+    /// Measured cost of the planner's choice.
+    pub fn choice_cost(&self) -> f64 {
+        self.cost_of(self.choice)
+    }
+
+    /// Measured cost of the best candidate.
+    pub fn best_cost(&self) -> f64 {
+        self.cost_of(self.best)
+    }
+
+    fn cost_of(&self, algorithm: AlgorithmKind) -> f64 {
+        self.measured
+            .iter()
+            .find(|(a, _)| *a == algorithm)
+            .map(|(_, c)| *c)
+            .expect("choice and argmin are drawn from the measured candidates")
+    }
+
+    /// Whether the choice attains the minimal measured cost. Measured
+    /// near-ties (within 1%) count as matches: the candidates' costs
+    /// genuinely cross there, and which side ends up "best" is decided by
+    /// per-seed noise rather than by the planner's model.
+    pub fn matched(&self) -> bool {
+        self.choice_cost() <= self.best_cost() * 1.01
+    }
+
+    /// Measured cost of the choice relative to the measured best (1.0 is
+    /// perfect).
+    pub fn cost_ratio(&self) -> f64 {
+        if self.best_cost() > 0.0 {
+            self.choice_cost() / self.best_cost()
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The aggregated outcome of a validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Per-point outcomes, in grid order.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl ValidationReport {
+    /// Fraction of grid points where the planner matched the measured-cost
+    /// argmin.
+    pub fn match_rate(&self) -> f64 {
+        let matched = self.outcomes.iter().filter(|o| o.matched()).count();
+        matched as f64 / self.outcomes.len() as f64
+    }
+
+    /// The worst measured cost ratio (choice / best) over the grid.
+    pub fn worst_ratio(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(PointOutcome::cost_ratio)
+            .fold(1.0, f64::max)
+    }
+
+    /// The acceptance bar: ≥ 80% of points matched and no choice more than
+    /// 2× the measured best.
+    pub fn meets_acceptance(&self) -> bool {
+        self.match_rate() >= 0.80 && self.worst_ratio() <= 2.0
+    }
+}
+
+/// The validation grid at a given scale: every database family at two
+/// correlation levels crossed with m, n and k sweeps sized for the scale.
+pub fn planner_grid(scale: BenchScale) -> Vec<GridPoint> {
+    let kinds = [
+        DatabaseKind::Uniform,
+        DatabaseKind::Gaussian,
+        DatabaseKind::Correlated { alpha: 0.01 },
+        DatabaseKind::Correlated { alpha: 0.1 },
+    ];
+    let (ms, ns, ks): (Vec<usize>, Vec<usize>, Vec<usize>) = match scale {
+        BenchScale::Paper => (vec![2, 4, 8, 12], vec![25_000, 100_000], vec![10, 50]),
+        BenchScale::Small => (vec![2, 4, 8], vec![5_000, 20_000], vec![5, 20]),
+        BenchScale::Smoke => (vec![2, 4, 8], vec![500, 2_000], vec![5, 20]),
+    };
+    let mut grid = Vec::new();
+    for &kind in &kinds {
+        for &m in &ms {
+            for &n in &ns {
+                for &k in &ks {
+                    grid.push(GridPoint { kind, m, n, k });
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Validates one grid point: plans once, then measures every candidate.
+pub fn validate_point(point: &GridPoint) -> PointOutcome {
+    let database = DatabaseSpec::new(point.kind, point.m, point.n)
+        .generate(BENCH_SEED ^ (point.m as u64) ^ ((point.n as u64) << 20));
+    let query = TopKQuery::top(point.k);
+    let model = CostModel::paper_default(point.n);
+
+    let plan = Planner::new(model).plan_database(&database, &query);
+
+    let measured: Vec<(AlgorithmKind, f64)> = Planner::CANDIDATES
+        .iter()
+        .map(|&algorithm| {
+            let result = algorithm
+                .create()
+                .run(&database, &query)
+                .expect("grid queries are valid by construction");
+            (algorithm, result.stats().execution_cost(&model))
+        })
+        .collect();
+    let best = measured
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("CANDIDATES is non-empty")
+        .0;
+
+    PointOutcome {
+        point: *point,
+        choice: plan.choice(),
+        best,
+        measured,
+    }
+}
+
+/// Runs the full validation sweep at the given scale.
+pub fn validate_planner(scale: BenchScale) -> ValidationReport {
+    ValidationReport {
+        outcomes: planner_grid(scale).iter().map(validate_point).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_family_and_axis() {
+        let grid = planner_grid(BenchScale::Smoke);
+        assert_eq!(grid.len(), 4 * 3 * 2 * 2);
+        assert!(grid.iter().any(|p| p.kind == DatabaseKind::Gaussian));
+        assert!(grid.iter().any(|p| matches!(p.kind, DatabaseKind::Correlated { .. })));
+        let paper = planner_grid(BenchScale::Paper);
+        assert!(paper.iter().map(|p| p.n).max() > grid.iter().map(|p| p.n).max());
+    }
+
+    #[test]
+    fn outcomes_report_costs_and_matches() {
+        // One cheap point end to end.
+        let outcome = validate_point(&GridPoint {
+            kind: DatabaseKind::Correlated { alpha: 0.01 },
+            m: 3,
+            n: 400,
+            k: 5,
+        });
+        assert_eq!(outcome.measured.len(), Planner::CANDIDATES.len());
+        assert!(outcome.best_cost() > 0.0);
+        assert!(outcome.choice_cost() >= outcome.best_cost());
+        assert!(outcome.cost_ratio() >= 1.0);
+        if outcome.matched() {
+            assert!(outcome.cost_ratio() <= 1.01, "matches are within the near-tie tolerance");
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let outcomes = vec![
+            validate_point(&GridPoint { kind: DatabaseKind::Uniform, m: 2, n: 300, k: 5 }),
+            validate_point(&GridPoint {
+                kind: DatabaseKind::Correlated { alpha: 0.1 },
+                m: 2,
+                n: 300,
+                k: 5,
+            }),
+        ];
+        let report = ValidationReport { outcomes };
+        assert!(report.match_rate() >= 0.0 && report.match_rate() <= 1.0);
+        assert!(report.worst_ratio() >= 1.0);
+    }
+}

@@ -62,6 +62,10 @@ pub enum AlgorithmKind {
     Bpa,
     /// BPA2.
     Bpa2,
+    /// Three-Phase Uniform Threshold (related-work baseline, Section 7).
+    /// Sum scoring only: any other scoring function yields
+    /// [`TopKError::UnsupportedScoring`] at run time.
+    Tput,
 }
 
 impl AlgorithmKind {
@@ -74,18 +78,30 @@ impl AlgorithmKind {
             AlgorithmKind::TaCached => Box::new(Ta::memoizing()),
             AlgorithmKind::Bpa => Box::new(Bpa::default()),
             AlgorithmKind::Bpa2 => Box::new(Bpa2::default()),
+            AlgorithmKind::Tput => Box::new(Tput),
         }
     }
 
     /// All algorithm kinds, in presentation order.
-    pub const ALL: [AlgorithmKind; 6] = [
+    pub const ALL: [AlgorithmKind; 7] = [
         AlgorithmKind::Naive,
         AlgorithmKind::Fa,
         AlgorithmKind::Ta,
         AlgorithmKind::TaCached,
         AlgorithmKind::Bpa,
         AlgorithmKind::Bpa2,
+        AlgorithmKind::Tput,
     ];
+
+    /// Whether this algorithm executes the given query's scoring function
+    /// (TPUT is restricted to the sum; every other algorithm accepts any
+    /// monotone function).
+    pub fn supports(self, query: &TopKQuery) -> bool {
+        match self {
+            AlgorithmKind::Tput => query.scoring().supports_partial_sums(),
+            _ => true,
+        }
+    }
 
     /// The three algorithms compared in the paper's evaluation (Section 6):
     /// TA, BPA and BPA2.
@@ -131,10 +147,30 @@ mod tests {
 
     #[test]
     fn kinds_create_their_algorithms() {
-        let expected = ["naive", "fa", "ta", "ta-cached", "bpa", "bpa2"];
+        let expected = ["naive", "fa", "ta", "ta-cached", "bpa", "bpa2", "tput"];
+        assert_eq!(expected.len(), AlgorithmKind::ALL.len());
         for (kind, name) in AlgorithmKind::ALL.iter().zip(expected) {
             assert_eq!(kind.create().name(), name);
         }
+    }
+
+    #[test]
+    fn only_tput_is_restricted_to_sum_scoring() {
+        use crate::scoring::Min;
+        let sum = TopKQuery::top(1);
+        let min = TopKQuery::new(1, Min);
+        for kind in AlgorithmKind::ALL {
+            assert!(kind.supports(&sum), "{kind:?} must accept sum scoring");
+            assert_eq!(kind.supports(&min), kind != AlgorithmKind::Tput);
+        }
+    }
+
+    #[test]
+    fn run_all_surfaces_tput_scoring_errors_as_topk_errors() {
+        use crate::scoring::Min;
+        let db = figure1_database();
+        let err = run_all(&[AlgorithmKind::Tput], &db, &TopKQuery::new(2, Min)).unwrap_err();
+        assert!(matches!(err, TopKError::UnsupportedScoring { algorithm: "tput", .. }));
     }
 
     #[test]

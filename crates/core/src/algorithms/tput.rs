@@ -16,7 +16,14 @@
 //! pathological family.
 //!
 //! TPUT's pruning rule is specific to the **sum** scoring function, so this
-//! implementation rejects queries that use any other function.
+//! implementation rejects queries that use any other function (via the
+//! typed [`ScoringFunction::supports_partial_sums`] capability, not the
+//! display name). Unlike the original formulation, which assumes
+//! non-negative frequencies, the score bounds here fall back to list-tail
+//! floors so the algorithm stays correct on negative local scores (e.g.
+//! the Gaussian workload family).
+//!
+//! [`ScoringFunction::supports_partial_sums`]: crate::scoring::ScoringFunction::supports_partial_sums
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -47,11 +54,16 @@ impl Candidate {
         }
     }
 
-    /// Lower bound on the overall (sum) score: unknown scores count as 0.
-    fn lower_bound(&self) -> f64 {
+    /// Lower bound on the overall (sum) score. Unknown scores count as
+    /// `floors[i]`: 0 where list `i` is non-negative (the classic TPUT
+    /// bound — TPUT was designed for frequency counts), otherwise the
+    /// list's tail score, which stays sound when local scores can be
+    /// negative (e.g. the Gaussian workload family).
+    fn lower_bound(&self, floors: &[f64]) -> f64 {
         self.locals
             .iter()
-            .map(|s| s.map(|s| s.value()).unwrap_or(0.0))
+            .zip(floors)
+            .map(|(s, &floor)| s.map(|s| s.value()).unwrap_or(floor))
             .sum()
     }
 
@@ -84,7 +96,10 @@ impl TopKAlgorithm for Tput {
 
     fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
         query.validate(database)?;
-        if query.scoring().name() != "sum" {
+        // Typed capability check, NOT a name comparison: a scorer merely
+        // *named* "sum" must still be rejected, otherwise TPUT's uniform
+        // threshold prunes unsoundly.
+        if !query.scoring().supports_partial_sums() {
             return Err(TopKError::UnsupportedScoring {
                 algorithm: "tput",
                 scoring: query.scoring().name().to_owned(),
@@ -100,6 +115,14 @@ impl TopKAlgorithm for Tput {
         // How deep phase 1/2 has read each list under sorted access, so
         // phase 2 continues where phase 1 stopped instead of re-reading.
         let mut depth = vec![0usize; m];
+        // Per-list floor for unseen local scores: 0 for non-negative lists
+        // (canonical TPUT), the tail score where scores go negative. Tail
+        // scores are catalog metadata (the minimum of a sorted list), not
+        // accounted accesses.
+        let floors: Vec<f64> = database
+            .lists()
+            .map(|list| list.last_entry().score.value().min(0.0))
+            .collect();
 
         // Phase 1: top-k of every list.
         for (i, list) in session.lists().enumerate() {
@@ -114,9 +137,14 @@ impl TopKAlgorithm for Tput {
                 depth[i] = pos;
             }
         }
-        let mut lower_bounds: Vec<f64> = candidates.values().map(Candidate::lower_bound).collect();
+        let mut lower_bounds: Vec<f64> =
+            candidates.values().map(|c| c.lower_bound(&floors)).collect();
         let tau1 = kth_largest(&mut lower_bounds, k);
-        let threshold = (tau1 / m as f64).max(0.0);
+        // The uniform threshold τ₁/m. It must NOT be clamped to 0: with
+        // negative local scores a negative τ₁ genuinely requires reading
+        // further down the lists (an item unseen everywhere only has
+        // overall score < m·T = τ₁ if phase 2 ran down to T).
+        let threshold = tau1 / m as f64;
 
         // Phase 2: every entry with a local score >= T, per list.
         for (i, list) in session.lists().enumerate() {
@@ -136,7 +164,8 @@ impl TopKAlgorithm for Tput {
                 pos += 1;
             }
         }
-        let mut lower_bounds: Vec<f64> = candidates.values().map(Candidate::lower_bound).collect();
+        let mut lower_bounds: Vec<f64> =
+            candidates.values().map(|c| c.lower_bound(&floors)).collect();
         let tau2 = kth_largest(&mut lower_bounds, k);
 
         // Phase 3: prune by upper bound, then resolve the survivors exactly.
@@ -209,10 +238,65 @@ mod tests {
         assert!(err.to_string().contains("tput"));
     }
 
+    /// Regression test for the scoring gate: a scorer that *calls itself*
+    /// "sum" but computes something else must still be rejected. The old
+    /// gate compared `scoring().name() != "sum"` and would have run TPUT's
+    /// sum-specific pruning over min scoring, silently returning wrong
+    /// answers.
+    #[test]
+    fn rejects_a_mis_named_non_sum_scorer() {
+        use crate::scoring::ScoringFunction;
+        use topk_lists::Score;
+
+        struct MisnamedMin;
+        impl ScoringFunction for MisnamedMin {
+            fn combine(&self, locals: &[Score]) -> Score {
+                locals.iter().copied().min().unwrap_or(Score::ZERO)
+            }
+            fn name(&self) -> &str {
+                "sum" // lies about its identity
+            }
+        }
+
+        let db = figure1_database();
+        let query = TopKQuery::new(3, MisnamedMin);
+        assert_eq!(query.scoring().name(), "sum");
+        let err = Tput.run(&db, &query).unwrap_err();
+        assert!(
+            matches!(err, TopKError::UnsupportedScoring { algorithm: "tput", .. }),
+            "typed gate must not trust the display name, got {err:?}"
+        );
+    }
+
     #[test]
     fn invalid_k_is_rejected() {
         let db = figure1_database();
         assert!(Tput.run(&db, &TopKQuery::top(0)).is_err());
+    }
+
+    /// Regression test: with negative local scores (the Gaussian workload
+    /// family) the classic "unknown counts as 0" lower bound and a
+    /// 0-clamped uniform threshold both over-prune and silently returned
+    /// wrong answers. The bounds must fall back to the list tails.
+    #[test]
+    fn agrees_with_naive_on_negative_scores() {
+        let mut state = 0xBADC_0FFE_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2_000) as f64 / 100.0 - 10.0 // [-10, 10)
+        };
+        let lists: Vec<Vec<(u64, f64)>> = (0..3)
+            .map(|_| (0..80u64).map(|item| (item, next())).collect())
+            .collect();
+        let db = Database::from_unsorted_lists(lists).unwrap();
+        for k in [1, 5, 40, 80] {
+            let query = TopKQuery::top(k);
+            let tput = Tput.run(&db, &query).unwrap();
+            let naive = NaiveScan.run(&db, &query).unwrap();
+            assert!(tput.scores_match(&naive, 1e-9), "k = {k}");
+        }
     }
 
     /// When the overall winners sit at the top of every list, TPUT's

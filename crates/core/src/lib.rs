@@ -12,6 +12,9 @@
 //! * the algorithms (all behind the [`TopKAlgorithm`] trait):
 //!   [`NaiveScan`], Fagin's Algorithm [`Fa`], the Threshold Algorithm
 //!   [`Ta`], and the paper's contributions [`Bpa`] and [`Bpa2`];
+//! * cost-based algorithm selection: sampled per-database statistics
+//!   ([`stats::DatabaseStats`]) feeding a [`planner::Planner`] that picks
+//!   among Naive/TA/BPA/BPA2 per query ([`planner::plan_and_run`]);
 //! * the worked example databases of the paper's figures
 //!   ([`examples_paper`]), used by tests and benches.
 //!
@@ -40,6 +43,7 @@ pub mod algorithms;
 pub mod cost;
 pub mod error;
 pub mod examples_paper;
+pub mod planner;
 pub mod query;
 pub mod result;
 pub mod scoring;
@@ -49,10 +53,11 @@ pub mod topk_buffer;
 pub use algorithms::{AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput};
 pub use cost::CostModel;
 pub use error::TopKError;
+pub use planner::{plan_and_run, CostEstimate, Plan, Planner};
 pub use query::TopKQuery;
 pub use result::{RankedItem, TopKResult};
 pub use scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
-pub use stats::RunStats;
+pub use stats::{DatabaseStats, RunStats};
 pub use topk_buffer::TopKBuffer;
 
 /// Commonly used types, re-exported for convenient glob import.
@@ -62,8 +67,9 @@ pub mod prelude {
     };
     pub use crate::cost::CostModel;
     pub use crate::error::TopKError;
+    pub use crate::planner::{plan_and_run, CostEstimate, Plan, Planner};
     pub use crate::query::TopKQuery;
     pub use crate::result::{RankedItem, TopKResult};
     pub use crate::scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
-    pub use crate::stats::RunStats;
+    pub use crate::stats::{DatabaseStats, RunStats};
 }

@@ -26,6 +26,22 @@ pub trait ScoringFunction: Send + Sync {
     fn name(&self) -> &str {
         "custom"
     }
+
+    /// Typed capability check: whether partial sums of local scores are
+    /// sound bounds for this function, i.e. `combine` computes **exactly**
+    /// the unweighted sum `Σ locals`.
+    ///
+    /// TPUT's uniform threshold (`τ/m`) and its phase-2/3 pruning bounds
+    /// are only correct under that identity, so [`crate::algorithms::Tput`]
+    /// gates on this method — *not* on [`ScoringFunction::name`], which is
+    /// display-only and carries no semantics.
+    ///
+    /// The default is `false`; only override it to return `true` when the
+    /// identity holds, otherwise sum-specific algorithms silently prune
+    /// incorrectly.
+    fn supports_partial_sums(&self) -> bool {
+        false
+    }
 }
 
 /// Sum of the local scores — the function used throughout the paper's
@@ -41,6 +57,10 @@ impl ScoringFunction for Sum {
 
     fn name(&self) -> &str {
         "sum"
+    }
+
+    fn supports_partial_sums(&self) -> bool {
+        true
     }
 }
 
@@ -195,6 +215,17 @@ mod tests {
         assert_eq!(Average.name(), "average");
         assert_eq!(Min.name(), "min");
         assert_eq!(Max.name(), "max");
+    }
+
+    #[test]
+    fn only_the_sum_supports_partial_sums() {
+        assert!(Sum.supports_partial_sums());
+        assert!(!Average.supports_partial_sums());
+        assert!(!Min.supports_partial_sums());
+        assert!(!Max.supports_partial_sums());
+        // Even a weighted sum is excluded: TPUT's uniform threshold τ/m
+        // assumes unit weights.
+        assert!(!WeightedSum::new(vec![1.0, 1.0]).supports_partial_sums());
     }
 
     #[test]

@@ -1,10 +1,15 @@
-//! Per-run statistics: access counts, stopping depth, wall-clock time.
+//! Statistics: per-run measurements (access counts, stopping depth,
+//! wall-clock time) and per-database summaries collected by a cheap
+//! sampling pass ([`DatabaseStats`], the input of the
+//! [`planner`](crate::planner)).
 
+use std::collections::HashMap;
 use std::time::Duration;
 
-use topk_lists::AccessCounters;
+use topk_lists::{AccessCounters, Database, ItemId, Score};
 
 use crate::cost::CostModel;
+use crate::scoring::ScoringFunction;
 
 /// Everything measured about one algorithm run, covering the three metrics
 /// of the paper's evaluation (execution cost, number of accesses, response
@@ -46,6 +51,190 @@ impl RunStats {
     pub fn response_time_ms(&self) -> f64 {
         self.elapsed.as_secs_f64() * 1e3
     }
+}
+
+/// Default number of sampled positions per list in the score profile grid.
+const DEFAULT_PROFILE_LEN: usize = 48;
+/// Default number of sampled items used for overall-score estimates.
+const DEFAULT_ITEM_SAMPLES: usize = 512;
+/// Default prefix length over which list-head overlap is measured.
+const DEFAULT_HEAD_LEN: usize = 64;
+/// Seed of the deterministic sampling pass (statistics are reproducible
+/// database to database; callers needing independent samples can use
+/// [`DatabaseStats::collect_with`]).
+const DEFAULT_STATS_SEED: u64 = 0x5EED_57A7;
+
+/// Summary statistics of a database, collected by a cheap sampling pass
+/// ([`Database::score_profile`] and [`Database::sample_items`]) without
+/// touching the instrumented access path.
+///
+/// These are the per-database inputs of the cost-based
+/// [`planner`](crate::planner): dimensions (`m`, `n`), a geometric grid of
+/// per-list score profiles (from which stop-depth thresholds are
+/// estimated), per-list head skew, the cross-list head overlap (a proxy for
+/// the correlation of the database families of Section 6.1), and a uniform
+/// sample of local-score vectors (from which the k-th best overall score is
+/// estimated for any scoring function).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatabaseStats {
+    /// Number of lists (`m`).
+    pub num_lists: usize,
+    /// Number of items per list (`n`).
+    pub num_items: usize,
+    /// Sampled 1-based positions, ascending; always starts at 1 and ends
+    /// at `n`.
+    pub positions: Vec<usize>,
+    /// `profiles[i][j]` is the local score of list `i` at `positions[j]`.
+    pub profiles: Vec<Vec<Score>>,
+    /// Per-list head skew in `[0, 1]`: the fraction of the list's full
+    /// score range already spent at the midpoint (≈ 0.5 for uniform
+    /// scores, → 1 for steep Zipf-like heads, → 0 for heavy tails).
+    pub head_skew: Vec<f64>,
+    /// Fraction of the first `min(64, n)` positions whose items appear in
+    /// the head of *every* list — close to 1 on strongly correlated
+    /// databases, close to 0 on independent ones.
+    pub head_overlap: f64,
+    /// Local-score vectors (one score per list) of the sampled items.
+    pub sample_locals: Vec<Vec<Score>>,
+}
+
+impl DatabaseStats {
+    /// Collects statistics with the default sampling budgets (≈ 48 grid
+    /// positions, 512 sampled items, 64-position head window).
+    pub fn collect(database: &Database) -> Self {
+        Self::collect_with(
+            database,
+            DEFAULT_PROFILE_LEN,
+            DEFAULT_ITEM_SAMPLES,
+            DEFAULT_STATS_SEED,
+        )
+    }
+
+    /// Collects statistics with explicit sampling budgets.
+    ///
+    /// `profile_len` sizes the per-list position grid (at least 2, at most
+    /// `profile_len + 1` positions — the last grid entry is always `n`),
+    /// `item_samples` bounds the number of sampled items, and `seed`
+    /// drives the deterministic item sample.
+    pub fn collect_with(
+        database: &Database,
+        profile_len: usize,
+        item_samples: usize,
+        seed: u64,
+    ) -> Self {
+        let m = database.num_lists();
+        let n = database.num_items();
+
+        let positions = geometric_grid(n, profile_len.max(2));
+        let profiles = database.score_profile(&positions);
+
+        let head_skew = profiles_to_skew(database, n);
+        let head_overlap = head_overlap(database, m, n);
+        let sample_locals = database
+            .sample_items(item_samples, seed)
+            .into_iter()
+            .map(|(_, locals)| locals)
+            .collect();
+
+        DatabaseStats {
+            num_lists: m,
+            num_items: n,
+            positions,
+            profiles,
+            head_skew,
+            head_overlap,
+            sample_locals,
+        }
+    }
+
+    /// Mean head skew over all lists.
+    pub fn mean_head_skew(&self) -> f64 {
+        self.head_skew.iter().sum::<f64>() / self.head_skew.len() as f64
+    }
+
+    /// The threshold `δ(p) = f(s₁(p), …, s_m(p))` at sampled grid index
+    /// `j` — the value TA compares its buffer against after reading
+    /// position `positions[j]` of every list.
+    pub fn threshold_at(&self, scoring: &dyn ScoringFunction, j: usize) -> f64 {
+        let locals: Vec<Score> = self.profiles.iter().map(|profile| profile[j]).collect();
+        scoring.combine(&locals).value()
+    }
+
+    /// Estimates the k-th best overall score under `scoring` from the item
+    /// sample: the sample's `⌈k·|sample|/n⌉`-th largest overall score
+    /// (exact when the sample covers the whole database).
+    ///
+    /// With an empty item sample (a zero `item_samples` budget) there is no
+    /// information about overall scores, so the estimate degrades to
+    /// [`f64::NEG_INFINITY`] — downstream stop-depth estimates then assume
+    /// the deepest (most conservative) scan.
+    pub fn estimated_kth_score(&self, scoring: &dyn ScoringFunction, k: usize) -> f64 {
+        let mut overall: Vec<f64> = self
+            .sample_locals
+            .iter()
+            .map(|locals| scoring.combine(locals).value())
+            .collect();
+        if overall.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        overall.sort_by(|a, b| b.total_cmp(a));
+        let k = k.clamp(1, self.num_items);
+        // ⌈k · |sample| / n⌉ without floating point; n ≥ 1 by construction.
+        let rank = (k * overall.len()).div_ceil(self.num_items).clamp(1, overall.len());
+        overall[rank - 1]
+    }
+}
+
+/// Geometric (log-spaced) grid of 1-based positions: 1, …, n with ratio
+/// chosen so at most `len + 1` positions are produced (the final position
+/// `n` is appended when the log-spaced walk does not land on it); always
+/// contains 1 and n.
+fn geometric_grid(n: usize, len: usize) -> Vec<usize> {
+    let mut positions = Vec::with_capacity(len);
+    let ratio = (n as f64).powf(1.0 / (len.saturating_sub(1)).max(1) as f64);
+    let mut p = 1.0f64;
+    for _ in 0..len {
+        let pos = (p.round() as usize).clamp(1, n);
+        if positions.last() != Some(&pos) {
+            positions.push(pos);
+        }
+        p = (p * ratio).max(p + 1.0);
+    }
+    if positions.last() != Some(&n) {
+        positions.push(n);
+    }
+    positions
+}
+
+/// Per-list head skew: fraction of the full score range spent by the list
+/// midpoint. Flat lists (zero range) report 0.
+fn profiles_to_skew(database: &Database, n: usize) -> Vec<f64> {
+    let probes = database.score_profile(&[1, n.div_ceil(2), n]);
+    probes
+        .iter()
+        .map(|probe| {
+            let (top, mid, last) = (probe[0].value(), probe[1].value(), probe[2].value());
+            let range = top - last;
+            if range <= 0.0 {
+                0.0
+            } else {
+                ((top - mid) / range).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+/// Fraction of the first `min(DEFAULT_HEAD_LEN, n)` positions whose items
+/// sit in the head of every list.
+fn head_overlap(database: &Database, m: usize, n: usize) -> f64 {
+    let h = DEFAULT_HEAD_LEN.min(n);
+    let mut seen: HashMap<ItemId, usize> = HashMap::with_capacity(h * m);
+    for list in database.lists() {
+        for entry in list.iter().take(h) {
+            *seen.entry(entry.item).or_insert(0) += 1;
+        }
+    }
+    seen.values().filter(|&&count| count == m).count() as f64 / h as f64
 }
 
 #[cfg(test)]
@@ -94,5 +283,121 @@ mod tests {
         assert_eq!(s.stop_position, Some(6));
         assert_eq!(s.rounds, 6);
         assert_eq!(s.items_scored, 13);
+    }
+
+    mod database_stats {
+        use super::super::*;
+        use crate::examples_paper::figure1_database;
+        use crate::scoring::Sum;
+
+        #[test]
+        fn collect_reports_dimensions_and_full_coverage_on_small_databases() {
+            let db = figure1_database();
+            let stats = DatabaseStats::collect(&db);
+            assert_eq!(stats.num_lists, 3);
+            assert_eq!(stats.num_items, 12);
+            assert_eq!(stats.positions.first(), Some(&1));
+            assert_eq!(stats.positions.last(), Some(&12));
+            assert!(stats.positions.windows(2).all(|w| w[0] < w[1]));
+            // 12 items fit in the default sample budget, so estimates are exact.
+            assert_eq!(stats.sample_locals.len(), 12);
+            for locals in &stats.sample_locals {
+                assert_eq!(locals.len(), 3);
+            }
+        }
+
+        #[test]
+        fn kth_score_estimate_is_exact_on_fully_sampled_databases() {
+            let db = figure1_database();
+            let stats = DatabaseStats::collect(&db);
+            // Figure 1 top-3 overall scores are 71, 70, 70.
+            assert_eq!(stats.estimated_kth_score(&Sum, 1), 71.0);
+            assert_eq!(stats.estimated_kth_score(&Sum, 3), 70.0);
+            // k beyond n clamps instead of panicking.
+            assert_eq!(
+                stats.estimated_kth_score(&Sum, 100),
+                stats.estimated_kth_score(&Sum, 12)
+            );
+        }
+
+        #[test]
+        fn thresholds_decrease_along_the_grid() {
+            let db = figure1_database();
+            let stats = DatabaseStats::collect(&db);
+            let thresholds: Vec<f64> = (0..stats.positions.len())
+                .map(|j| stats.threshold_at(&Sum, j))
+                .collect();
+            assert!(thresholds.windows(2).all(|w| w[0] >= w[1]));
+        }
+
+        #[test]
+        fn head_overlap_separates_correlated_from_reversed_lists() {
+            let aligned: Vec<Vec<(u64, f64)>> = vec![
+                (0..100).map(|i| (i, (100 - i) as f64)).collect(),
+                (0..100).map(|i| (i, (100 - i) as f64 * 2.0)).collect(),
+            ];
+            let db = Database::from_unsorted_lists(aligned).unwrap();
+            let stats = DatabaseStats::collect(&db);
+            assert_eq!(stats.head_overlap, 1.0, "identically ranked lists fully overlap");
+
+            let reversed: Vec<Vec<(u64, f64)>> = vec![
+                (0..200).map(|i| (i, (200 - i) as f64)).collect(),
+                (0..200).map(|i| (i, i as f64)).collect(),
+            ];
+            let db = Database::from_unsorted_lists(reversed).unwrap();
+            let stats = DatabaseStats::collect(&db);
+            assert_eq!(stats.head_overlap, 0.0, "opposed rankings share no head items");
+        }
+
+        #[test]
+        fn head_skew_reflects_the_score_distribution() {
+            // Linear scores: midpoint sits halfway through the range.
+            let linear: Vec<(u64, f64)> = (0..101).map(|i| (i, i as f64)).collect();
+            let db = Database::from_unsorted_lists(vec![linear]).unwrap();
+            let stats = DatabaseStats::collect(&db);
+            assert!((stats.mean_head_skew() - 0.5).abs() < 0.02);
+
+            // Flat scores: zero range, skew reports 0.
+            let flat: Vec<(u64, f64)> = (0..10).map(|i| (i, 1.0)).collect();
+            let db = Database::from_unsorted_lists(vec![flat]).unwrap();
+            assert_eq!(DatabaseStats::collect(&db).mean_head_skew(), 0.0);
+
+            // Zipf-like head: most of the range is gone by the midpoint.
+            let zipf: Vec<(u64, f64)> = (0..100).map(|i| (i, 1.0 / (i + 1) as f64)).collect();
+            let db = Database::from_unsorted_lists(vec![zipf]).unwrap();
+            assert!(DatabaseStats::collect(&db).mean_head_skew() > 0.9);
+        }
+
+        #[test]
+        fn collect_with_respects_the_budgets() {
+            let lists: Vec<Vec<(u64, f64)>> = vec![
+                (0..500).map(|i| (i, (i * 13 % 500) as f64)).collect(),
+                (0..500).map(|i| (i, (i * 7 % 500) as f64)).collect(),
+            ];
+            let db = Database::from_unsorted_lists(lists).unwrap();
+            let stats = DatabaseStats::collect_with(&db, 8, 32, 1);
+            assert!(stats.positions.len() <= 9, "grid capped near the requested length");
+            assert_eq!(stats.sample_locals.len(), 32);
+            let again = DatabaseStats::collect_with(&db, 8, 32, 1);
+            assert_eq!(stats, again, "collection is deterministic");
+        }
+
+        #[test]
+        fn zero_sample_budget_degrades_instead_of_panicking() {
+            let db = figure1_database();
+            let stats = DatabaseStats::collect_with(&db, 8, 0, 1);
+            assert!(stats.sample_locals.is_empty());
+            assert_eq!(stats.estimated_kth_score(&Sum, 3), f64::NEG_INFINITY);
+        }
+
+        #[test]
+        fn single_item_database_does_not_panic() {
+            let db = Database::from_unsorted_lists(vec![vec![(0, 1.0)]]).unwrap();
+            let stats = DatabaseStats::collect(&db);
+            assert_eq!(stats.num_items, 1);
+            assert_eq!(stats.positions, vec![1]);
+            assert_eq!(stats.estimated_kth_score(&Sum, 1), 1.0);
+            assert_eq!(stats.threshold_at(&Sum, 0), 1.0);
+        }
     }
 }

@@ -58,4 +58,12 @@ fn main() {
         }
         println!();
     }
+
+    // Per-query keyword lists differ in skew and overlap, so the right
+    // algorithm varies per query — let the cost-based planner decide.
+    let (planned, plan) = index
+        .search_planned(&keywords, 3)
+        .expect("query terms are indexed");
+    println!("Planner chose {:?} for this query:", planned.algorithm);
+    println!("  {}", plan.explanation);
 }

@@ -61,4 +61,14 @@ fn main() {
         }
         println!();
     }
+
+    // In production the administrator would not hard-code an algorithm:
+    // the cost-based planner samples the per-location lists and picks one.
+    let (planned, plan) = system.top_k_urls_planned(5).expect("system holds observations");
+    println!(
+        "Planner chose {:?} ({} accesses):",
+        planned.algorithm,
+        planned.stats.total_accesses()
+    );
+    println!("  {}", plan.explanation);
 }

@@ -1,12 +1,14 @@
 //! Quickstart: run every algorithm on the paper's Figure 1 database and on
-//! a generated workload, and compare their costs.
+//! a generated workload, compare their costs, and let the cost-based
+//! planner pick an algorithm automatically.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use bpa_topk::core::examples_paper::figure1_database;
-use bpa_topk::datagen::{DatabaseGenerator, UniformGenerator};
+use bpa_topk::core::planner::plan_and_run;
+use bpa_topk::datagen::{CorrelatedGenerator, DatabaseGenerator, UniformGenerator};
 use bpa_topk::prelude::*;
 
 fn main() {
@@ -64,5 +66,24 @@ fn main() {
             result.stats().total_accesses(),
             gain,
         );
+    }
+
+    // ------------------------------------------------------------------
+    // 3. No single algorithm wins everywhere: let the cost-based planner
+    //    choose per database from sampled statistics.
+    // ------------------------------------------------------------------
+    println!();
+    println!("Cost-based planner choices:");
+    let uniform = UniformGenerator::new(8, 2_000).generate(7);
+    let correlated = CorrelatedGenerator::new(8, 50_000, 0.01).generate(7);
+    for (label, db) in [("uniform m=8 n=2000", uniform), ("correlated m=8 n=50000", correlated)] {
+        let (plan, result) = plan_and_run(&db, &TopKQuery::top(20)).expect("valid query");
+        println!(
+            "  {:<24} -> {:?} ({} accesses measured)",
+            label,
+            plan.choice(),
+            result.stats().total_accesses(),
+        );
+        println!("      {}", plan.explanation);
     }
 }

@@ -83,4 +83,13 @@ fn main() {
         ta.stats.total_accesses(),
         by_sum.stats.total_accesses(),
     );
+
+    // Or skip picking an algorithm entirely and let the cost-based planner
+    // choose from the table's sampled statistics.
+    let (planned, plan) = apartments
+        .top_k_by_sum_planned(&attributes, 3)
+        .expect("valid ranking query");
+    println!();
+    println!("Planned query chose {:?}:", planned.algorithm);
+    println!("  {}", plan.explanation);
 }

@@ -45,13 +45,21 @@ proptest! {
 
     /// Every algorithm returns the same multiset of top-k overall scores as
     /// the naive full scan, for any database and any monotone function used
-    /// in the paper.
+    /// in the paper. TPUT is sum-only: on the other functions it must
+    /// surface a typed error rather than run its unsound pruning.
     #[test]
     fn all_algorithms_agree_with_naive((lists, k) in arb_database_and_k()) {
         let db = build(lists);
         for query in [TopKQuery::new(k, Sum), TopKQuery::new(k, Min), TopKQuery::new(k, Max)] {
             let naive = NaiveScan.run(&db, &query).unwrap();
             for kind in AlgorithmKind::ALL {
+                if !kind.supports(&query) {
+                    prop_assert!(matches!(
+                        kind.create().run(&db, &query),
+                        Err(TopKError::UnsupportedScoring { .. })
+                    ));
+                    continue;
+                }
                 let result = kind.create().run(&db, &query).unwrap();
                 prop_assert!(
                     result.scores_match(&naive, 1e-9),
@@ -134,9 +142,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Cross-algorithm agreement on generated databases: every algorithm
-    /// (Naive, FA, TA, TA-cached, BPA, BPA2) returns the same multiset of
-    /// top-k overall scores on every `topk-datagen` family — uniform,
-    /// gaussian and correlated (smaller case count: generation dominates).
+    /// (Naive, FA, TA, TA-cached, BPA, BPA2, TPUT) returns the same
+    /// multiset of top-k overall scores on every `topk-datagen` family —
+    /// uniform, gaussian and correlated (smaller case count: generation
+    /// dominates).
     #[test]
     fn generated_databases_are_valid_and_consistent(
         m in 2usize..=4,
@@ -164,6 +173,39 @@ proptest! {
                     algorithm, db_kind, m, n, seed
                 );
             }
+        }
+    }
+
+    /// The cost-based planner picks a correct algorithm on every
+    /// `topk-datagen` family: whatever `plan_and_run` selects must return
+    /// the same top-k answer set as the naive scan.
+    #[test]
+    fn planner_choice_agrees_with_naive_on_all_families(
+        m in 1usize..=5,
+        n in 10usize..=300,
+        seed in 0u64..1000,
+        alpha in 0.0f64..=0.2,
+        k_fraction in 1usize..=4,
+    ) {
+        use bpa_topk::core::planner::{plan_and_run, Planner};
+        use bpa_topk::datagen::{DatabaseKind, DatabaseSpec};
+        for db_kind in [
+            DatabaseKind::Uniform,
+            DatabaseKind::Gaussian,
+            DatabaseKind::Correlated { alpha },
+        ] {
+            let db = DatabaseSpec::new(db_kind, m, n).generate(seed);
+            let k = (n * k_fraction / 4).max(1);
+            let query = TopKQuery::top(k);
+            let (plan, result) = plan_and_run(&db, &query).unwrap();
+            prop_assert!(Planner::CANDIDATES.contains(&plan.choice()));
+            prop_assert!(plan.estimated_ta_depth >= 1 && plan.estimated_ta_depth <= n);
+            let naive = NaiveScan.run(&db, &query).unwrap();
+            prop_assert!(
+                result.scores_match(&naive, 1e-9),
+                "planner chose {:?} which disagrees with naive on {:?} (m={}, n={}, k={}, seed={})",
+                plan.choice(), db_kind, m, n, k, seed
+            );
         }
     }
 }
