@@ -154,8 +154,14 @@ mod tests {
 
     fn index() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
-        idx.add_document("rust-book", [("rust", 0.9), ("databases", 0.1), ("queries", 0.2)]);
-        idx.add_document("db-internals", [("rust", 0.3), ("databases", 0.95), ("queries", 0.7)]);
+        idx.add_document(
+            "rust-book",
+            [("rust", 0.9), ("databases", 0.1), ("queries", 0.2)],
+        );
+        idx.add_document(
+            "db-internals",
+            [("rust", 0.3), ("databases", 0.95), ("queries", 0.7)],
+        );
         idx.add_document("query-opt", [("databases", 0.6), ("queries", 0.9)]);
         idx.add_document("cookbook", [("rust", 0.5)]);
         idx

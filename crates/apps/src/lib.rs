@@ -19,6 +19,14 @@
 //! `*_planned` variants, built on [`topk_core::planner::plan_and_run`]) —
 //! and maps the answers back to domain keys.
 //!
+//! Execution goes through the backend-generic
+//! [`topk_core::TopKAlgorithm::run`] entry point, which validates the
+//! query once and opens in-memory
+//! [`Sources`](topk_lists::source::Sources) over the built database;
+//! front-ends never touch list storage directly, so moving a workload
+//! onto another backend (e.g. `topk_distributed::ClusterSources`) changes
+//! no front-end code.
+//!
 //! ```
 //! use topk_apps::Table;
 //! use topk_core::AlgorithmKind;
@@ -115,10 +123,15 @@ mod tests {
     #[test]
     fn errors_render_messages() {
         assert!(AppError::Empty.to_string().contains("no data"));
-        assert!(AppError::UnknownKey("price".into()).to_string().contains("price"));
-        assert!(AppError::ArityMismatch { expected: 3, found: 2 }
+        assert!(AppError::UnknownKey("price".into())
             .to_string()
-            .contains("expected 3"));
+            .contains("price"));
+        assert!(AppError::ArityMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains("expected 3"));
         let err: AppError = TopKError::InvalidK { k: 0, n: 5 }.into();
         assert!(err.to_string().contains("query execution failed"));
     }

@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn empty_system_is_an_error() {
         let sys = MonitoringSystem::new();
-        assert!(matches!(sys.top_k_urls(1, AlgorithmKind::Ta), Err(AppError::Empty)));
+        assert!(matches!(
+            sys.top_k_urls(1, AlgorithmKind::Ta),
+            Err(AppError::Empty)
+        ));
     }
 
     #[test]

@@ -35,10 +35,7 @@ impl Table {
         let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
         assert!(!columns.is_empty(), "a table needs at least one column");
         for (i, c) in columns.iter().enumerate() {
-            assert!(
-                !columns[..i].contains(c),
-                "duplicate column name: {c}"
-            );
+            assert!(!columns[..i].contains(c), "duplicate column name: {c}");
         }
         Table {
             columns,
@@ -127,7 +124,11 @@ impl Table {
                 found: weights.len(),
             });
         }
-        self.run(attributes, TopKQuery::new(k, WeightedSum::new(weights)), algorithm)
+        self.run(
+            attributes,
+            TopKQuery::new(k, WeightedSum::new(weights)),
+            algorithm,
+        )
     }
 
     /// Returns the `k` rows with the highest **sum** of the named
@@ -156,10 +157,7 @@ impl Table {
         Ok(Self::to_app_result(result, algorithm))
     }
 
-    fn to_app_result(
-        result: topk_core::TopKResult,
-        algorithm: AlgorithmKind,
-    ) -> AppResult<usize> {
+    fn to_app_result(result: topk_core::TopKResult, algorithm: AlgorithmKind) -> AppResult<usize> {
         let answers = result
             .items()
             .iter()
@@ -199,7 +197,10 @@ mod tests {
         let mut t2 = Table::new(vec!["a"]);
         assert!(matches!(
             t2.insert(vec![1.0, 2.0]),
-            Err(AppError::ArityMismatch { expected: 1, found: 2 })
+            Err(AppError::ArityMismatch {
+                expected: 1,
+                found: 2
+            })
         ));
     }
 
@@ -207,7 +208,9 @@ mod tests {
     fn top_k_by_sum_ranks_the_all_rounder_first() {
         let t = hotels();
         for algorithm in AlgorithmKind::ALL {
-            let result = t.top_k_by_sum(&["cheapness", "rating", "proximity"], 2, algorithm).unwrap();
+            let result = t
+                .top_k_by_sum(&["cheapness", "rating", "proximity"], 2, algorithm)
+                .unwrap();
             assert_eq!(result.answers.len(), 2);
             assert_eq!(result.answers[0].key, 2, "{algorithm:?}");
             assert!((result.answers[0].score - 2.4).abs() < 1e-9);
@@ -281,10 +284,18 @@ mod tests {
     fn stats_reflect_the_chosen_algorithm() {
         let t = hotels();
         let naive = t
-            .top_k_by_sum(&["cheapness", "rating", "proximity"], 1, AlgorithmKind::Naive)
+            .top_k_by_sum(
+                &["cheapness", "rating", "proximity"],
+                1,
+                AlgorithmKind::Naive,
+            )
             .unwrap();
         let bpa2 = t
-            .top_k_by_sum(&["cheapness", "rating", "proximity"], 1, AlgorithmKind::Bpa2)
+            .top_k_by_sum(
+                &["cheapness", "rating", "proximity"],
+                1,
+                AlgorithmKind::Bpa2,
+            )
             .unwrap();
         assert!(bpa2.stats.total_accesses() <= naive.stats.total_accesses());
     }

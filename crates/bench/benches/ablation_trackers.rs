@@ -34,7 +34,10 @@ fn main() {
 
     for kind in TrackerKind::ALL {
         for (label, algo) in [
-            ("BPA", Box::new(Bpa::with_tracker(kind)) as Box<dyn TopKAlgorithm>),
+            (
+                "BPA",
+                Box::new(Bpa::with_tracker(kind)) as Box<dyn TopKAlgorithm>,
+            ),
             ("BPA2", Box::new(Bpa2::with_tracker(kind))),
         ] {
             let started = Instant::now();

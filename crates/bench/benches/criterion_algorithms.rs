@@ -20,19 +20,15 @@ fn bench_uniform(c: &mut Criterion) {
         let database = DatabaseSpec::new(DatabaseKind::Uniform, m, N).generate(SEED);
         let query = TopKQuery::top(K);
         for kind in AlgorithmKind::EVALUATED {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kind:?}"), m),
-                &m,
-                |b, _| {
-                    b.iter(|| {
-                        kind.create()
-                            .run(&database, &query)
-                            .expect("valid query")
-                            .stats()
-                            .total_accesses()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), m), &m, |b, _| {
+                b.iter(|| {
+                    kind.create()
+                        .run(&database, &query)
+                        .expect("valid query")
+                        .stats()
+                        .total_accesses()
+                })
+            });
         }
     }
     group.finish();
@@ -42,8 +38,7 @@ fn bench_correlated(c: &mut Criterion) {
     let mut group = c.benchmark_group("correlated_a0.01_n20k_k20");
     group.sample_size(10);
     let m = 8;
-    let database =
-        DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.01 }, m, N).generate(SEED);
+    let database = DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.01 }, m, N).generate(SEED);
     let query = TopKQuery::top(K);
     for kind in AlgorithmKind::EVALUATED {
         group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), m), &m, |b, _| {

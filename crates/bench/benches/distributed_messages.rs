@@ -11,7 +11,7 @@ use topk_bench::BenchScale;
 use topk_core::TopKQuery;
 use topk_datagen::{DatabaseKind, DatabaseSpec};
 use topk_distributed::{
-    Cluster, DistributedBpa, DistributedBpa2, DistributedProtocol, DistributedTa,
+    Cluster, DistributedBpa, DistributedBpa2, DistributedNaive, DistributedProtocol, DistributedTa,
 };
 
 fn main() {
@@ -29,27 +29,30 @@ fn main() {
     println!("=== Distributed execution: messages and payload (Section 5) ===");
     println!("    uniform database, n = {n}, m = {m} list owners, k = {k}");
     println!(
-        "{:>20}{:>14}{:>14}{:>18}{:>12}",
-        "protocol", "accesses", "messages", "payload (units)", "rounds"
+        "{:>20}{:>14}{:>14}{:>18}{:>12}{:>16}",
+        "protocol", "accesses", "messages", "payload (units)", "rounds", "peak round msgs"
     );
 
+    // The naive baseline runs through the same ClusterSources adapter as
+    // the threshold family, so distributed sweeps have the baseline the
+    // local sweeps have.
     let protocols: Vec<Box<dyn DistributedProtocol>> = vec![
+        Box::new(DistributedNaive),
         Box::new(DistributedTa),
         Box::new(DistributedBpa),
         Box::new(DistributedBpa2),
     ];
     for protocol in protocols {
         let mut cluster = Cluster::new(&database);
-        let result = protocol
-            .execute(&mut cluster, &query)
-            .expect("valid query");
+        let result = protocol.execute(&mut cluster, &query).expect("valid query");
         println!(
-            "{:>20}{:>14}{:>14}{:>18}{:>12}",
+            "{:>20}{:>14}{:>14}{:>18}{:>12}{:>16}",
             protocol.name(),
             result.accesses,
             result.network.messages,
             result.network.payload_units,
             result.rounds,
+            result.network.peak_round().map_or(0, |r| r.messages),
         );
     }
     println!();

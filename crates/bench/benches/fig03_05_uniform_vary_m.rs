@@ -18,9 +18,24 @@ fn main() {
         &format!("n = {n}, k = {k}, f = sum, {}", scale.label()),
     );
     let points = sweep_m(DatabaseKind::Uniform, &ms, n, k, &AlgorithmKind::EVALUATED);
-    print_metric_table("m", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
-    print_metric_table("m", MetricKind::Accesses, &AlgorithmKind::EVALUATED, &points);
-    print_metric_table("m", MetricKind::ResponseTimeMs, &AlgorithmKind::EVALUATED, &points);
+    print_metric_table(
+        "m",
+        MetricKind::ExecutionCost,
+        &AlgorithmKind::EVALUATED,
+        &points,
+    );
+    print_metric_table(
+        "m",
+        MetricKind::Accesses,
+        &AlgorithmKind::EVALUATED,
+        &points,
+    );
+    print_metric_table(
+        "m",
+        MetricKind::ResponseTimeMs,
+        &AlgorithmKind::EVALUATED,
+        &points,
+    );
     println!();
     println!(
         "Paper expectation: BPA beats TA by ~(m+6)/8 and BPA2 by ~(m+1)/2 on execution cost (m > 2)."

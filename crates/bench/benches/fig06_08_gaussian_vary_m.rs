@@ -18,9 +18,24 @@ fn main() {
         &format!("n = {n}, k = {k}, f = sum, {}", scale.label()),
     );
     let points = sweep_m(DatabaseKind::Gaussian, &ms, n, k, &AlgorithmKind::EVALUATED);
-    print_metric_table("m", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
-    print_metric_table("m", MetricKind::Accesses, &AlgorithmKind::EVALUATED, &points);
-    print_metric_table("m", MetricKind::ResponseTimeMs, &AlgorithmKind::EVALUATED, &points);
+    print_metric_table(
+        "m",
+        MetricKind::ExecutionCost,
+        &AlgorithmKind::EVALUATED,
+        &points,
+    );
+    print_metric_table(
+        "m",
+        MetricKind::Accesses,
+        &AlgorithmKind::EVALUATED,
+        &points,
+    );
+    print_metric_table(
+        "m",
+        MetricKind::ResponseTimeMs,
+        &AlgorithmKind::EVALUATED,
+        &points,
+    );
     println!();
     println!(
         "Paper expectation: slightly better than the uniform database for all three algorithms, \

@@ -15,7 +15,10 @@ fn main() {
         print_header(
             figure,
             "correlated database, varying the number of lists m",
-            &format!("alpha = {alpha}, n = {n}, k = {k}, f = sum, {}", scale.label()),
+            &format!(
+                "alpha = {alpha}, n = {n}, k = {k}, f = sum, {}",
+                scale.label()
+            ),
         );
         let points = sweep_m(
             DatabaseKind::Correlated { alpha },
@@ -24,7 +27,12 @@ fn main() {
             k,
             &AlgorithmKind::EVALUATED,
         );
-        print_metric_table("m", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
+        print_metric_table(
+            "m",
+            MetricKind::ExecutionCost,
+            &AlgorithmKind::EVALUATED,
+            &points,
+        );
     }
     println!();
     println!(

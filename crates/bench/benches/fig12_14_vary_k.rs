@@ -31,7 +31,12 @@ fn main() {
             &format!("m = {m}, n = {n}, f = sum, {}", scale.label()),
         );
         let points = sweep_k(kind, &ks, m, n, &AlgorithmKind::EVALUATED);
-        print_metric_table("k", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
+        print_metric_table(
+            "k",
+            MetricKind::ExecutionCost,
+            &AlgorithmKind::EVALUATED,
+            &points,
+        );
     }
     println!();
     println!(

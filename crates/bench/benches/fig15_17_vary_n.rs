@@ -31,7 +31,12 @@ fn main() {
             &format!("m = {m}, k = {k}, f = sum, {}", scale.label()),
         );
         let points = sweep_n(kind, &ns, m, k, &AlgorithmKind::EVALUATED);
-        print_metric_table("n", MetricKind::ExecutionCost, &AlgorithmKind::EVALUATED, &points);
+        print_metric_table(
+            "n",
+            MetricKind::ExecutionCost,
+            &AlgorithmKind::EVALUATED,
+            &points,
+        );
     }
     println!();
     println!(

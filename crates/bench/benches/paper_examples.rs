@@ -9,7 +9,11 @@ use topk_lists::Database;
 
 fn report(name: &str, database: &Database, expectations: &[(AlgorithmKind, &str)]) {
     println!();
-    println!("=== {name} (m = {}, n = {}, k = 3, f = sum) ===", database.num_lists(), database.num_items());
+    println!(
+        "=== {name} (m = {}, n = {}, k = 3, f = sum) ===",
+        database.num_lists(),
+        database.num_items()
+    );
     println!(
         "{:>10}{:>12}{:>10}{:>10}{:>10}{:>10}{:>28}",
         "algorithm", "stop pos", "sorted", "random", "direct", "total", "paper says"

@@ -99,9 +99,18 @@ mod tests {
     fn bpa_never_costs_more_than_ta() {
         let spec = DatabaseSpec::new(DatabaseKind::Uniform, 4, 2_000);
         let points = measure_spec(&spec, 7, 10, &AlgorithmKind::EVALUATED);
-        let ta = points.iter().find(|p| p.algorithm == AlgorithmKind::Ta).unwrap();
-        let bpa = points.iter().find(|p| p.algorithm == AlgorithmKind::Bpa).unwrap();
-        let bpa2 = points.iter().find(|p| p.algorithm == AlgorithmKind::Bpa2).unwrap();
+        let ta = points
+            .iter()
+            .find(|p| p.algorithm == AlgorithmKind::Ta)
+            .unwrap();
+        let bpa = points
+            .iter()
+            .find(|p| p.algorithm == AlgorithmKind::Bpa)
+            .unwrap();
+        let bpa2 = points
+            .iter()
+            .find(|p| p.algorithm == AlgorithmKind::Bpa2)
+            .unwrap();
         assert!(bpa.execution_cost <= ta.execution_cost);
         assert!(bpa2.accesses <= bpa.accesses);
     }

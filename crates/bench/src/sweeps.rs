@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn sweep_k_reuses_one_database() {
-        let points = sweep_k(DatabaseKind::Correlated { alpha: 0.05 }, &[2, 4, 8], 3, 400, &ALGOS);
+        let points = sweep_k(
+            DatabaseKind::Correlated { alpha: 0.05 },
+            &[2, 4, 8],
+            3,
+            400,
+            &ALGOS,
+        );
         assert_eq!(points.len(), 3);
         // Larger k can never need fewer accesses on the same database.
         let ta = |p: &ExperimentPoint| p.for_algorithm(AlgorithmKind::Ta).unwrap().accesses;

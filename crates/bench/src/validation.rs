@@ -193,7 +193,9 @@ mod tests {
         let grid = planner_grid(BenchScale::Smoke);
         assert_eq!(grid.len(), 4 * 3 * 2 * 2);
         assert!(grid.iter().any(|p| p.kind == DatabaseKind::Gaussian));
-        assert!(grid.iter().any(|p| matches!(p.kind, DatabaseKind::Correlated { .. })));
+        assert!(grid
+            .iter()
+            .any(|p| matches!(p.kind, DatabaseKind::Correlated { .. })));
         let paper = planner_grid(BenchScale::Paper);
         assert!(paper.iter().map(|p| p.n).max() > grid.iter().map(|p| p.n).max());
     }
@@ -212,14 +214,22 @@ mod tests {
         assert!(outcome.choice_cost() >= outcome.best_cost());
         assert!(outcome.cost_ratio() >= 1.0);
         if outcome.matched() {
-            assert!(outcome.cost_ratio() <= 1.01, "matches are within the near-tie tolerance");
+            assert!(
+                outcome.cost_ratio() <= 1.01,
+                "matches are within the near-tie tolerance"
+            );
         }
     }
 
     #[test]
     fn report_aggregates() {
         let outcomes = vec![
-            validate_point(&GridPoint { kind: DatabaseKind::Uniform, m: 2, n: 300, k: 5 }),
+            validate_point(&GridPoint {
+                kind: DatabaseKind::Uniform,
+                m: 2,
+                n: 300,
+                k: 5,
+            }),
             validate_point(&GridPoint {
                 kind: DatabaseKind::Correlated { alpha: 0.1 },
                 m: 2,

@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use topk_lists::source::SourceSet;
 use topk_lists::tracker::{PositionTracker, TrackerKind};
-use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+use topk_lists::{ItemId, Position, Score};
 
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
@@ -23,6 +24,11 @@ use crate::topk_buffer::TopKBuffer;
 /// been seen. Because `bp_i` is never smaller than the current sorted-scan
 /// depth, `λ ≤ δ` and BPA stops at least as early as TA (Lemma 1), up to
 /// `m - 1` times earlier (Lemma 3).
+///
+/// The trackers — and the local scores of the seen positions — live at the
+/// *query originator*: BPA's random accesses ask every source for the
+/// item's position, the very communication burden Section 5 criticises and
+/// BPA2 removes by keeping best positions source-side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bpa {
     /// Strategy used to maintain the best positions (Section 5.2).
@@ -49,54 +55,63 @@ impl TopKAlgorithm for Bpa {
         "bpa"
     }
 
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
-        query.validate(database)?;
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
         let started = Instant::now();
-        let session = AccessSession::new(database);
-        let m = session.num_lists();
-        let n = session.num_items();
+        let m = sources.num_lists();
+        let n = sources.num_items();
 
+        // Originator-side bookkeeping: one tracker and one
+        // position -> local-score map per list. Every score at a marked
+        // position was observed by the access that marked it, so λ can be
+        // recomputed without touching the lists again.
         let mut trackers: Vec<Box<dyn PositionTracker>> =
             (0..m).map(|_| self.tracker.create(n)).collect();
+        let mut seen_scores: Vec<HashMap<Position, Score>> = vec![HashMap::new(); m];
         let mut resolved: HashMap<ItemId, Score> = HashMap::new();
         let mut buffer = TopKBuffer::new(query.k());
         let mut stop_position = n;
 
         'rounds: for pos in 1..=n {
+            sources.begin_round();
             let position = Position::new(pos).expect("pos >= 1");
             for i in 0..m {
-                let entry = session
-                    .list(i)?
-                    .sorted_access(position)
+                let entry = sources
+                    .source(i)
+                    .sorted_access(position, false)
                     .expect("position within list bounds");
                 trackers[i].mark_seen(entry.position);
+                seen_scores[i].insert(entry.position, entry.score);
 
                 // Like TA's literal accounting, each sorted access triggers
-                // m - 1 random accesses; BPA additionally records the
+                // m - 1 random accesses; BPA additionally asks for the
                 // positions those random accesses reveal.
                 let mut locals = vec![Score::ZERO; m];
                 locals[i] = entry.score;
-                for (j, list) in session.lists().enumerate() {
+                for j in 0..m {
                     if j == i {
                         continue;
                     }
-                    let ps = list
-                        .random_access(entry.item)
+                    let ps = sources
+                        .source(j)
+                        .random_access(entry.item, true, false)
                         .expect("every item appears in every list");
+                    let p = ps.position.expect("position requested");
                     locals[j] = ps.score;
-                    trackers[j].mark_seen(ps.position);
+                    trackers[j].mark_seen(p);
+                    seen_scores[j].insert(p, ps.score);
                 }
                 let overall = query.combine(&locals);
                 resolved.insert(entry.item, overall);
                 buffer.offer(entry.item, overall);
             }
 
-            // Best positions overall score λ. The local score at a best
-            // position was necessarily observed when that position was seen,
-            // so reading it back is originator-side bookkeeping, not a new
-            // list access.
-            let lambda = best_positions_score(&session, &trackers, query)?;
-            if let Some(lambda) = lambda {
+            // Best positions overall score λ, from the originator's own
+            // view of the seen positions and their scores.
+            if let Some(lambda) = best_positions_score(&trackers, &seen_scores, query) {
                 if buffer.has_k_at_or_above(lambda) {
                     stop_position = pos;
                     break 'rounds;
@@ -105,7 +120,7 @@ impl TopKAlgorithm for Bpa {
         }
 
         let stats = collect_stats(
-            &session,
+            sources,
             Some(stop_position),
             stop_position as u64,
             resolved.len(),
@@ -118,25 +133,16 @@ impl TopKAlgorithm for Bpa {
 /// Computes `λ = f(s₁(bp₁), …, s_m(bp_m))`, or `None` if some list has no
 /// best position yet (i.e. its position 1 has not been seen).
 fn best_positions_score(
-    session: &AccessSession<'_>,
     trackers: &[Box<dyn PositionTracker>],
+    seen_scores: &[HashMap<Position, Score>],
     query: &TopKQuery,
-) -> Result<Option<Score>, TopKError> {
+) -> Option<Score> {
     let mut scores = Vec::with_capacity(trackers.len());
-    for (i, tracker) in trackers.iter().enumerate() {
-        match tracker.best_position() {
-            None => return Ok(None),
-            Some(bp) => {
-                let score = session
-                    .list(i)?
-                    .raw()
-                    .score_at(bp)
-                    .expect("best position is a valid position");
-                scores.push(score);
-            }
-        }
+    for (tracker, scores_of_list) in trackers.iter().zip(seen_scores) {
+        let bp = tracker.best_position()?;
+        scores.push(scores_of_list[&bp]);
     }
-    Ok(Some(query.combine(&scores)))
+    Some(query.combine(&scores))
 }
 
 #[cfg(test)]

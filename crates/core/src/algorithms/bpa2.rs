@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use topk_lists::tracker::{PositionTracker, TrackerKind};
-use topk_lists::{AccessSession, Database, ItemId, Score};
+use topk_lists::source::SourceSet;
+use topk_lists::tracker::TrackerKind;
+use topk_lists::{ItemId, Score};
 
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
@@ -14,21 +15,26 @@ use crate::topk_buffer::TopKBuffer;
 
 /// BPA2 — the paper's second contribution.
 ///
-/// BPA2 keeps the best positions at the list owners and replaces sorted
-/// access by *direct access* to position `bp_i + 1`, which is always the
-/// smallest unseen position of list `i`. Each direct access reveals an item
-/// that has never been seen before (its positions in the other lists would
+/// BPA2 keeps the best positions *at the sources* (Section 5.1: "the best
+/// positions are managed by the list owners") and replaces sorted access
+/// by *direct access* to position `bp_i + 1`, which is always the smallest
+/// unseen position of list `i`. Each direct access reveals an item that
+/// has never been seen before (its positions in the other lists would
 /// otherwise already be marked), so BPA2 never accesses a position twice
 /// (Theorem 5) and its total number of accesses can be about `m - 1` times
 /// lower than BPA's (Theorem 8). It shares BPA's stopping condition, so it
 /// stops at the same best positions and returns the same answers.
 ///
-/// Rounds process the lists sequentially and re-read each list's best
-/// position immediately before the direct access, so a position revealed by
-/// a random access earlier in the same round is never targeted again.
+/// The only state kept at the originator is the answer buffer `Y` and the
+/// local scores of the `m` current best positions — updated from the
+/// scores the sources piggyback whenever an access moves their best
+/// position (step 3). Random accesses are *tracked* so the sources mark
+/// the revealed positions; rounds process the lists sequentially, so a
+/// position revealed by a random access earlier in the same round is
+/// never targeted again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bpa2 {
-    /// Strategy used by the (conceptual) list owners to maintain their best
+    /// Strategy used by the sources (list owners) to maintain their best
     /// positions (Section 5.2).
     pub tracker: TrackerKind,
 }
@@ -53,51 +59,58 @@ impl TopKAlgorithm for Bpa2 {
         "bpa2"
     }
 
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
-        query.validate(database)?;
-        let started = Instant::now();
-        let session = AccessSession::new(database);
-        let m = session.num_lists();
-        let n = session.num_items();
+    fn preferred_tracker(&self) -> TrackerKind {
+        self.tracker
+    }
 
-        let mut trackers: Vec<Box<dyn PositionTracker>> =
-            (0..m).map(|_| self.tracker.create(n)).collect();
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
+        let started = Instant::now();
+        let m = sources.num_lists();
+
         let mut resolved: HashMap<ItemId, Score> = HashMap::new();
         let mut buffer = TopKBuffer::new(query.k());
+        // The local score at each source's current best position, updated
+        // from the piggybacked replies (Section 5.1, step 3).
+        let mut best_scores: Vec<Option<Score>> = vec![None; m];
         let mut rounds = 0u64;
 
         loop {
             rounds += 1;
+            sources.begin_round();
             let mut any_access = false;
             for i in 0..m {
                 // Step 2: direct access to bp_i + 1, the smallest unseen
-                // position of list i (recomputed after the random accesses
-                // performed earlier in this round).
-                let next = trackers[i].first_unseen();
-                if next.get() > n {
+                // position of list i (the source recomputes it after the
+                // random accesses performed earlier in this round).
+                let Some(entry) = sources.source(i).direct_access_next() else {
                     continue; // every position of this list has been seen
-                }
+                };
                 any_access = true;
-                let entry = session
-                    .list(i)?
-                    .direct_access(next)
-                    .expect("first unseen position is within list bounds");
-                trackers[i].mark_seen(entry.position);
+                if let Some(best) = entry.best_position_score {
+                    best_scores[i] = Some(best);
+                }
 
                 // The item at an unseen position has never been resolved
                 // (otherwise a random access would have marked this
                 // position), so it always needs m - 1 random accesses.
                 let mut locals = vec![Score::ZERO; m];
                 locals[i] = entry.score;
-                for (j, list) in session.lists().enumerate() {
+                for j in 0..m {
                     if j == i {
                         continue;
                     }
-                    let ps = list
-                        .random_access(entry.item)
+                    let ps = sources
+                        .source(j)
+                        .random_access(entry.item, false, true)
                         .expect("every item appears in every list");
                     locals[j] = ps.score;
-                    trackers[j].mark_seen(ps.position);
+                    if let Some(best) = ps.best_position_score {
+                        best_scores[j] = Some(best);
+                    }
                 }
                 let overall = query.combine(&locals);
                 debug_assert!(
@@ -108,8 +121,14 @@ impl TopKAlgorithm for Bpa2 {
                 buffer.offer(entry.item, overall);
             }
 
-            // Step 4: best positions overall score λ (same condition as BPA).
-            if let Some(lambda) = best_positions_score(&session, &trackers, query)? {
+            // Step 4: best positions overall score λ (same condition as
+            // BPA), from the piggybacked best-position scores.
+            if best_scores.iter().all(Option::is_some) {
+                let scores: Vec<Score> = best_scores
+                    .iter()
+                    .map(|s| s.expect("checked above"))
+                    .collect();
+                let lambda = query.combine(&scores);
                 if buffer.has_k_at_or_above(lambda) {
                     break;
                 }
@@ -122,38 +141,13 @@ impl TopKAlgorithm for Bpa2 {
             }
         }
 
-        let stop_position = trackers
-            .iter()
-            .filter_map(|t| t.best_position())
+        let stop_position = (0..m)
+            .filter_map(|i| sources.source_ref(i).best_position())
             .map(|p| p.get())
             .max();
-        let stats = collect_stats(&session, stop_position, rounds, resolved.len(), started);
+        let stats = collect_stats(sources, stop_position, rounds, resolved.len(), started);
         Ok(TopKResult::new(buffer.into_ranked(), stats))
     }
-}
-
-/// Computes `λ = f(s₁(bp₁), …, s_m(bp_m))`, or `None` if some list has no
-/// best position yet.
-fn best_positions_score(
-    session: &AccessSession<'_>,
-    trackers: &[Box<dyn PositionTracker>],
-    query: &TopKQuery,
-) -> Result<Option<Score>, TopKError> {
-    let mut scores = Vec::with_capacity(trackers.len());
-    for (i, tracker) in trackers.iter().enumerate() {
-        match tracker.best_position() {
-            None => return Ok(None),
-            Some(bp) => {
-                let score = session
-                    .list(i)?
-                    .raw()
-                    .score_at(bp)
-                    .expect("best position is a valid position");
-                scores.push(score);
-            }
-        }
-    }
-    Ok(Some(query.combine(&scores)))
 }
 
 #[cfg(test)]
@@ -239,7 +233,9 @@ mod tests {
         let query = TopKQuery::top(3);
         let baseline = Bpa2::default().run(&db, &query).unwrap();
         for kind in TrackerKind::ALL {
-            let run = Bpa2::with_tracker(kind).run(&db, &query).unwrap();
+            let algorithm = Bpa2::with_tracker(kind);
+            assert_eq!(algorithm.preferred_tracker(), kind);
+            let run = algorithm.run(&db, &query).unwrap();
             assert_eq!(run.stats().accesses, baseline.stats().accesses, "{kind:?}");
             assert!(run.scores_match(&baseline, 1e-9));
         }

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+use topk_lists::source::SourceSet;
+use topk_lists::{ItemId, Position, Score};
 
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
@@ -27,12 +28,14 @@ impl TopKAlgorithm for Fa {
         "fa"
     }
 
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
-        query.validate(database)?;
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
         let started = Instant::now();
-        let session = AccessSession::new(database);
-        let m = session.num_lists();
-        let n = session.num_items();
+        let m = sources.num_lists();
+        let n = sources.num_items();
         let k = query.k();
 
         // Phase 1: sorted access in parallel until >= k items are seen in
@@ -42,14 +45,14 @@ impl TopKAlgorithm for Fa {
         let mut fully_seen = 0usize;
         let mut stop_position = n;
         'scan: for pos in 1..=n {
+            sources.begin_round();
             let position = Position::new(pos).expect("pos >= 1");
-            for (i, list) in session.lists().enumerate() {
-                let entry = list
-                    .sorted_access(position)
+            for i in 0..m {
+                let entry = sources
+                    .source(i)
+                    .sorted_access(position, false)
                     .expect("position within list bounds");
-                let locals = seen
-                    .entry(entry.item)
-                    .or_insert_with(|| vec![None; m]);
+                let locals = seen.entry(entry.item).or_insert_with(|| vec![None; m]);
                 if locals[i].is_none() {
                     locals[i] = Some(entry.score);
                     if locals.iter().all(Option::is_some) {
@@ -65,14 +68,15 @@ impl TopKAlgorithm for Fa {
 
         // Phase 2: random access for the missing local scores of every seen
         // item, then keep the k best overall scores.
+        sources.begin_round();
         let mut buffer = TopKBuffer::new(k);
         let items_scored = seen.len();
         for (item, mut locals) in seen {
             for (i, slot) in locals.iter_mut().enumerate() {
                 if slot.is_none() {
-                    let ps = session
-                        .list(i)?
-                        .random_access(item)
+                    let ps = sources
+                        .source(i)
+                        .random_access(item, false, false)
                         .expect("every item appears in every list");
                     *slot = Some(ps.score);
                 }
@@ -85,7 +89,7 @@ impl TopKAlgorithm for Fa {
         }
 
         let stats = collect_stats(
-            &session,
+            sources,
             Some(stop_position),
             stop_position as u64,
             items_scored,

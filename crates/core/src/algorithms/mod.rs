@@ -12,6 +12,20 @@
 //! All algorithms implement [`TopKAlgorithm`] and therefore produce a
 //! [`TopKResult`] carrying both the answers and the measured
 //! [`RunStats`].
+//!
+//! # Execution backends
+//!
+//! Algorithms are written against the backend-generic [`SourceSet`]
+//! API, not against a concrete storage layout: the same `Bpa2` value
+//! runs over the
+//! in-memory backend ([`TopKAlgorithm::run`], which opens
+//! [`Sources::in_memory`](topk_lists::source::Sources::in_memory)), over
+//! a simulated cluster (`topk_distributed::ClusterSources`), or over a
+//! batching decorator — with identical answers, because the paper's
+//! algorithms only ever speak sorted/random/direct access.
+//!
+//! Query validation happens once, in the shared entry point
+//! [`TopKAlgorithm::run_on`], so no algorithm can forget it.
 
 mod bpa;
 mod bpa2;
@@ -29,21 +43,61 @@ pub use tput::Tput;
 
 use std::time::Instant;
 
-use topk_lists::{AccessSession, Database};
+use topk_lists::source::{SourceSet, Sources};
+use topk_lists::{Database, TrackerKind};
 
 use crate::error::TopKError;
 use crate::query::TopKQuery;
 use crate::result::TopKResult;
 use crate::stats::RunStats;
 
-/// A top-k query processing algorithm.
+/// A top-k query processing algorithm, written against the
+/// backend-generic [`SourceSet`] access model.
 pub trait TopKAlgorithm {
     /// Short identifier used in reports and benchmark tables.
     fn name(&self) -> &'static str;
 
-    /// Executes the query against the database and returns the top-k items
-    /// together with the run statistics.
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError>;
+    /// The best-position tracking strategy the in-memory backend should
+    /// install source-side (Section 5.2). Only algorithms that issue
+    /// tracked accesses (BPA2) care; the default is the paper's bit
+    /// array.
+    fn preferred_tracker(&self) -> TrackerKind {
+        TrackerKind::BitArray
+    }
+
+    /// The algorithm body: executes the query against the given sources.
+    ///
+    /// Implementations may assume the query has been validated
+    /// (`1 ≤ k ≤ n`); callers must go through [`TopKAlgorithm::run_on`]
+    /// or [`TopKAlgorithm::run`], which perform that validation. Calling
+    /// `execute` directly with an invalid query may panic.
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError>;
+
+    /// The shared execution entry point: validates the query against the
+    /// sources, then runs the algorithm. Every backend goes through this
+    /// method, so validation cannot be skipped by an algorithm
+    /// implementation.
+    fn run_on(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
+        query.validate_for(sources.num_items())?;
+        self.execute(sources, query)
+    }
+
+    /// Convenience entry point for the in-memory backend: opens
+    /// [`Sources::in_memory`] over the database (with this algorithm's
+    /// [`preferred_tracker`](TopKAlgorithm::preferred_tracker)) and
+    /// executes through [`run_on`](TopKAlgorithm::run_on).
+    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
+        let mut sources = Sources::in_memory_with_tracker(database, self.preferred_tracker());
+        self.run_on(&mut sources, query)
+    }
 }
 
 /// Run-time selection of an algorithm (used by benches and examples).
@@ -109,17 +163,18 @@ impl AlgorithmKind {
         [AlgorithmKind::Ta, AlgorithmKind::Bpa, AlgorithmKind::Bpa2];
 }
 
-/// Collects run statistics from a finished access session.
+/// Collects run statistics from the sources an algorithm executed
+/// against.
 pub(crate) fn collect_stats(
-    session: &AccessSession<'_>,
+    sources: &dyn SourceSet,
     stop_position: Option<usize>,
     rounds: u64,
     items_scored: usize,
     started: Instant,
 ) -> RunStats {
     RunStats {
-        accesses: session.total_counters(),
-        per_list: session.per_list_counters(),
+        accesses: sources.total_counters(),
+        per_list: sources.per_list_counters(),
         stop_position,
         rounds,
         items_scored,
@@ -127,17 +182,32 @@ pub(crate) fn collect_stats(
     }
 }
 
-/// Runs every algorithm kind in `kinds` against the same database and query,
-/// returning `(kind, result)` pairs. Convenience for tests and benches.
+/// Runs every algorithm kind in `kinds` against the same source set and
+/// query, returning `(kind, result)` pairs. The sources are
+/// [`reset`](SourceSet::reset) before each run, so every algorithm starts
+/// from zeroed counters and tracking state. Convenience for tests and
+/// benches.
 pub fn run_all(
     kinds: &[AlgorithmKind],
-    database: &Database,
+    sources: &mut dyn SourceSet,
     query: &TopKQuery,
 ) -> Result<Vec<(AlgorithmKind, TopKResult)>, TopKError> {
     kinds
         .iter()
-        .map(|&kind| kind.create().run(database, query).map(|r| (kind, r)))
+        .map(|&kind| {
+            sources.reset();
+            kind.create().run_on(sources, query).map(|r| (kind, r))
+        })
         .collect()
+}
+
+/// As [`run_all`], over the in-memory backend of a database.
+pub fn run_all_in_memory(
+    kinds: &[AlgorithmKind],
+    database: &Database,
+    query: &TopKQuery,
+) -> Result<Vec<(AlgorithmKind, TopKResult)>, TopKError> {
+    run_all(kinds, &mut Sources::in_memory(database), query)
 }
 
 #[cfg(test)]
@@ -169,8 +239,15 @@ mod tests {
     fn run_all_surfaces_tput_scoring_errors_as_topk_errors() {
         use crate::scoring::Min;
         let db = figure1_database();
-        let err = run_all(&[AlgorithmKind::Tput], &db, &TopKQuery::new(2, Min)).unwrap_err();
-        assert!(matches!(err, TopKError::UnsupportedScoring { algorithm: "tput", .. }));
+        let err =
+            run_all_in_memory(&[AlgorithmKind::Tput], &db, &TopKQuery::new(2, Min)).unwrap_err();
+        assert!(matches!(
+            err,
+            TopKError::UnsupportedScoring {
+                algorithm: "tput",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -185,12 +262,66 @@ mod tests {
     fn run_all_returns_one_result_per_kind() {
         let db = figure1_database();
         let query = TopKQuery::top(3);
-        let results = run_all(&AlgorithmKind::ALL, &db, &query).unwrap();
+        let results = run_all_in_memory(&AlgorithmKind::ALL, &db, &query).unwrap();
         assert_eq!(results.len(), AlgorithmKind::ALL.len());
         // Every algorithm returns the same top-3 score multiset {71, 70, 70}.
         for (kind, result) in &results {
             let scores: Vec<f64> = result.scores().iter().map(|s| s.value()).collect();
             assert_eq!(scores, vec![71.0, 70.0, 70.0], "scores from {kind:?}");
+        }
+    }
+
+    #[test]
+    fn run_all_resets_sources_between_algorithms() {
+        let db = figure1_database();
+        let query = TopKQuery::top(3);
+        let mut sources = Sources::in_memory(&db);
+        let shared = run_all(
+            &[AlgorithmKind::Ta, AlgorithmKind::Bpa2],
+            &mut sources,
+            &query,
+        )
+        .unwrap();
+        // Each run's stats must match a run over fresh sources — the
+        // reset means no counters or tracker state leak across runs.
+        for (kind, result) in &shared {
+            let fresh = kind.create().run(&db, &query).unwrap();
+            assert_eq!(result.stats().accesses, fresh.stats().accesses, "{kind:?}");
+            assert!(result.scores_match(&fresh, 1e-9), "{kind:?}");
+        }
+    }
+
+    /// Satellite regression test: validation lives in the shared entry
+    /// point, so even an algorithm whose `execute` performs no checks at
+    /// all rejects malformed queries before its body runs.
+    #[test]
+    fn the_entry_point_validates_before_any_algorithm_code_runs() {
+        #[derive(Debug)]
+        struct NoValidation;
+        impl TopKAlgorithm for NoValidation {
+            fn name(&self) -> &'static str {
+                "no-validation"
+            }
+            fn execute(
+                &self,
+                _sources: &mut dyn SourceSet,
+                _query: &TopKQuery,
+            ) -> Result<TopKResult, TopKError> {
+                unreachable!("execute must not be reached for an invalid query")
+            }
+        }
+
+        let db = figure1_database();
+        for k in [0, 13, 999] {
+            // Through the in-memory convenience entry point…
+            let err = NoValidation.run(&db, &TopKQuery::top(k)).unwrap_err();
+            assert!(matches!(err, TopKError::InvalidK { .. }), "k = {k}");
+            // …and through the backend-generic one.
+            let mut sources = Sources::in_memory(&db);
+            let err = NoValidation
+                .run_on(&mut sources, &TopKQuery::top(k))
+                .unwrap_err();
+            assert!(matches!(err, TopKError::InvalidK { k: got, n: 12 } if got == k));
         }
     }
 }

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+use topk_lists::source::SourceSet;
+use topk_lists::{ItemId, Position, Score};
 
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
@@ -25,18 +26,25 @@ impl TopKAlgorithm for NaiveScan {
         "naive"
     }
 
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
-        query.validate(database)?;
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
         let started = Instant::now();
-        let session = AccessSession::new(database);
-        let m = session.num_lists();
-        let n = session.num_items();
+        let m = sources.num_lists();
+        let n = sources.num_items();
 
+        // Each list is streamed start to finish in one originator round
+        // (there is no cross-list coordination to wait for), so the scan
+        // performs m rounds of n sorted accesses.
         let mut locals: HashMap<ItemId, Vec<Score>> = HashMap::with_capacity(n);
-        for (i, list) in session.lists().enumerate() {
+        for i in 0..m {
+            sources.begin_round();
             for pos in 1..=n {
-                let entry = list
-                    .sorted_access(Position::new(pos).expect("pos >= 1"))
+                let entry = sources
+                    .source(i)
+                    .sorted_access(Position::new(pos).expect("pos >= 1"), false)
                     .expect("position within list bounds");
                 locals
                     .entry(entry.item)
@@ -50,7 +58,7 @@ impl TopKAlgorithm for NaiveScan {
         }
 
         let items_scored = locals.len();
-        let stats = collect_stats(&session, None, n as u64, items_scored, started);
+        let stats = collect_stats(sources, None, m as u64, items_scored, started);
         Ok(TopKResult::new(buffer.into_ranked(), stats))
     }
 }

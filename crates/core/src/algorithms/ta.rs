@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+use topk_lists::source::SourceSet;
+use topk_lists::{ItemId, Position, Score};
 
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
@@ -68,12 +69,14 @@ impl TopKAlgorithm for Ta {
         }
     }
 
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
-        query.validate(database)?;
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
         let started = Instant::now();
-        let session = AccessSession::new(database);
-        let m = session.num_lists();
-        let n = session.num_items();
+        let m = sources.num_lists();
+        let n = sources.num_items();
 
         let mut resolved: HashMap<ItemId, Score> = HashMap::new();
         let mut buffer = TopKBuffer::new(query.k());
@@ -81,11 +84,12 @@ impl TopKAlgorithm for Ta {
         let mut last_scores = vec![Score::ZERO; m];
 
         'rounds: for pos in 1..=n {
+            sources.begin_round();
             let position = Position::new(pos).expect("pos >= 1");
             for i in 0..m {
-                let entry = session
-                    .list(i)?
-                    .sorted_access(position)
+                let entry = sources
+                    .source(i)
+                    .sorted_access(position, false)
                     .expect("position within list bounds");
                 last_scores[i] = entry.score;
 
@@ -94,12 +98,10 @@ impl TopKAlgorithm for Ta {
                 }
                 let mut locals = vec![Score::ZERO; m];
                 locals[i] = entry.score;
-                for (j, list) in session.lists().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    let ps = list
-                        .random_access(entry.item)
+                for j in (0..m).filter(|&j| j != i) {
+                    let ps = sources
+                        .source(j)
+                        .random_access(entry.item, false, false)
                         .expect("every item appears in every list");
                     locals[j] = ps.score;
                 }
@@ -117,7 +119,7 @@ impl TopKAlgorithm for Ta {
         }
 
         let stats = collect_stats(
-            &session,
+            sources,
             Some(stop_position),
             stop_position as u64,
             resolved.len(),
@@ -158,12 +160,12 @@ mod tests {
         let cached = Ta::memoizing().run(&db, &TopKQuery::top(3)).unwrap();
         // Same stopping position (the threshold does not depend on
         // memoization), same answers, fewer or equal random accesses.
-        assert_eq!(
-            literal.stats().stop_position,
-            cached.stats().stop_position
-        );
+        assert_eq!(literal.stats().stop_position, cached.stats().stop_position);
         assert!(cached.scores_match(&literal, 1e-9));
-        assert_eq!(literal.stats().accesses.sorted, cached.stats().accesses.sorted);
+        assert_eq!(
+            literal.stats().accesses.sorted,
+            cached.stats().accesses.sorted
+        );
         assert!(cached.stats().accesses.random < literal.stats().accesses.random);
         assert!(Ta::memoizing().is_memoizing());
         assert!(!Ta::literal().is_memoizing());

@@ -28,7 +28,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use topk_lists::{AccessSession, Database, ItemId, Position, Score};
+use topk_lists::source::SourceSet;
+use topk_lists::{ItemId, Position, Score};
 
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
@@ -94,8 +95,11 @@ impl TopKAlgorithm for Tput {
         "tput"
     }
 
-    fn run(&self, database: &Database, query: &TopKQuery) -> Result<TopKResult, TopKError> {
-        query.validate(database)?;
+    fn execute(
+        &self,
+        sources: &mut dyn SourceSet,
+        query: &TopKQuery,
+    ) -> Result<TopKResult, TopKError> {
         // Typed capability check, NOT a name comparison: a scorer merely
         // *named* "sum" must still be rejected, otherwise TPUT's uniform
         // threshold prunes unsoundly.
@@ -106,9 +110,8 @@ impl TopKAlgorithm for Tput {
             });
         }
         let started = Instant::now();
-        let session = AccessSession::new(database);
-        let m = session.num_lists();
-        let n = session.num_items();
+        let m = sources.num_lists();
+        let n = sources.num_items();
         let k = query.k();
 
         let mut candidates: HashMap<ItemId, Candidate> = HashMap::new();
@@ -119,26 +122,29 @@ impl TopKAlgorithm for Tput {
         // (canonical TPUT), the tail score where scores go negative. Tail
         // scores are catalog metadata (the minimum of a sorted list), not
         // accounted accesses.
-        let floors: Vec<f64> = database
-            .lists()
-            .map(|list| list.last_entry().score.value().min(0.0))
+        let floors: Vec<f64> = (0..m)
+            .map(|i| sources.source_ref(i).tail_score().value().min(0.0))
             .collect();
 
         // Phase 1: top-k of every list.
-        for (i, list) in session.lists().enumerate() {
+        sources.begin_round();
+        for (i, list_depth) in depth.iter_mut().enumerate() {
             for pos in 1..=k.min(n) {
-                let entry = list
-                    .sorted_access(Position::new(pos).expect("pos >= 1"))
+                let entry = sources
+                    .source(i)
+                    .sorted_access(Position::new(pos).expect("pos >= 1"), false)
                     .expect("position within list bounds");
                 candidates
                     .entry(entry.item)
                     .or_insert_with(|| Candidate::new(m))
                     .locals[i] = Some(entry.score);
-                depth[i] = pos;
+                *list_depth = pos;
             }
         }
-        let mut lower_bounds: Vec<f64> =
-            candidates.values().map(|c| c.lower_bound(&floors)).collect();
+        let mut lower_bounds: Vec<f64> = candidates
+            .values()
+            .map(|c| c.lower_bound(&floors))
+            .collect();
         let tau1 = kth_largest(&mut lower_bounds, k);
         // The uniform threshold τ₁/m. It must NOT be clamped to 0: with
         // negative local scores a negative τ₁ genuinely requires reading
@@ -147,13 +153,15 @@ impl TopKAlgorithm for Tput {
         let threshold = tau1 / m as f64;
 
         // Phase 2: every entry with a local score >= T, per list.
-        for (i, list) in session.lists().enumerate() {
-            let mut pos = depth[i] + 1;
+        sources.begin_round();
+        for (i, list_depth) in depth.iter_mut().enumerate() {
+            let mut pos = *list_depth + 1;
             while pos <= n {
-                let entry = list
-                    .sorted_access(Position::new(pos).expect("pos >= 1"))
+                let entry = sources
+                    .source(i)
+                    .sorted_access(Position::new(pos).expect("pos >= 1"), false)
                     .expect("position within list bounds");
-                depth[i] = pos;
+                *list_depth = pos;
                 if entry.score.value() < threshold {
                     break;
                 }
@@ -164,11 +172,14 @@ impl TopKAlgorithm for Tput {
                 pos += 1;
             }
         }
-        let mut lower_bounds: Vec<f64> =
-            candidates.values().map(|c| c.lower_bound(&floors)).collect();
+        let mut lower_bounds: Vec<f64> = candidates
+            .values()
+            .map(|c| c.lower_bound(&floors))
+            .collect();
         let tau2 = kth_largest(&mut lower_bounds, k);
 
         // Phase 3: prune by upper bound, then resolve the survivors exactly.
+        sources.begin_round();
         let mut buffer = TopKBuffer::new(k);
         let mut items_scored = 0usize;
         for (item, candidate) in &candidates {
@@ -176,12 +187,13 @@ impl TopKAlgorithm for Tput {
                 continue;
             }
             let mut locals = Vec::with_capacity(m);
-            for (i, list) in session.lists().enumerate() {
-                match candidate.locals[i] {
-                    Some(score) => locals.push(score),
+            for (i, local) in candidate.locals.iter().enumerate() {
+                match local {
+                    Some(score) => locals.push(*score),
                     None => {
-                        let ps = list
-                            .random_access(*item)
+                        let ps = sources
+                            .source(i)
+                            .random_access(*item, false, false)
                             .expect("every item appears in every list");
                         locals.push(ps.score);
                     }
@@ -192,7 +204,7 @@ impl TopKAlgorithm for Tput {
         }
 
         let stats = collect_stats(
-            &session,
+            sources,
             Some(*depth.iter().max().expect("m >= 1")),
             3,
             items_scored,
@@ -208,6 +220,7 @@ mod tests {
     use crate::algorithms::{Bpa2, NaiveScan};
     use crate::examples_paper::{figure1_database, figure2_database};
     use crate::scoring::Min;
+    use topk_lists::Database;
 
     #[test]
     fn agrees_with_the_naive_scan_on_the_fixtures() {
@@ -226,7 +239,10 @@ mod tests {
         let db = figure1_database();
         let result = Tput.run(&db, &TopKQuery::top(3)).unwrap();
         assert_eq!(result.stats().rounds, 3);
-        assert!(result.stats().accesses.sorted >= 9, "phase 1 reads top-3 of each list");
+        assert!(
+            result.stats().accesses.sorted >= 9,
+            "phase 1 reads top-3 of each list"
+        );
         assert_eq!(Tput.name(), "tput");
     }
 
@@ -234,7 +250,13 @@ mod tests {
     fn rejects_non_sum_scoring() {
         let db = figure1_database();
         let err = Tput.run(&db, &TopKQuery::new(2, Min)).unwrap_err();
-        assert!(matches!(err, TopKError::UnsupportedScoring { algorithm: "tput", .. }));
+        assert!(matches!(
+            err,
+            TopKError::UnsupportedScoring {
+                algorithm: "tput",
+                ..
+            }
+        ));
         assert!(err.to_string().contains("tput"));
     }
 
@@ -263,7 +285,13 @@ mod tests {
         assert_eq!(query.scoring().name(), "sum");
         let err = Tput.run(&db, &query).unwrap_err();
         assert!(
-            matches!(err, TopKError::UnsupportedScoring { algorithm: "tput", .. }),
+            matches!(
+                err,
+                TopKError::UnsupportedScoring {
+                    algorithm: "tput",
+                    ..
+                }
+            ),
             "typed gate must not trust the display name, got {err:?}"
         );
     }

@@ -33,7 +33,10 @@ impl CostModel {
             ("random", random_cost),
             ("direct", direct_cost),
         ] {
-            assert!(c.is_finite() && c >= 0.0, "{name} access cost must be non-negative and finite");
+            assert!(
+                c.is_finite() && c >= 0.0,
+                "{name} access cost must be non-negative and finite"
+            );
         }
         CostModel {
             sorted_cost,
@@ -113,8 +116,16 @@ mod tests {
         // For the Figure 1 database (m=3, TA stops at position 6):
         // TA: 18 sorted + 36 random; BPA: 9 sorted + 18 random.
         let model = CostModel::new(1.0, 2.0, 2.0);
-        let ta = AccessCounters { sorted: 18, random: 36, direct: 0 };
-        let bpa = AccessCounters { sorted: 9, random: 18, direct: 0 };
+        let ta = AccessCounters {
+            sorted: 18,
+            random: 36,
+            direct: 0,
+        };
+        let bpa = AccessCounters {
+            sorted: 9,
+            random: 18,
+            direct: 0,
+        };
         assert_eq!(model.execution_cost(&ta), 90.0);
         assert_eq!(model.execution_cost(&bpa), 45.0);
         // (m - 1) = 2 times lower, as Theorem 3 promises for this database.

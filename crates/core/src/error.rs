@@ -33,7 +33,10 @@ impl fmt::Display for TopKError {
                 write!(f, "k must satisfy 1 <= k <= n, got k = {k} with n = {n}")
             }
             TopKError::UnsupportedScoring { algorithm, scoring } => {
-                write!(f, "{algorithm} does not support the '{scoring}' scoring function")
+                write!(
+                    f,
+                    "{algorithm} does not support the '{scoring}' scoring function"
+                )
             }
             TopKError::List(err) => write!(f, "list error: {err}"),
         }

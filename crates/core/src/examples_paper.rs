@@ -218,7 +218,10 @@ mod tests {
                     .iter()
                     .map(|s| s.value())
                     .sum();
-                assert!(total < 60.0, "d{id} must stay out of the top 3 (got {total})");
+                assert!(
+                    total < 60.0,
+                    "d{id} must stay out of the top 3 (got {total})"
+                );
             }
         }
     }

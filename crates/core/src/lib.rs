@@ -50,10 +50,12 @@ pub mod scoring;
 pub mod stats;
 pub mod topk_buffer;
 
-pub use algorithms::{AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput};
+pub use algorithms::{
+    run_all, run_all_in_memory, AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput,
+};
 pub use cost::CostModel;
 pub use error::TopKError;
-pub use planner::{plan_and_run, CostEstimate, Plan, Planner};
+pub use planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
 pub use query::TopKQuery;
 pub use result::{RankedItem, TopKResult};
 pub use scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
@@ -63,11 +65,12 @@ pub use topk_buffer::TopKBuffer;
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use crate::algorithms::{
-        AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput,
+        run_all, run_all_in_memory, AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm,
+        Tput,
     };
     pub use crate::cost::CostModel;
     pub use crate::error::TopKError;
-    pub use crate::planner::{plan_and_run, CostEstimate, Plan, Planner};
+    pub use crate::planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
     pub use crate::query::TopKQuery;
     pub use crate::result::{RankedItem, TopKResult};
     pub use crate::scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};

@@ -52,6 +52,7 @@
 //! assert_eq!(result.len(), 3);
 //! ```
 
+use topk_lists::source::SourceSet;
 use topk_lists::Database;
 
 use crate::algorithms::AlgorithmKind;
@@ -173,9 +174,8 @@ impl Planner {
         // m-1 random accesses per resolved item.
         let overlap = stats.head_overlap;
         let coverage = 1.0 - (-((m * depth) as f64) / n as f64).exp();
-        let distinct = (overlap * 1.4 * depth as f64
-            + (1.0 - overlap) * n as f64 * coverage)
-            .min(n as f64);
+        let distinct =
+            (overlap * 1.4 * depth as f64 + (1.0 - overlap) * n as f64 * coverage).min(n as f64);
         let bpa2_cost = distinct * (cd + (m - 1) as f64 * cr);
 
         let mut ranked = vec![
@@ -212,7 +212,10 @@ impl Planner {
         // worst-case guarantee, which CANDIDATES lists last.
         let preference = |a: AlgorithmKind| {
             Self::CANDIDATES.len()
-                - Self::CANDIDATES.iter().position(|&c| c == a).expect("ranked ⊆ CANDIDATES")
+                - Self::CANDIDATES
+                    .iter()
+                    .position(|&c| c == a)
+                    .expect("ranked ⊆ CANDIDATES")
         };
         ranked.sort_by(|a, b| {
             a.cost
@@ -264,9 +267,13 @@ impl Planner {
                     None => stats.positions[j],
                     Some((prev_pos, prev_threshold)) => {
                         let span = prev_threshold - threshold;
-                        let frac = if span > 0.0 { (prev_threshold - kth) / span } else { 1.0 };
-                        let interpolated = prev_pos as f64
-                            + frac * (stats.positions[j] - prev_pos) as f64;
+                        let frac = if span > 0.0 {
+                            (prev_threshold - kth) / span
+                        } else {
+                            1.0
+                        };
+                        let interpolated =
+                            prev_pos as f64 + frac * (stats.positions[j] - prev_pos) as f64;
                         interpolated.round() as usize
                     }
                 };
@@ -295,6 +302,30 @@ pub fn plan_and_run(
     let planner = Planner::paper_default(database.num_items());
     let plan = planner.plan_database(database, query);
     let result = plan.choice().create().run(database, query)?;
+    Ok((plan, result))
+}
+
+/// Backend-generic planning: plans the query from already-collected
+/// statistics and executes the selected algorithm against the given
+/// sources (in-memory, cluster, batched, …).
+///
+/// Statistics are an input rather than sampled here because sampling is a
+/// catalog-side operation: remote backends collect [`DatabaseStats`] where
+/// the data lives and ship only the summary, exactly like a relational
+/// optimizer's statistics.
+///
+/// # Errors
+///
+/// Propagates execution errors from the chosen algorithm (e.g.
+/// [`TopKError::InvalidK`] when `k` exceeds `n`).
+pub fn plan_and_run_on(
+    sources: &mut dyn SourceSet,
+    stats: &DatabaseStats,
+    query: &TopKQuery,
+) -> Result<(Plan, TopKResult), TopKError> {
+    let planner = Planner::paper_default(stats.num_items.max(1));
+    let plan = planner.plan(stats, query);
+    let result = plan.choice().create().run_on(sources, query)?;
     Ok((plan, result))
 }
 
@@ -442,8 +473,7 @@ mod tests {
         let cheap_random = Planner::new(CostModel::new(1.0, 0.0, 0.0)).plan_database(&db, &query);
         assert_ne!(cheap_random.choice(), AlgorithmKind::Naive);
         // …while very expensive random accesses hand the win to the scan.
-        let dear_random =
-            Planner::new(CostModel::new(1.0, 1e6, 1e6)).plan_database(&db, &query);
+        let dear_random = Planner::new(CostModel::new(1.0, 1e6, 1e6)).plan_database(&db, &query);
         assert_eq!(dear_random.choice(), AlgorithmKind::Naive);
     }
 

@@ -73,14 +73,21 @@ impl TopKQuery {
         self.scoring.combine(locals)
     }
 
-    /// Checks that the query is well-formed for the given database
-    /// (`1 ≤ k ≤ n`).
-    pub fn validate(&self, database: &Database) -> Result<(), TopKError> {
-        let n = database.num_items();
+    /// Checks that the query is well-formed for a database of `n` items
+    /// (`1 ≤ k ≤ n`). This is the check the shared execution entry point
+    /// ([`TopKAlgorithm::run_on`](crate::TopKAlgorithm::run_on)) performs
+    /// for every algorithm, against any backend.
+    pub fn validate_for(&self, n: usize) -> Result<(), TopKError> {
         if self.k == 0 || self.k > n {
             return Err(TopKError::InvalidK { k: self.k, n });
         }
         Ok(())
+    }
+
+    /// Checks that the query is well-formed for the given database
+    /// (`1 ≤ k ≤ n`).
+    pub fn validate(&self, database: &Database) -> Result<(), TopKError> {
+        self.validate_for(database.num_items())
     }
 }
 
@@ -104,7 +111,8 @@ mod tests {
         assert_eq!(q.k(), 2);
         assert_eq!(q.scoring().name(), "sum");
         assert_eq!(
-            q.combine(&[Score::from_f64(1.0), Score::from_f64(2.0)]).value(),
+            q.combine(&[Score::from_f64(1.0), Score::from_f64(2.0)])
+                .value(),
             3.0
         );
     }

@@ -112,7 +112,10 @@ mod tests {
 
     #[test]
     fn items_are_sorted_by_descending_score() {
-        let r = TopKResult::new(vec![ranked(1, 5.0), ranked(2, 9.0), ranked(3, 7.0)], dummy_stats());
+        let r = TopKResult::new(
+            vec![ranked(1, 5.0), ranked(2, 9.0), ranked(3, 7.0)],
+            dummy_stats(),
+        );
         assert_eq!(r.item_ids(), vec![ItemId(2), ItemId(3), ItemId(1)]);
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());

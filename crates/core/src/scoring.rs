@@ -124,7 +124,10 @@ impl WeightedSum {
     /// Panics if `weights` is empty or contains a negative or non-finite
     /// weight (which would break monotonicity).
     pub fn new(weights: Vec<f64>) -> Self {
-        assert!(!weights.is_empty(), "weighted sum needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted sum needs at least one weight"
+        );
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be non-negative and finite to keep the scoring function monotone"
@@ -182,8 +185,18 @@ pub fn check_monotone_on<F: ScoringFunction + ?Sized>(
             .enumerate()
             .map(|(i, &v)| v + value_at(trial * 2 + 1, i).abs())
             .collect();
-        let lo = f.combine(&lower.iter().map(|&v| Score::from_f64(v)).collect::<Vec<_>>());
-        let hi = f.combine(&upper.iter().map(|&v| Score::from_f64(v)).collect::<Vec<_>>());
+        let lo = f.combine(
+            &lower
+                .iter()
+                .map(|&v| Score::from_f64(v))
+                .collect::<Vec<_>>(),
+        );
+        let hi = f.combine(
+            &upper
+                .iter()
+                .map(|&v| Score::from_f64(v))
+                .collect::<Vec<_>>(),
+        );
         if lo > hi {
             return Some((lower, upper));
         }
@@ -275,10 +288,13 @@ mod tests {
         assert!(check_monotone_on(&Average, 4, 200, &mut next).is_none());
         assert!(check_monotone_on(&Min, 4, 200, &mut next).is_none());
         assert!(check_monotone_on(&Max, 4, 200, &mut next).is_none());
-        assert!(
-            check_monotone_on(&WeightedSum::new(vec![0.1, 2.0, 0.0, 1.0]), 4, 200, &mut next)
-                .is_none()
-        );
+        assert!(check_monotone_on(
+            &WeightedSum::new(vec![0.1, 2.0, 0.0, 1.0]),
+            4,
+            200,
+            &mut next
+        )
+        .is_none());
     }
 
     #[test]

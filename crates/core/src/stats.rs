@@ -27,7 +27,11 @@ pub struct RunStats {
     /// * for BPA2 the largest best position over all lists when it stopped,
     /// * `None` for the naive full scan (it has no early stop).
     pub stop_position: Option<usize>,
-    /// Number of sorted/direct rounds the algorithm performed.
+    /// Number of originator rounds the algorithm performed: one per
+    /// sorted-access position for the threshold family (FA's random-access
+    /// resolution phase is demarcated but not counted here), one per loop
+    /// iteration for BPA2, one per phase for TPUT, and one per streamed
+    /// list for the naive scan.
     pub rounds: u64,
     /// Number of distinct data items whose overall score was computed.
     pub items_scored: usize,
@@ -180,7 +184,9 @@ impl DatabaseStats {
         overall.sort_by(|a, b| b.total_cmp(a));
         let k = k.clamp(1, self.num_items);
         // ⌈k · |sample| / n⌉ without floating point; n ≥ 1 by construction.
-        let rank = (k * overall.len()).div_ceil(self.num_items).clamp(1, overall.len());
+        let rank = (k * overall.len())
+            .div_ceil(self.num_items)
+            .clamp(1, overall.len());
         overall[rank - 1]
     }
 }
@@ -249,7 +255,11 @@ mod tests {
                 direct: 0,
             },
             per_list: vec![
-                AccessCounters { sorted: 6, random: 12, direct: 0 };
+                AccessCounters {
+                    sorted: 6,
+                    random: 12,
+                    direct: 0
+                };
                 3
             ],
             stop_position: Some(6),
@@ -338,7 +348,10 @@ mod tests {
             ];
             let db = Database::from_unsorted_lists(aligned).unwrap();
             let stats = DatabaseStats::collect(&db);
-            assert_eq!(stats.head_overlap, 1.0, "identically ranked lists fully overlap");
+            assert_eq!(
+                stats.head_overlap, 1.0,
+                "identically ranked lists fully overlap"
+            );
 
             let reversed: Vec<Vec<(u64, f64)>> = vec![
                 (0..200).map(|i| (i, (200 - i) as f64)).collect(),
@@ -346,7 +359,10 @@ mod tests {
             ];
             let db = Database::from_unsorted_lists(reversed).unwrap();
             let stats = DatabaseStats::collect(&db);
-            assert_eq!(stats.head_overlap, 0.0, "opposed rankings share no head items");
+            assert_eq!(
+                stats.head_overlap, 0.0,
+                "opposed rankings share no head items"
+            );
         }
 
         #[test]
@@ -376,7 +392,10 @@ mod tests {
             ];
             let db = Database::from_unsorted_lists(lists).unwrap();
             let stats = DatabaseStats::collect_with(&db, 8, 32, 1);
-            assert!(stats.positions.len() <= 9, "grid capped near the requested length");
+            assert!(
+                stats.positions.len() <= 9,
+                "grid capped near the requested length"
+            );
             assert_eq!(stats.sample_locals.len(), 32);
             let again = DatabaseStats::collect_with(&db, 8, 32, 1);
             assert_eq!(stats, again, "collection is deterministic");

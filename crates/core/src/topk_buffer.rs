@@ -1,7 +1,7 @@
 //! The answer buffer `Y`: the k highest-scored items seen so far.
 
-use std::collections::{BinaryHeap, HashSet};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 
 use topk_lists::{ItemId, Score};
 

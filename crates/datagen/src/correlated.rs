@@ -215,7 +215,10 @@ mod tests {
         assert_eq!(a.num_items(), 200);
         let b = g.generate(4);
         for (la, lb) in a.lists().zip(b.lists()) {
-            assert_eq!(la.items().collect::<Vec<_>>(), lb.items().collect::<Vec<_>>());
+            assert_eq!(
+                la.items().collect::<Vec<_>>(),
+                lb.items().collect::<Vec<_>>()
+            );
         }
         assert_eq!(g.alpha(), 0.01);
     }

@@ -83,14 +83,22 @@ mod tests {
         assert_eq!(a.num_items(), 300);
         let b = g.generate(5);
         for (la, lb) in a.lists().zip(b.lists()) {
-            assert_eq!(la.items().collect::<Vec<_>>(), lb.items().collect::<Vec<_>>());
+            assert_eq!(
+                la.items().collect::<Vec<_>>(),
+                lb.items().collect::<Vec<_>>()
+            );
         }
     }
 
     #[test]
     fn sample_moments_are_close_to_standard_normal() {
         let db = GaussianGenerator::new(1, 20_000).generate(123);
-        let scores: Vec<f64> = db.list(0).unwrap().iter().map(|e| e.score.value()).collect();
+        let scores: Vec<f64> = db
+            .list(0)
+            .unwrap()
+            .iter()
+            .map(|e| e.score.value())
+            .collect();
         let n = scores.len() as f64;
         let mean = scores.iter().sum::<f64>() / n;
         let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
@@ -110,7 +118,10 @@ mod tests {
                 prev = e.score.value();
             }
         }
-        assert!(saw_negative, "a standard normal sample of 2000 should contain negatives");
+        assert!(
+            saw_negative,
+            "a standard normal sample of 2000 should contain negatives"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
         let a = spec.generate(9);
         let b = spec.generate(9);
         for (la, lb) in a.lists().zip(b.lists()) {
-            assert_eq!(la.items().collect::<Vec<_>>(), lb.items().collect::<Vec<_>>());
+            assert_eq!(
+                la.items().collect::<Vec<_>>(),
+                lb.items().collect::<Vec<_>>()
+            );
         }
     }
 }

@@ -76,13 +76,7 @@ mod tests {
         let a = g.generate(7);
         let b = g.generate(7);
         let c = g.generate(8);
-        let first = |db: &Database| {
-            db.list(0)
-                .unwrap()
-                .entry_at(Position::FIRST)
-                .unwrap()
-                .item
-        };
+        let first = |db: &Database| db.list(0).unwrap().entry_at(Position::FIRST).unwrap().item;
         assert_eq!(first(&a), first(&b));
         // Different seeds *almost surely* differ in at least one list head;
         // compare whole orderings to avoid a flaky single-item check.
@@ -119,7 +113,10 @@ mod tests {
             buckets[b.min(3)] += 1;
         }
         for count in buckets {
-            assert!((350..650).contains(&count), "bucket count {count} out of band");
+            assert!(
+                (350..650).contains(&count),
+                "bucket count {count} out of band"
+            );
         }
     }
 

@@ -25,7 +25,10 @@ impl ZipfScores {
     ///
     /// Panics if `theta` is negative or not finite.
     pub fn new(theta: f64) -> Self {
-        assert!(theta.is_finite() && theta >= 0.0, "theta must be a non-negative finite number");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be a non-negative finite number"
+        );
         ZipfScores { theta, scale: 1.0 }
     }
 
@@ -40,7 +43,10 @@ impl ZipfScores {
     ///
     /// Panics if `scale` is not a positive finite number.
     pub fn with_scale(mut self, scale: f64) -> Self {
-        assert!(scale.is_finite() && scale > 0.0, "scale must be a positive finite number");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be a positive finite number"
+        );
         self.scale = scale;
         self
     }

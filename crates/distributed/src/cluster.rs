@@ -1,13 +1,28 @@
 //! The simulated cluster: list owners plus network accounting.
 
+use std::cell::{Ref, RefCell};
+
 use topk_lists::tracker::TrackerKind;
-use topk_lists::Database;
+use topk_lists::{Database, Score};
 
 use crate::message::{Request, Response};
 use crate::owner::ListOwner;
 
-/// Aggregate network statistics for one distributed query execution.
+/// Messages and payload exchanged during one originator round (between
+/// two [`Cluster::begin_round`] calls) — the first slice of the roadmap's
+/// latency modelling: a protocol's wall-clock lower bound is its number
+/// of *rounds*, not its number of messages, once requests within a round
+/// overlap.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Messages exchanged during the round (requests + responses).
+    pub messages: u64,
+    /// Payload shipped during the round, in scalar units.
+    pub payload_units: u64,
+}
+
+/// Aggregate network statistics for one distributed query execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Total number of messages exchanged (requests + responses).
     pub messages: u64,
@@ -18,23 +33,56 @@ pub struct NetworkStats {
     /// Total payload shipped, in scalar units (see
     /// [`crate::message::Request::payload_units`]).
     pub payload_units: u64,
+    /// Per-round breakdown of `messages` and `payload_units`, one entry
+    /// per originator round. Traffic before the first
+    /// [`Cluster::begin_round`] lands in an implicit first round.
+    pub per_round: Vec<RoundStats>,
 }
 
 impl NetworkStats {
     fn record(&mut self, request: &Request, response: &Response) {
+        let payload = request.payload_units() + response.payload_units();
         self.requests += 1;
         self.responses += 1;
         self.messages += 2;
-        self.payload_units += request.payload_units() + response.payload_units();
+        self.payload_units += payload;
+        if self.per_round.is_empty() {
+            self.per_round.push(RoundStats::default());
+        }
+        let round = self.per_round.last_mut().expect("non-empty");
+        round.messages += 2;
+        round.payload_units += payload;
+    }
+
+    fn begin_round(&mut self) {
+        self.per_round.push(RoundStats::default());
+    }
+
+    /// Number of originator rounds that exchanged at least the round
+    /// marker (i.e. `per_round.len()`).
+    pub fn rounds(&self) -> usize {
+        self.per_round.len()
+    }
+
+    /// The heaviest round, by message count.
+    pub fn peak_round(&self) -> Option<RoundStats> {
+        self.per_round.iter().copied().max_by_key(|r| r.messages)
     }
 }
 
 /// A set of [`ListOwner`] nodes (one per list of a database) reachable only
 /// through [`Cluster::send`], which tallies every exchanged message.
+///
+/// The cluster hands out shared references to itself (interior
+/// mutability), so the `m` per-list [`ClusterSource`] handles of a
+/// [`ClusterSources`] set can coexist while routing through one tally.
+///
+/// [`ClusterSource`]: crate::source::ClusterSource
+/// [`ClusterSources`]: crate::source::ClusterSources
 #[derive(Debug)]
 pub struct Cluster {
-    owners: Vec<ListOwner>,
-    stats: NetworkStats,
+    owners: Vec<RefCell<ListOwner>>,
+    stats: RefCell<NetworkStats>,
 }
 
 impl Cluster {
@@ -49,9 +97,9 @@ impl Cluster {
         Cluster {
             owners: database
                 .lists()
-                .map(|list| ListOwner::with_tracker(list.clone(), kind))
+                .map(|list| RefCell::new(ListOwner::with_tracker(list.clone(), kind)))
                 .collect(),
-            stats: NetworkStats::default(),
+            stats: RefCell::new(NetworkStats::default()),
         }
     }
 
@@ -62,7 +110,7 @@ impl Cluster {
 
     /// Number of items per list (`n`).
     pub fn num_items(&self) -> usize {
-        self.owners[0].len()
+        self.owners[0].borrow().len()
     }
 
     /// Sends a request to owner `i` and returns its response, counting both
@@ -72,31 +120,67 @@ impl Cluster {
     ///
     /// Panics if `i` is not a valid owner index; protocols only address
     /// owners `0..m`.
-    pub fn send(&mut self, owner: usize, request: Request) -> Response {
-        let response = self.owners[owner].handle(request);
-        self.stats.record(&request, &response);
+    pub fn send(&self, owner: usize, request: Request) -> Response {
+        let response = self.owners[owner].borrow_mut().handle(request);
+        self.stats.borrow_mut().record(&request, &response);
         response
+    }
+
+    /// Marks the start of a new originator round in the per-round network
+    /// accounting.
+    pub fn begin_round(&self) {
+        self.stats.borrow_mut().begin_round();
     }
 
     /// Network statistics accumulated so far.
     pub fn network(&self) -> NetworkStats {
-        self.stats
+        self.stats.borrow().clone()
     }
 
     /// Total accesses served by every owner (sorted + random + direct).
     pub fn accesses_served(&self) -> u64 {
-        self.owners.iter().map(|o| o.accesses_served()).sum()
+        self.owners
+            .iter()
+            .map(|o| o.borrow().accesses_served())
+            .sum()
     }
 
-    /// Read-only view of the owners (used by tests).
-    pub fn owners(&self) -> &[ListOwner] {
-        &self.owners
+    /// Read-only view of owner `i` (used by tests and for uncounted
+    /// introspection such as best positions and catalog metadata).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, or if the owner is currently
+    /// handling a request.
+    pub fn owner(&self, i: usize) -> Ref<'_, ListOwner> {
+        self.owners[i].borrow()
+    }
+
+    /// The tail score of owner `i`'s list — catalog metadata, uncounted.
+    pub fn tail_score(&self, i: usize) -> Score {
+        self.owners[i].borrow().tail_score()
+    }
+
+    /// Resets owner `i`'s per-query state (seen positions, served-access
+    /// count), leaving the network tally and the other owners untouched.
+    pub fn owner_reset(&self, i: usize) {
+        self.owners[i].borrow_mut().reset();
     }
 
     /// Resets network statistics, keeping owner state. Useful when a single
     /// cluster serves several measured queries in a bench.
-    pub fn reset_network(&mut self) {
-        self.stats = NetworkStats::default();
+    pub fn reset_network(&self) {
+        *self.stats.borrow_mut() = NetworkStats::default();
+    }
+
+    /// Resets network statistics *and* every owner's per-query state
+    /// (seen positions, served-access counts), so the cluster can serve a
+    /// fresh query over unchanged lists.
+    pub fn reset(&self) {
+        self.reset_network();
+        for owner in &self.owners {
+            owner.borrow_mut().reset();
+        }
     }
 }
 
@@ -112,7 +196,6 @@ mod tests {
         let cluster = Cluster::new(&db);
         assert_eq!(cluster.num_owners(), 3);
         assert_eq!(cluster.num_items(), 12);
-        assert_eq!(cluster.owners().len(), 3);
         assert_eq!(cluster.accesses_served(), 0);
         assert_eq!(cluster.network(), NetworkStats::default());
     }
@@ -120,7 +203,7 @@ mod tests {
     #[test]
     fn send_counts_messages_and_payload() {
         let db = figure1_database();
-        let mut cluster = Cluster::new(&db);
+        let cluster = Cluster::new(&db);
         let resp = cluster.send(
             0,
             Request::SortedAccess {
@@ -142,16 +225,84 @@ mod tests {
 
         cluster.reset_network();
         assert_eq!(cluster.network().messages, 0);
-        assert_eq!(cluster.accesses_served(), 1, "owner state survives a reset");
+        assert_eq!(
+            cluster.accesses_served(),
+            1,
+            "owner state survives a network reset"
+        );
+
+        cluster.reset();
+        assert_eq!(
+            cluster.accesses_served(),
+            0,
+            "a full reset clears owner state"
+        );
+    }
+
+    #[test]
+    fn per_round_accounting_splits_traffic_at_round_marks() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        let sorted = |p: usize| Request::SortedAccess {
+            position: Position::new(p).unwrap(),
+            track: false,
+        };
+
+        cluster.begin_round();
+        cluster.send(0, sorted(1));
+        cluster.send(1, sorted(1));
+        cluster.begin_round();
+        cluster.send(0, sorted(2));
+
+        let stats = cluster.network();
+        assert_eq!(stats.rounds(), 2);
+        assert_eq!(stats.per_round[0].messages, 4);
+        assert_eq!(stats.per_round[1].messages, 2);
+        let sum: u64 = stats.per_round.iter().map(|r| r.messages).sum();
+        assert_eq!(sum, stats.messages);
+        let payload: u64 = stats.per_round.iter().map(|r| r.payload_units).sum();
+        assert_eq!(payload, stats.payload_units);
+        assert_eq!(stats.peak_round().unwrap().messages, 4);
+    }
+
+    #[test]
+    fn traffic_before_the_first_round_mark_lands_in_an_implicit_round() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        cluster.send(
+            0,
+            Request::SortedAccess {
+                position: Position::FIRST,
+                track: false,
+            },
+        );
+        let stats = cluster.network();
+        assert_eq!(stats.rounds(), 1);
+        assert_eq!(stats.per_round[0].messages, 2);
     }
 
     #[test]
     fn owners_can_use_any_tracker() {
         let db = figure1_database();
         for kind in TrackerKind::ALL {
-            let mut cluster = Cluster::with_tracker(&db, kind);
+            let cluster = Cluster::with_tracker(&db, kind);
             cluster.send(1, Request::DirectAccessNext);
-            assert_eq!(cluster.owners()[1].best_position(), Position::new(1));
+            assert_eq!(cluster.owner(1).best_position(), Position::new(1));
         }
+    }
+
+    #[test]
+    fn tail_scores_are_catalog_metadata() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        for i in 0..cluster.num_owners() {
+            let expected = db.list(i).unwrap().last_entry().score;
+            assert_eq!(cluster.tail_score(i), expected);
+        }
+        assert_eq!(
+            cluster.network().messages,
+            0,
+            "catalog reads are not messages"
+        );
     }
 }

@@ -11,16 +11,21 @@
 //!
 //! * every sorted list is held by a [`ListOwner`] node that also manages
 //!   the list's best position (as BPA2 prescribes),
-//! * a query-originator protocol ([`DistributedTa`], [`DistributedBpa`],
-//!   [`DistributedBpa2`]) talks to the owners exclusively through typed
-//!   [`message`]s routed by a [`Cluster`], which counts every message and
-//!   its payload size,
+//! * [`ClusterSource`] adapts the backend-generic
+//!   [`ListSource`](topk_lists::source::ListSource) API onto typed
+//!   [`message`]s routed by a [`Cluster`], which counts every message,
+//!   its payload size, and a per-round breakdown ([`NetworkStats`]) —
+//!   so the *same* `topk_core` algorithms execute distributed, with no
+//!   re-implementation,
+//! * the query-originator protocols ([`DistributedNaive`],
+//!   [`DistributedTa`], [`DistributedBpa`], [`DistributedBpa2`]) are thin
+//!   adapters binding one core algorithm to [`ClusterSources`],
 //! * the resulting [`NetworkStats`] quantify the communication-cost claims:
 //!   BPA2 sends fewer messages than BPA (fewer accesses) *and* smaller ones
 //!   (no positions shipped to the originator).
 //!
 //! The simulation is deterministic and single-process; it models message
-//! counts and sizes, not latencies.
+//! counts, sizes and per-round traffic, not latencies.
 //!
 //! ```
 //! use topk_core::TopKQuery;
@@ -35,6 +40,8 @@
 //! assert_eq!(result.answers.len(), 3);
 //! // One request and one response per access: 36 accesses -> 72 messages.
 //! assert_eq!(result.network.messages, 72);
+//! // Four originator rounds, accounted message by message.
+//! assert_eq!(result.network.rounds(), 4);
 //! ```
 
 #![warn(missing_docs)]
@@ -43,10 +50,13 @@ pub mod cluster;
 pub mod message;
 pub mod owner;
 pub mod protocol;
+pub mod source;
 
-pub use cluster::{Cluster, NetworkStats};
+pub use cluster::{Cluster, NetworkStats, RoundStats};
 pub use message::{Request, Response};
 pub use owner::ListOwner;
 pub use protocol::{
-    DistributedBpa, DistributedBpa2, DistributedProtocol, DistributedResult, DistributedTa,
+    DistributedBpa, DistributedBpa2, DistributedNaive, DistributedProtocol, DistributedResult,
+    DistributedTa,
 };
+pub use source::{ClusterSource, ClusterSources};

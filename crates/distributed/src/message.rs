@@ -36,6 +36,20 @@ pub enum Request {
     DirectAccessNext,
     /// Ask for the local score at the owner's current best position.
     BestPositionScore,
+    /// Batched sorted access: read up to `len` consecutive entries
+    /// starting at `start`, in one round trip. Used by the batching
+    /// decorator (`topk_lists::source::BatchingSource`) to coalesce
+    /// sequential scans; each entry still counts as one access at the
+    /// owner.
+    SortedBlock {
+        /// 1-based position of the first entry to read.
+        start: Position,
+        /// Maximum number of entries to return (clamped to the list end).
+        len: u32,
+        /// Whether the owner should record every returned position as
+        /// seen (BPA-style bookkeeping, owner-side).
+        track: bool,
+    },
 }
 
 impl Request {
@@ -43,16 +57,17 @@ impl Request {
     /// modelled).
     pub fn payload_units(&self) -> u64 {
         match self {
-            Request::SortedAccess { .. } => 1,     // position
-            Request::RandomAccess { .. } => 1,     // item id
-            Request::DirectAccessNext => 0,        // no operands
-            Request::BestPositionScore => 0,       // no operands
+            Request::SortedAccess { .. } => 1, // position
+            Request::RandomAccess { .. } => 1, // item id
+            Request::DirectAccessNext => 0,    // no operands
+            Request::BestPositionScore => 0,   // no operands
+            Request::SortedBlock { .. } => 2,  // start position + length
         }
     }
 }
 
 /// A response returned by a list owner.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// An entry read under sorted or direct access.
     Entry {
@@ -81,6 +96,21 @@ pub enum Response {
     /// The local score at the owner's current best position, or `None` when
     /// no position has been seen yet.
     BestPositionScore(Option<Score>),
+    /// The answer to a [`Request::SortedBlock`]: consecutive entries
+    /// starting at `start` (possibly fewer than asked when the list ends,
+    /// possibly empty when `start` is past the end). Positions are
+    /// implicit — `items[j]` sits at position `start + j` — so a block of
+    /// `len` entries ships `2·len + 1` scalars where `len` separate
+    /// [`Response::Entry`] replies would ship `3·len`.
+    Entries {
+        /// Position of the first returned entry.
+        start: Position,
+        /// `(item, local score)` pairs in position order.
+        items: Vec<(ItemId, Score)>,
+        /// The local score at the owner's best position, included when the
+        /// (tracked) block moved the best position.
+        best_position_score: Option<Score>,
+    },
     /// The requested position does not exist (past the end of the list, or
     /// every position has already been seen for [`Request::DirectAccessNext`]).
     Exhausted,
@@ -100,6 +130,11 @@ impl Response {
                 ..
             } => 1 + u64::from(position.is_some()) + u64::from(best_position_score.is_some()),
             Response::BestPositionScore(score) => u64::from(score.is_some()),
+            Response::Entries {
+                items,
+                best_position_score,
+                ..
+            } => 1 + 2 * items.len() as u64 + u64::from(best_position_score.is_some()),
             Response::Exhausted => 0,
         }
     }
@@ -116,16 +151,54 @@ mod tests {
     #[test]
     fn request_payloads() {
         assert_eq!(
-            Request::SortedAccess { position: pos(3), track: true }.payload_units(),
+            Request::SortedAccess {
+                position: pos(3),
+                track: true
+            }
+            .payload_units(),
             1
         );
         assert_eq!(
-            Request::RandomAccess { item: ItemId(1), with_position: true, track: true }
-                .payload_units(),
+            Request::RandomAccess {
+                item: ItemId(1),
+                with_position: true,
+                track: true
+            }
+            .payload_units(),
             1
         );
         assert_eq!(Request::DirectAccessNext.payload_units(), 0);
         assert_eq!(Request::BestPositionScore.payload_units(), 0);
+        assert_eq!(
+            Request::SortedBlock {
+                start: pos(1),
+                len: 16,
+                track: false
+            }
+            .payload_units(),
+            2
+        );
+    }
+
+    #[test]
+    fn a_block_ships_fewer_scalars_than_its_entries_would() {
+        let items: Vec<(ItemId, Score)> = (0..8)
+            .map(|i| (ItemId(i), Score::from_f64(i as f64)))
+            .collect();
+        let block = Response::Entries {
+            start: pos(1),
+            items,
+            best_position_score: None,
+        };
+        // 8 entries: 2·8 + 1 = 17 units against 8 Entry replies at 3 each.
+        assert_eq!(block.payload_units(), 17);
+        assert!(block.payload_units() < 8 * 3);
+        let empty = Response::Entries {
+            start: pos(1),
+            items: Vec::new(),
+            best_position_score: Some(Score::from_f64(1.0)),
+        };
+        assert_eq!(empty.payload_units(), 2);
     }
 
     #[test]

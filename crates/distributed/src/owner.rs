@@ -12,6 +12,7 @@ use crate::message::{Request, Response};
 pub struct ListOwner {
     list: SortedList,
     tracker: Box<dyn PositionTracker>,
+    tracker_kind: TrackerKind,
     accesses: u64,
 }
 
@@ -28,8 +29,22 @@ impl ListOwner {
         ListOwner {
             list,
             tracker: kind.create(n),
+            tracker_kind: kind,
             accesses: 0,
         }
+    }
+
+    /// Forgets all per-query state (seen positions, access counts), so the
+    /// owner can serve a fresh query over its unchanged list.
+    pub fn reset(&mut self) {
+        self.tracker = self.tracker_kind.create(self.list.len());
+        self.accesses = 0;
+    }
+
+    /// The score of the list's last entry — catalog metadata known at list
+    /// registration time, not an access.
+    pub fn tail_score(&self) -> Score {
+        self.list.last_entry().score
     }
 
     /// Number of items in the owned list.
@@ -121,6 +136,37 @@ impl ListOwner {
                 }
             }
             Request::BestPositionScore => Response::BestPositionScore(self.best_position_score()),
+            Request::SortedBlock { start, len, track } => {
+                let end = self
+                    .list
+                    .len()
+                    .min(start.get().saturating_add(len as usize).saturating_sub(1));
+                let mut items = Vec::with_capacity(end.saturating_sub(start.get() - 1));
+                let best_before = self.tracker.best_position();
+                for pos in start.get()..=end {
+                    let position = Position::new(pos).expect("pos >= 1");
+                    let entry = self
+                        .list
+                        .entry_at(position)
+                        .expect("position within list bounds");
+                    self.accesses += 1;
+                    if track {
+                        self.tracker.mark_seen(position);
+                    }
+                    items.push((entry.item, entry.score));
+                }
+                let best_after = self.tracker.best_position();
+                let best = if track && best_after != best_before {
+                    best_after.and_then(|bp| self.list.score_at(bp))
+                } else {
+                    None
+                };
+                Response::Entries {
+                    start,
+                    items,
+                    best_position_score: best,
+                }
+            }
         }
     }
 
@@ -165,20 +211,38 @@ mod tests {
     #[test]
     fn sorted_access_reads_and_optionally_tracks() {
         let mut o = owner();
-        let resp = o.handle(Request::SortedAccess { position: pos(1), track: false });
+        let resp = o.handle(Request::SortedAccess {
+            position: pos(1),
+            track: false,
+        });
         match resp {
-            Response::Entry { item, score, best_position_score, .. } => {
+            Response::Entry {
+                item,
+                score,
+                best_position_score,
+                ..
+            } => {
                 assert_eq!(item, ItemId(1));
                 assert_eq!(score.value(), 30.0);
                 assert!(best_position_score.is_none());
             }
             other => panic!("unexpected response {other:?}"),
         }
-        assert_eq!(o.best_position(), None, "track=false must not update the tracker");
+        assert_eq!(
+            o.best_position(),
+            None,
+            "track=false must not update the tracker"
+        );
 
-        let resp = o.handle(Request::SortedAccess { position: pos(1), track: true });
+        let resp = o.handle(Request::SortedAccess {
+            position: pos(1),
+            track: true,
+        });
         match resp {
-            Response::Entry { best_position_score, .. } => {
+            Response::Entry {
+                best_position_score,
+                ..
+            } => {
                 assert_eq!(best_position_score.unwrap().value(), 30.0);
             }
             other => panic!("unexpected response {other:?}"),
@@ -191,7 +255,10 @@ mod tests {
     fn sorted_access_past_the_end_is_exhausted() {
         let mut o = owner();
         assert_eq!(
-            o.handle(Request::SortedAccess { position: pos(9), track: true }),
+            o.handle(Request::SortedAccess {
+                position: pos(9),
+                track: true
+            }),
             Response::Exhausted
         );
     }
@@ -199,20 +266,34 @@ mod tests {
     #[test]
     fn random_access_reports_position_only_when_asked() {
         let mut o = owner();
-        let r = o.handle(Request::RandomAccess { item: ItemId(3), with_position: false, track: false });
+        let r = o.handle(Request::RandomAccess {
+            item: ItemId(3),
+            with_position: false,
+            track: false,
+        });
         match r {
-            Response::LocalScore { score, position, .. } => {
+            Response::LocalScore {
+                score, position, ..
+            } => {
                 assert_eq!(score.value(), 10.0);
                 assert!(position.is_none());
             }
             other => panic!("unexpected response {other:?}"),
         }
-        let r = o.handle(Request::RandomAccess { item: ItemId(3), with_position: true, track: true });
+        let r = o.handle(Request::RandomAccess {
+            item: ItemId(3),
+            with_position: true,
+            track: true,
+        });
         match r {
             Response::LocalScore { position, .. } => assert_eq!(position, Some(pos(3))),
             other => panic!("unexpected response {other:?}"),
         }
-        let r = o.handle(Request::RandomAccess { item: ItemId(42), with_position: true, track: true });
+        let r = o.handle(Request::RandomAccess {
+            item: ItemId(42),
+            with_position: true,
+            track: true,
+        });
         assert_eq!(r, Response::Exhausted);
     }
 
@@ -220,14 +301,23 @@ mod tests {
     fn direct_access_walks_unseen_positions_and_reports_best_changes() {
         let mut o = owner();
         // Mark position 2 via a tracked random access first.
-        o.handle(Request::RandomAccess { item: ItemId(2), with_position: false, track: true });
+        o.handle(Request::RandomAccess {
+            item: ItemId(2),
+            with_position: false,
+            track: true,
+        });
         assert_eq!(o.best_position(), None);
 
         // Direct access must hit position 1 (smallest unseen) and, because
         // position 2 is already seen, the best position jumps to 2.
         let r = o.handle(Request::DirectAccessNext);
         match r {
-            Response::Entry { item, position, best_position_score, .. } => {
+            Response::Entry {
+                item,
+                position,
+                best_position_score,
+                ..
+            } => {
                 assert_eq!(item, ItemId(1));
                 assert_eq!(position, pos(1));
                 assert_eq!(best_position_score.unwrap().value(), 20.0);
@@ -242,7 +332,96 @@ mod tests {
             other => panic!("unexpected response {other:?}"),
         }
         assert_eq!(o.handle(Request::DirectAccessNext), Response::Exhausted);
-        assert_eq!(o.accesses_served(), 3, "the exhausted direct access is not an access");
+        assert_eq!(
+            o.accesses_served(),
+            3,
+            "the exhausted direct access is not an access"
+        );
+    }
+
+    #[test]
+    fn sorted_block_reads_consecutive_entries_and_counts_each() {
+        let mut o = owner();
+        let r = o.handle(Request::SortedBlock {
+            start: pos(2),
+            len: 5,
+            track: false,
+        });
+        match r {
+            Response::Entries {
+                start,
+                items,
+                best_position_score,
+            } => {
+                assert_eq!(start, pos(2));
+                assert_eq!(
+                    items,
+                    vec![
+                        (ItemId(2), Score::from_f64(20.0)),
+                        (ItemId(3), Score::from_f64(10.0)),
+                    ]
+                );
+                assert!(best_position_score.is_none());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(o.accesses_served(), 2, "one access per returned entry");
+        assert_eq!(
+            o.best_position(),
+            None,
+            "track=false leaves the tracker alone"
+        );
+
+        // A tracked block from position 1 moves the best position and
+        // piggybacks its score.
+        let r = o.handle(Request::SortedBlock {
+            start: pos(1),
+            len: 2,
+            track: true,
+        });
+        match r {
+            Response::Entries {
+                best_position_score,
+                ..
+            } => {
+                assert_eq!(best_position_score.unwrap().value(), 20.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(o.best_position(), Some(pos(2)));
+
+        // Past the end: empty block, nothing counted.
+        let before = o.accesses_served();
+        let r = o.handle(Request::SortedBlock {
+            start: pos(9),
+            len: 3,
+            track: false,
+        });
+        match r {
+            Response::Entries { items, .. } => assert!(items.is_empty()),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(o.accesses_served(), before);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_owner_over_the_same_list() {
+        let mut o = owner();
+        o.handle(Request::DirectAccessNext);
+        o.handle(Request::SortedAccess {
+            position: pos(2),
+            track: true,
+        });
+        assert!(o.accesses_served() > 0);
+        o.reset();
+        assert_eq!(o.accesses_served(), 0);
+        assert_eq!(o.best_position(), None);
+        assert_eq!(o.tail_score().value(), 10.0);
+        // Direct access starts over from position 1.
+        match o.handle(Request::DirectAccessNext) {
+            Response::Entry { position, .. } => assert_eq!(position, pos(1)),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]
@@ -252,7 +431,10 @@ mod tests {
             o.handle(Request::BestPositionScore),
             Response::BestPositionScore(None)
         );
-        o.handle(Request::SortedAccess { position: pos(1), track: true });
+        o.handle(Request::SortedAccess {
+            position: pos(1),
+            track: true,
+        });
         assert_eq!(
             o.handle(Request::BestPositionScore),
             Response::BestPositionScore(Some(Score::from_f64(30.0)))

@@ -1,20 +1,35 @@
-//! Query-originator protocols: distributed TA, BPA and BPA2.
+//! Query-originator protocols: distributed Naive, TA, BPA and BPA2.
+//!
+//! A protocol is now a *thin adapter*: it picks a `topk_core` algorithm
+//! and executes it over [`ClusterSources`], the
+//! [`SourceSet`](topk_lists::source::SourceSet) backend that maps trait
+//! calls onto the typed [`Request`](crate::Request) /
+//! [`Response`](crate::Response) messages. The algorithm bodies that used
+//! to be duplicated here (431 lines of TA/BPA/BPA2 re-implemented against
+//! `Cluster`) are gone — the distributed behaviour *is* the core
+//! behaviour, message for message:
+//!
+//! * distributed TA requests untracked sorted accesses and positionless
+//!   random accesses, because core `Ta` asks for exactly those;
+//! * distributed BPA receives item positions on every random access (core
+//!   `Bpa` passes `with_position: true` — the originator-side burden
+//!   Section 5 criticises);
+//! * distributed BPA2 drives `DirectAccessNext` and tracked random
+//!   accesses, with best-position scores piggybacked owner-side, because
+//!   that is how core `Bpa2` speaks to any backend.
 
-use std::collections::HashMap;
-
-use topk_core::{RankedItem, TopKBuffer, TopKError, TopKQuery};
-use topk_lists::tracker::{BitArrayTracker, PositionTracker};
-use topk_lists::{Position, Score};
+use topk_core::{Bpa, Bpa2, NaiveScan, RankedItem, Ta, TopKAlgorithm, TopKError, TopKQuery};
 
 use crate::cluster::{Cluster, NetworkStats};
-use crate::message::{Request, Response};
+use crate::source::ClusterSources;
 
 /// The outcome of a distributed query execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistributedResult {
     /// The top-k answers in descending overall-score order.
     pub answers: Vec<RankedItem>,
-    /// Messages and payload exchanged between originator and owners.
+    /// Messages and payload exchanged between originator and owners,
+    /// including the per-round breakdown.
     pub network: NetworkStats,
     /// Total list accesses served by the owners.
     pub accesses: u64,
@@ -27,24 +42,51 @@ pub trait DistributedProtocol {
     /// Short identifier used in reports.
     fn name(&self) -> &'static str;
 
-    /// Executes the query against a cluster of list owners.
+    /// The core algorithm this protocol drives over the wire.
+    fn algorithm(&self) -> Box<dyn TopKAlgorithm>;
+
+    /// Executes the query against a cluster of list owners by running
+    /// [`DistributedProtocol::algorithm`] over [`ClusterSources`].
+    ///
+    /// Every execution is a fresh query: the cluster's per-query owner
+    /// state (seen positions, served-access counts) and network tallies
+    /// are [`reset`](Cluster::reset) first, so the same cluster can serve
+    /// any number of queries and the returned [`DistributedResult`]
+    /// always describes exactly one of them.
     fn execute(
         &self,
         cluster: &mut Cluster,
         query: &TopKQuery,
-    ) -> Result<DistributedResult, TopKError>;
-}
-
-fn validate(cluster: &Cluster, query: &TopKQuery) -> Result<(), TopKError> {
-    let n = cluster.num_items();
-    if query.k() == 0 || query.k() > n {
-        return Err(TopKError::InvalidK { k: query.k(), n });
+    ) -> Result<DistributedResult, TopKError> {
+        cluster.reset();
+        let result = {
+            let mut sources = ClusterSources::new(cluster);
+            self.algorithm().run_on(&mut sources, query)?
+        };
+        Ok(DistributedResult {
+            answers: result.items().to_vec(),
+            network: cluster.network(),
+            accesses: cluster.accesses_served(),
+            rounds: result.stats().rounds,
+        })
     }
-    Ok(())
 }
 
-fn sort_answers(buffer: TopKBuffer) -> Vec<RankedItem> {
-    buffer.into_ranked()
+/// Distributed naive scan: every list shipped entry by entry — the
+/// baseline that makes the message savings of the threshold family
+/// visible in distributed benches, exactly as the local sweeps have the
+/// in-memory [`NaiveScan`] baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistributedNaive;
+
+impl DistributedProtocol for DistributedNaive {
+    fn name(&self) -> &'static str {
+        "distributed-naive"
+    }
+
+    fn algorithm(&self) -> Box<dyn TopKAlgorithm> {
+        Box::new(NaiveScan)
+    }
 }
 
 /// Distributed Threshold Algorithm: the direct adaptation of TA where the
@@ -58,61 +100,8 @@ impl DistributedProtocol for DistributedTa {
         "distributed-ta"
     }
 
-    fn execute(
-        &self,
-        cluster: &mut Cluster,
-        query: &TopKQuery,
-    ) -> Result<DistributedResult, TopKError> {
-        validate(cluster, query)?;
-        let m = cluster.num_owners();
-        let n = cluster.num_items();
-        let mut buffer = TopKBuffer::new(query.k());
-        let mut last_scores = vec![Score::ZERO; m];
-        let mut rounds = 0u64;
-
-        for pos in 1..=n {
-            rounds += 1;
-            let position = Position::new(pos).expect("pos >= 1");
-            for i in 0..m {
-                let entry = match cluster.send(i, Request::SortedAccess { position, track: false })
-                {
-                    Response::Entry { item, score, .. } => (item, score),
-                    other => unreachable!("sorted access within bounds returned {other:?}"),
-                };
-                last_scores[i] = entry.1;
-                let mut locals = vec![Score::ZERO; m];
-                locals[i] = entry.1;
-                for (j, local) in locals.iter_mut().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    match cluster.send(
-                        j,
-                        Request::RandomAccess {
-                            item: entry.0,
-                            with_position: false,
-                            track: false,
-                        },
-                    ) {
-                        Response::LocalScore { score, .. } => *local = score,
-                        other => unreachable!("random access of a known item returned {other:?}"),
-                    }
-                }
-                let overall = query.combine(&locals);
-                buffer.offer(entry.0, overall);
-            }
-            let threshold = query.combine(&last_scores);
-            if buffer.has_k_at_or_above(threshold) {
-                break;
-            }
-        }
-
-        Ok(DistributedResult {
-            answers: sort_answers(buffer),
-            network: cluster.network(),
-            accesses: cluster.accesses_served(),
-            rounds,
-        })
+    fn algorithm(&self) -> Box<dyn TopKAlgorithm> {
+        Box::new(Ta::literal())
     }
 }
 
@@ -128,89 +117,8 @@ impl DistributedProtocol for DistributedBpa {
         "distributed-bpa"
     }
 
-    fn execute(
-        &self,
-        cluster: &mut Cluster,
-        query: &TopKQuery,
-    ) -> Result<DistributedResult, TopKError> {
-        validate(cluster, query)?;
-        let m = cluster.num_owners();
-        let n = cluster.num_items();
-        let mut buffer = TopKBuffer::new(query.k());
-        // Originator-side bookkeeping: one tracker and one position->score
-        // map per list.
-        let mut trackers: Vec<BitArrayTracker> = (0..m).map(|_| BitArrayTracker::new(n)).collect();
-        let mut seen_scores: Vec<HashMap<Position, Score>> = vec![HashMap::new(); m];
-        let mut rounds = 0u64;
-
-        'rounds: for pos in 1..=n {
-            rounds += 1;
-            let position = Position::new(pos).expect("pos >= 1");
-            for i in 0..m {
-                let (item, score) =
-                    match cluster.send(i, Request::SortedAccess { position, track: false }) {
-                        Response::Entry { item, score, .. } => (item, score),
-                        other => unreachable!("sorted access within bounds returned {other:?}"),
-                    };
-                trackers[i].mark_seen(position);
-                seen_scores[i].insert(position, score);
-
-                let mut locals = vec![Score::ZERO; m];
-                locals[i] = score;
-                for (j, local) in locals.iter_mut().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    match cluster.send(
-                        j,
-                        Request::RandomAccess {
-                            item,
-                            with_position: true,
-                            track: false,
-                        },
-                    ) {
-                        Response::LocalScore {
-                            score,
-                            position: Some(p),
-                            ..
-                        } => {
-                            *local = score;
-                            trackers[j].mark_seen(p);
-                            seen_scores[j].insert(p, score);
-                        }
-                        other => unreachable!("random access of a known item returned {other:?}"),
-                    }
-                }
-                let overall = query.combine(&locals);
-                buffer.offer(item, overall);
-            }
-
-            // λ from the originator's own view of the best positions.
-            let mut bp_scores = Vec::with_capacity(m);
-            let mut complete = true;
-            for i in 0..m {
-                match trackers[i].best_position() {
-                    Some(bp) => bp_scores.push(seen_scores[i][&bp]),
-                    None => {
-                        complete = false;
-                        break;
-                    }
-                }
-            }
-            if complete {
-                let lambda = query.combine(&bp_scores);
-                if buffer.has_k_at_or_above(lambda) {
-                    break 'rounds;
-                }
-            }
-        }
-
-        Ok(DistributedResult {
-            answers: sort_answers(buffer),
-            network: cluster.network(),
-            accesses: cluster.accesses_served(),
-            rounds,
-        })
+    fn algorithm(&self) -> Box<dyn TopKAlgorithm> {
+        Box::new(Bpa::default())
     }
 }
 
@@ -226,90 +134,8 @@ impl DistributedProtocol for DistributedBpa2 {
         "distributed-bpa2"
     }
 
-    fn execute(
-        &self,
-        cluster: &mut Cluster,
-        query: &TopKQuery,
-    ) -> Result<DistributedResult, TopKError> {
-        validate(cluster, query)?;
-        let m = cluster.num_owners();
-        let mut buffer = TopKBuffer::new(query.k());
-        let mut best_scores: Vec<Option<Score>> = vec![None; m];
-        let mut rounds = 0u64;
-
-        loop {
-            rounds += 1;
-            let mut any_access = false;
-            for i in 0..m {
-                let (item, score) = match cluster.send(i, Request::DirectAccessNext) {
-                    Response::Entry {
-                        item,
-                        score,
-                        best_position_score,
-                        ..
-                    } => {
-                        if let Some(best) = best_position_score {
-                            best_scores[i] = Some(best);
-                        }
-                        (item, score)
-                    }
-                    Response::Exhausted => continue,
-                    other => unreachable!("direct access returned {other:?}"),
-                };
-                any_access = true;
-                let mut locals = vec![Score::ZERO; m];
-                locals[i] = score;
-                for (j, local) in locals.iter_mut().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    match cluster.send(
-                        j,
-                        Request::RandomAccess {
-                            item,
-                            with_position: false,
-                            track: true,
-                        },
-                    ) {
-                        Response::LocalScore {
-                            score,
-                            best_position_score,
-                            ..
-                        } => {
-                            *local = score;
-                            if let Some(best) = best_position_score {
-                                *best_scores.get_mut(j).expect("j < m") = Some(best);
-                            }
-                        }
-                        other => unreachable!("random access of a known item returned {other:?}"),
-                    }
-                }
-                let overall = query.combine(&locals);
-                buffer.offer(item, overall);
-            }
-
-            if best_scores.iter().all(Option::is_some) {
-                let lambda = query.combine(
-                    &best_scores
-                        .iter()
-                        .map(|s| s.expect("checked above"))
-                        .collect::<Vec<_>>(),
-                );
-                if buffer.has_k_at_or_above(lambda) {
-                    break;
-                }
-            }
-            if !any_access {
-                break;
-            }
-        }
-
-        Ok(DistributedResult {
-            answers: sort_answers(buffer),
-            network: cluster.network(),
-            accesses: cluster.accesses_served(),
-            rounds,
-        })
+    fn algorithm(&self) -> Box<dyn TopKAlgorithm> {
+        Box::new(Bpa2::default())
     }
 }
 
@@ -323,6 +149,15 @@ mod tests {
         result.answers.iter().map(|r| r.score.value()).collect()
     }
 
+    fn all_protocols() -> Vec<Box<dyn DistributedProtocol>> {
+        vec![
+            Box::new(DistributedNaive),
+            Box::new(DistributedTa),
+            Box::new(DistributedBpa),
+            Box::new(DistributedBpa2),
+        ]
+    }
+
     #[test]
     fn all_protocols_agree_with_the_centralized_algorithms() {
         for db in [figure1_database(), figure2_database()] {
@@ -332,11 +167,7 @@ mod tests {
                 let reference_scores: Vec<f64> =
                     reference.scores().iter().map(|s| s.value()).collect();
 
-                for protocol in [
-                    Box::new(DistributedTa) as Box<dyn DistributedProtocol>,
-                    Box::new(DistributedBpa),
-                    Box::new(DistributedBpa2),
-                ] {
+                for protocol in all_protocols() {
                     let mut cluster = Cluster::new(&db);
                     let result = protocol.execute(&mut cluster, &query).unwrap();
                     assert_eq!(
@@ -354,20 +185,24 @@ mod tests {
     fn message_counts_are_proportional_to_accesses() {
         // "The number of messages … is proportional to the number of
         // accesses done to the lists": one request + one response each.
+        // (BPA2's final exhausted direct probes are the only exception and
+        // only occur once the whole list has been read, which never
+        // happens on this query.)
         let db = figure1_database();
-        for protocol in [
-            Box::new(DistributedTa) as Box<dyn DistributedProtocol>,
-            Box::new(DistributedBpa),
-            Box::new(DistributedBpa2),
-        ] {
+        for protocol in all_protocols() {
             let mut cluster = Cluster::new(&db);
             let result = protocol.execute(&mut cluster, &TopKQuery::top(3)).unwrap();
-            assert_eq!(result.network.messages, 2 * result.accesses, "{}", protocol.name());
+            assert_eq!(
+                result.network.messages,
+                2 * result.accesses,
+                "{}",
+                protocol.name()
+            );
         }
     }
 
     #[test]
-    fn distributed_ta_and_bpa_match_centralized_access_counts() {
+    fn distributed_runs_match_centralized_access_counts() {
         let db = figure1_database();
         let query = TopKQuery::top(3);
 
@@ -380,6 +215,10 @@ mod tests {
         let d_bpa = DistributedBpa.execute(&mut cluster, &query).unwrap();
         let c_bpa = Bpa::default().run(&db, &query).unwrap();
         assert_eq!(d_bpa.accesses, c_bpa.stats().total_accesses());
+
+        let mut cluster = Cluster::new(&db);
+        let d_naive = DistributedNaive.execute(&mut cluster, &query).unwrap();
+        assert_eq!(d_naive.accesses, (3 * 12) as u64);
     }
 
     #[test]
@@ -392,6 +231,10 @@ mod tests {
         assert_eq!(d.accesses, c.stats().total_accesses());
         assert_eq!(d.accesses, 36);
         assert_eq!(d.rounds, 4);
+        // Per-round accounting: one bucket per round, summing to the total.
+        assert_eq!(d.network.rounds() as u64, d.rounds);
+        let sum: u64 = d.network.per_round.iter().map(|r| r.messages).sum();
+        assert_eq!(sum, d.network.messages);
     }
 
     #[test]
@@ -413,7 +256,24 @@ mod tests {
     }
 
     #[test]
+    fn a_cluster_serves_repeated_executions_independently() {
+        // Owner trackers and network tallies reset per execution, so a
+        // second run on the same cluster reports the same answers and
+        // figures as the first (BPA2's owner-side trackers would
+        // otherwise be exhausted and return no answers at all).
+        let db = figure2_database();
+        let query = TopKQuery::top(3);
+        let mut cluster = Cluster::new(&db);
+        let first = DistributedBpa2.execute(&mut cluster, &query).unwrap();
+        let second = DistributedBpa2.execute(&mut cluster, &query).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(second.accesses, 36);
+        assert_eq!(second.network.messages, 72);
+    }
+
+    #[test]
     fn protocols_expose_names_and_validate_k() {
+        assert_eq!(DistributedNaive.name(), "distributed-naive");
         assert_eq!(DistributedTa.name(), "distributed-ta");
         assert_eq!(DistributedBpa.name(), "distributed-bpa");
         assert_eq!(DistributedBpa2.name(), "distributed-bpa2");

@@ -1,0 +1,371 @@
+//! The distributed execution backend: [`ClusterSource`] maps the
+//! backend-generic [`ListSource`] calls onto the typed [`Request`] /
+//! [`Response`] messages of the wire protocol, so the *core* algorithms
+//! (`topk_core::Ta`, `Bpa`, `Bpa2`, …) run unmodified against a
+//! [`Cluster`] of list owners.
+//!
+//! Before this adapter existed, `protocol.rs` re-implemented TA, BPA and
+//! BPA2 a second time against `Cluster`; now a distributed protocol is
+//! *one line* — the algorithm plus `ClusterSources::new(&cluster)` — and
+//! local/distributed drift bugs are impossible by construction. The
+//! mapping is exact: each trait call sends exactly the message the
+//! hand-written protocols used to send, with the same `track` /
+//! `with_position` flags, so message counts and payload sizes are
+//! unchanged (the cross-backend equivalence suite pins the pre-refactor
+//! figures).
+//!
+//! | [`ListSource`] call | [`Request`] |
+//! |---|---|
+//! | `sorted_access(p, track)` | `SortedAccess { position, track }` |
+//! | `random_access(d, with_position, track)` | `RandomAccess { item, with_position, track }` |
+//! | `direct_access_next()` | `DirectAccessNext` |
+//! | `sorted_block(p, len, track)` | `SortedBlock { start, len, track }` (one round trip) |
+//!
+//! `best_position` and `tail_score` are *not* messages: the former is
+//! simulation introspection used only for run statistics (the algorithms'
+//! stopping logic uses the piggybacked best scores, as Section 5.1
+//! prescribes), the latter is catalog metadata known at registration.
+
+use topk_lists::source::{ListSource, SourceEntry, SourceScore, SourceSet};
+use topk_lists::{AccessCounters, BatchingSource, ItemId, Position, Score};
+
+use crate::cluster::Cluster;
+use crate::message::{Request, Response};
+
+/// One remote list, reached through [`Cluster::send`].
+///
+/// Accesses are mirrored into originator-side [`AccessCounters`] (the
+/// owner only keeps a total), so [`RunStats`](topk_core::RunStats) report
+/// the same per-mode counts over this backend as over the in-memory one.
+#[derive(Debug)]
+pub struct ClusterSource<'a> {
+    cluster: &'a Cluster,
+    index: usize,
+    counters: AccessCounters,
+}
+
+impl<'a> ClusterSource<'a> {
+    /// A source for owner `index` of the cluster.
+    pub fn new(cluster: &'a Cluster, index: usize) -> Self {
+        assert!(index < cluster.num_owners(), "owner index out of range");
+        ClusterSource {
+            cluster,
+            index,
+            counters: AccessCounters::default(),
+        }
+    }
+}
+
+impl ListSource for ClusterSource<'_> {
+    fn len(&self) -> usize {
+        self.cluster.owner(self.index).len()
+    }
+
+    fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
+        self.counters.sorted += 1;
+        match self
+            .cluster
+            .send(self.index, Request::SortedAccess { position, track })
+        {
+            Response::Entry {
+                item,
+                score,
+                position,
+                best_position_score,
+            } => Some(SourceEntry {
+                position,
+                item,
+                score,
+                best_position_score,
+            }),
+            Response::Exhausted => None,
+            other => unreachable!("sorted access returned {other:?}"),
+        }
+    }
+
+    fn random_access(
+        &mut self,
+        item: ItemId,
+        with_position: bool,
+        track: bool,
+    ) -> Option<SourceScore> {
+        self.counters.random += 1;
+        match self.cluster.send(
+            self.index,
+            Request::RandomAccess {
+                item,
+                with_position,
+                track,
+            },
+        ) {
+            Response::LocalScore {
+                score,
+                position,
+                best_position_score,
+            } => Some(SourceScore {
+                score,
+                position,
+                best_position_score,
+            }),
+            Response::Exhausted => None,
+            other => unreachable!("random access returned {other:?}"),
+        }
+    }
+
+    fn direct_access_next(&mut self) -> Option<SourceEntry> {
+        match self.cluster.send(self.index, Request::DirectAccessNext) {
+            Response::Entry {
+                item,
+                score,
+                position,
+                best_position_score,
+            } => {
+                // Counted only on success: an exhausted probe is not a
+                // list access (the owner does not count it either).
+                self.counters.direct += 1;
+                Some(SourceEntry {
+                    position,
+                    item,
+                    score,
+                    best_position_score,
+                })
+            }
+            Response::Exhausted => None,
+            other => unreachable!("direct access returned {other:?}"),
+        }
+    }
+
+    fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
+        let response = self.cluster.send(
+            self.index,
+            Request::SortedBlock {
+                start,
+                len: len.min(u32::MAX as usize) as u32,
+                track,
+            },
+        );
+        match response {
+            Response::Entries {
+                start,
+                items,
+                best_position_score,
+            } => {
+                self.counters.sorted += items.len() as u64;
+                let last = items.len().saturating_sub(1);
+                items
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, (item, score))| SourceEntry {
+                        position: Position::new(start.get() + j).expect("pos >= 1"),
+                        item,
+                        score,
+                        // The piggyback describes the owner's state after
+                        // the whole block; attach it to the last entry.
+                        best_position_score: if j == last { best_position_score } else { None },
+                    })
+                    .collect()
+            }
+            other => unreachable!("sorted block returned {other:?}"),
+        }
+    }
+
+    fn best_position(&self) -> Option<Position> {
+        self.cluster.owner(self.index).best_position()
+    }
+
+    fn tail_score(&self) -> Score {
+        self.cluster.tail_score(self.index)
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    fn reset(&mut self) {
+        self.counters = AccessCounters::default();
+        self.cluster.owner_reset(self.index);
+    }
+}
+
+/// The [`SourceSet`] over a [`Cluster`]: one [`ClusterSource`] per owner,
+/// with round demarcation forwarded into the cluster's per-round network
+/// accounting.
+///
+/// ```
+/// use topk_core::examples_paper::figure2_database;
+/// use topk_core::{Bpa2, TopKAlgorithm, TopKQuery};
+/// use topk_distributed::{Cluster, ClusterSources};
+///
+/// let db = figure2_database();
+/// let query = TopKQuery::top(3);
+/// let bpa2 = Bpa2::default();
+///
+/// // The same algorithm value, over both backends:
+/// let local = bpa2.run(&db, &query).unwrap();
+/// let cluster = Cluster::new(&db);
+/// let remote = bpa2.run_on(&mut ClusterSources::new(&cluster), &query).unwrap();
+///
+/// assert!(remote.scores_match(&local, 1e-9));
+/// assert_eq!(remote.stats().accesses, local.stats().accesses);
+/// // 36 accesses -> 72 messages: one request + one response each.
+/// assert_eq!(cluster.network().messages, 72);
+/// ```
+#[derive(Debug)]
+pub struct ClusterSources<'a> {
+    cluster: &'a Cluster,
+    sources: Vec<Box<dyn ListSource + 'a>>,
+}
+
+impl<'a> ClusterSources<'a> {
+    /// One plain [`ClusterSource`] per owner.
+    pub fn new(cluster: &'a Cluster) -> Self {
+        ClusterSources {
+            cluster,
+            sources: (0..cluster.num_owners())
+                .map(|i| Box::new(ClusterSource::new(cluster, i)) as Box<dyn ListSource>)
+                .collect(),
+        }
+    }
+
+    /// As [`ClusterSources::new`], with every source wrapped in a
+    /// [`BatchingSource`] so sequential sorted scans travel as
+    /// `SortedBlock` messages of `block_len` entries — one round trip per
+    /// block instead of one per position.
+    pub fn batched(cluster: &'a Cluster, block_len: usize) -> Self {
+        ClusterSources {
+            cluster,
+            sources: (0..cluster.num_owners())
+                .map(|i| {
+                    let inner = Box::new(ClusterSource::new(cluster, i)) as Box<dyn ListSource>;
+                    Box::new(BatchingSource::new(inner, block_len)) as Box<dyn ListSource>
+                })
+                .collect(),
+        }
+    }
+}
+
+impl SourceSet for ClusterSources<'_> {
+    fn num_lists(&self) -> usize {
+        self.sources.len()
+    }
+
+    fn source(&mut self, i: usize) -> &mut dyn ListSource {
+        self.sources[i].as_mut()
+    }
+
+    fn source_ref(&self, i: usize) -> &dyn ListSource {
+        self.sources[i].as_ref()
+    }
+
+    fn begin_round(&mut self) {
+        self.cluster.begin_round();
+    }
+
+    fn reset(&mut self) {
+        self.cluster.reset_network();
+        for source in &mut self.sources {
+            source.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topk_core::examples_paper::figure1_database;
+
+    #[test]
+    fn trait_calls_map_onto_the_wire_protocol_one_to_one() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        let mut sources = ClusterSources::new(&cluster);
+        assert_eq!(sources.num_lists(), 3);
+        assert_eq!(sources.num_items(), 12);
+
+        let entry = sources
+            .source(0)
+            .sorted_access(Position::FIRST, false)
+            .unwrap();
+        assert_eq!(entry.position, Position::FIRST);
+        let ps = sources
+            .source(1)
+            .random_access(entry.item, true, false)
+            .unwrap();
+        assert!(ps.position.is_some());
+        let direct = sources.source(2).direct_access_next().unwrap();
+        assert_eq!(direct.position, Position::FIRST);
+
+        // One request + one response per access.
+        assert_eq!(cluster.network().messages, 6);
+        assert_eq!(cluster.accesses_served(), 3);
+        // Originator-side counters mirror the owners, per mode.
+        let totals = sources.total_counters();
+        assert_eq!(totals.sorted, 1);
+        assert_eq!(totals.random, 1);
+        assert_eq!(totals.direct, 1);
+    }
+
+    #[test]
+    fn exhausted_probes_are_messages_but_not_accesses() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        let mut sources = ClusterSources::new(&cluster);
+        // Drain list 0 through direct accesses…
+        while sources.source(0).direct_access_next().is_some() {}
+        let served = cluster.accesses_served();
+        let messages = cluster.network().messages;
+        // …the draining loop's final (exhausted) probe exchanged messages
+        // without serving an access.
+        assert_eq!(served, 12);
+        assert_eq!(messages, 2 * 12 + 2);
+        assert_eq!(sources.source_ref(0).counters().direct, 12);
+        assert_eq!(sources.source_ref(0).best_position(), Position::new(12));
+    }
+
+    #[test]
+    fn a_sorted_block_is_one_round_trip() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        let mut sources = ClusterSources::new(&cluster);
+        let entries = sources.source(0).sorted_block(Position::FIRST, 5, false);
+        assert_eq!(entries.len(), 5);
+        assert_eq!(cluster.network().messages, 2, "five entries, one exchange");
+        assert_eq!(cluster.accesses_served(), 5);
+        assert_eq!(sources.source_ref(0).counters().sorted, 5);
+        for (j, entry) in entries.iter().enumerate() {
+            assert_eq!(entry.position.get(), j + 1);
+        }
+    }
+
+    #[test]
+    fn reset_clears_counters_owners_and_network() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        let mut sources = ClusterSources::new(&cluster);
+        sources.source(0).direct_access_next().unwrap();
+        sources
+            .source(1)
+            .sorted_access(Position::FIRST, true)
+            .unwrap();
+        sources.reset();
+        assert_eq!(sources.total_counters(), AccessCounters::default());
+        assert_eq!(cluster.network().messages, 0);
+        assert_eq!(cluster.accesses_served(), 0);
+        assert_eq!(sources.source_ref(0).best_position(), None);
+        assert_eq!(sources.source_ref(1).best_position(), None);
+    }
+
+    #[test]
+    fn tail_scores_come_from_the_catalog_not_the_wire() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        let sources = ClusterSources::new(&cluster);
+        for i in 0..3 {
+            assert_eq!(
+                sources.source_ref(i).tail_score(),
+                db.list(i).unwrap().last_entry().score
+            );
+        }
+        assert_eq!(cluster.network().messages, 0);
+    }
+}

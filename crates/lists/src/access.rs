@@ -145,6 +145,13 @@ impl<'a> ListAccessor<'a> {
     pub fn raw(&self) -> &SortedList {
         self.list
     }
+
+    /// Zeroes the counters, so the accessor can serve a fresh query.
+    pub fn reset_counters(&self) {
+        self.sorted.set(0);
+        self.random.set(0);
+        self.direct.set(0);
+    }
 }
 
 /// A per-query access session over a [`Database`]: one [`ListAccessor`]
@@ -266,7 +273,14 @@ mod tests {
         let l0 = session.list(0).unwrap();
         l0.direct_access(Position::FIRST).unwrap();
         let c = l0.counters();
-        assert_eq!(c, AccessCounters { sorted: 0, random: 0, direct: 1 });
+        assert_eq!(
+            c,
+            AccessCounters {
+                sorted: 0,
+                random: 0,
+                direct: 1
+            }
+        );
         assert_eq!(c.total(), 1);
         assert_eq!(c.of(AccessMode::Direct), 1);
         assert_eq!(c.of(AccessMode::Sorted), 0);
@@ -292,11 +306,23 @@ mod tests {
 
     #[test]
     fn combined_adds_componentwise() {
-        let a = AccessCounters { sorted: 1, random: 2, direct: 3 };
-        let b = AccessCounters { sorted: 10, random: 20, direct: 30 };
+        let a = AccessCounters {
+            sorted: 1,
+            random: 2,
+            direct: 3,
+        };
+        let b = AccessCounters {
+            sorted: 10,
+            random: 20,
+            direct: 30,
+        };
         assert_eq!(
             a.combined(&b),
-            AccessCounters { sorted: 11, random: 22, direct: 33 }
+            AccessCounters {
+                sorted: 11,
+                random: 22,
+                direct: 33
+            }
         );
     }
 

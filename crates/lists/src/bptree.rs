@@ -227,7 +227,11 @@ impl BPlusTree {
             return Err("keys are not strictly increasing".into());
         }
         if chain.len() != self.len {
-            return Err(format!("len says {} but {} keys reachable", self.len, chain.len()));
+            return Err(format!(
+                "len says {} but {} keys reachable",
+                self.len,
+                chain.len()
+            ));
         }
         Ok(())
     }
@@ -278,37 +282,33 @@ impl BPlusTree {
 
     fn insert_rec(&mut self, node: NodeId, key: u64) -> InsertOutcome {
         match &mut self.nodes[node] {
-            Node::Leaf { keys, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(_) => InsertOutcome::Duplicate,
-                    Err(slot) => {
-                        keys.insert(slot, key);
-                        if keys.len() > self.order {
-                            self.split_leaf(node)
-                        } else {
-                            InsertOutcome::Inserted
-                        }
+            Node::Leaf { keys, .. } => match keys.binary_search(&key) {
+                Ok(_) => InsertOutcome::Duplicate,
+                Err(slot) => {
+                    keys.insert(slot, key);
+                    if keys.len() > self.order {
+                        self.split_leaf(node)
+                    } else {
+                        InsertOutcome::Inserted
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = keys.partition_point(|&k| k <= key);
                 let child = children[idx];
                 match self.insert_rec(child, key) {
-                    InsertOutcome::Split(sep, right) => {
-                        match &mut self.nodes[node] {
-                            Node::Internal { keys, children } => {
-                                keys.insert(idx, sep);
-                                children.insert(idx + 1, right);
-                                if keys.len() > self.order {
-                                    self.split_internal(node)
-                                } else {
-                                    InsertOutcome::Inserted
-                                }
+                    InsertOutcome::Split(sep, right) => match &mut self.nodes[node] {
+                        Node::Internal { keys, children } => {
+                            keys.insert(idx, sep);
+                            children.insert(idx + 1, right);
+                            if keys.len() > self.order {
+                                self.split_internal(node)
+                            } else {
+                                InsertOutcome::Inserted
                             }
-                            Node::Leaf { .. } => unreachable!(),
                         }
-                    }
+                        Node::Leaf { .. } => unreachable!(),
+                    },
                     outcome => outcome,
                 }
             }
@@ -395,7 +395,11 @@ impl BPlusTree {
                 }
                 for (i, &child) in children.iter().enumerate() {
                     let lo = if i == 0 { lower } else { Some(keys[i - 1]) };
-                    let hi = if i == keys.len() { upper } else { Some(keys[i]) };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(keys[i])
+                    };
                     self.check_node(child, lo, hi, leaf_keys)?;
                 }
                 Ok(())
@@ -514,13 +518,18 @@ mod tests {
         // Simple LCG so the test needs no external RNG.
         let mut state: u64 = 0x2545F4914F6CDD1D;
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = state % 2000;
             assert_eq!(t.insert(key), reference.insert(key));
         }
         t.check_invariants().unwrap();
         assert_eq!(t.len(), reference.len());
-        assert_eq!(t.iter().collect::<Vec<_>>(), reference.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
         for probe in 0..2000 {
             assert_eq!(t.contains(probe), reference.contains(&probe));
             assert_eq!(t.successor(probe), reference.range(probe..).next().copied());

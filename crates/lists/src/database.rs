@@ -147,7 +147,8 @@ impl Database {
                     .iter()
                     .map(|&p| {
                         let position = Position::from_index(p.clamp(1, self.n) - 1);
-                        list.score_at(position).expect("position clamped into 1..=n")
+                        list.score_at(position)
+                            .expect("position clamped into 1..=n")
                     })
                     .collect()
             })
@@ -239,11 +240,9 @@ mod tests {
 
     #[test]
     fn rejects_mismatched_item_sets() {
-        let err = Database::from_unsorted_lists(vec![
-            vec![(1, 1.0), (2, 2.0)],
-            vec![(1, 1.0), (3, 3.0)],
-        ])
-        .unwrap_err();
+        let err =
+            Database::from_unsorted_lists(vec![vec![(1, 1.0), (2, 2.0)], vec![(1, 1.0), (3, 3.0)]])
+                .unwrap_err();
         assert!(matches!(err, ListError::MissingItem { .. }));
     }
 
@@ -269,8 +268,14 @@ mod tests {
         let profile = db.score_profile(&[1, 2, 3]);
         assert_eq!(profile.len(), 2);
         // List 0 sorted: 30, 26, 11; list 1 sorted: 28, 21, 14.
-        assert_eq!(profile[0].iter().map(|s| s.value()).collect::<Vec<_>>(), vec![30.0, 26.0, 11.0]);
-        assert_eq!(profile[1].iter().map(|s| s.value()).collect::<Vec<_>>(), vec![28.0, 21.0, 14.0]);
+        assert_eq!(
+            profile[0].iter().map(|s| s.value()).collect::<Vec<_>>(),
+            vec![30.0, 26.0, 11.0]
+        );
+        assert_eq!(
+            profile[1].iter().map(|s| s.value()).collect::<Vec<_>>(),
+            vec![28.0, 21.0, 14.0]
+        );
     }
 
     #[test]
@@ -309,7 +314,10 @@ mod tests {
         items.dedup();
         assert_eq!(items.len(), 16, "stratified samples are distinct");
         let other_seed = db.sample_items(16, 8);
-        assert_ne!(a, other_seed, "different seeds pick different strata members");
+        assert_ne!(
+            a, other_seed,
+            "different seeds pick different strata members"
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl fmt::Display for ListError {
                 write!(f, "item {item} is missing from list {list}")
             }
             ListError::ListIndexOutOfRange { index, len } => {
-                write!(f, "list index {index} out of range for database with {len} lists")
+                write!(
+                    f,
+                    "list index {index} out of range for database with {len} lists"
+                )
             }
         }
     }
@@ -87,7 +90,9 @@ mod tests {
     #[test]
     fn errors_format_human_readable_messages() {
         assert!(ListError::NanScore.to_string().contains("NaN"));
-        assert!(ListError::DuplicateItem(ItemId(3)).to_string().contains("d3"));
+        assert!(ListError::DuplicateItem(ItemId(3))
+            .to_string()
+            .contains("d3"));
         assert!(ListError::NotSorted { index: 4 }.to_string().contains('4'));
         assert!(ListError::NoLists.to_string().contains("at least one"));
         let e = ListError::LengthMismatch {

@@ -41,6 +41,7 @@ pub mod database;
 pub mod error;
 pub mod item;
 pub mod sorted_list;
+pub mod source;
 pub mod tracker;
 
 pub use access::{AccessCounters, AccessMode, AccessSession, ListAccessor};
@@ -49,8 +50,11 @@ pub use database::Database;
 pub use error::ListError;
 pub use item::{ItemId, Position, Score};
 pub use sorted_list::{ListEntry, PositionedScore, SortedList};
+pub use source::{
+    BatchingSource, InMemorySource, ListSource, SourceEntry, SourceScore, SourceSet, Sources,
+};
 pub use tracker::{
-    BitArrayTracker, BPlusTreeTracker, NaiveSetTracker, PositionTracker, TrackerKind,
+    BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionTracker, TrackerKind,
 };
 
 /// Commonly used types, re-exported for convenient glob import.
@@ -60,7 +64,10 @@ pub mod prelude {
     pub use crate::error::ListError;
     pub use crate::item::{ItemId, Position, Score};
     pub use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
+    pub use crate::source::{
+        BatchingSource, InMemorySource, ListSource, SourceEntry, SourceScore, SourceSet, Sources,
+    };
     pub use crate::tracker::{
-        BitArrayTracker, BPlusTreeTracker, NaiveSetTracker, PositionTracker, TrackerKind,
+        BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionTracker, TrackerKind,
     };
 }

@@ -116,11 +116,13 @@ impl SortedList {
     /// [`crate::access::ListAccessor`].
     #[inline]
     pub fn entry_at(&self, position: Position) -> Option<ListEntry> {
-        self.entries.get(position.index()).map(|&(item, score)| ListEntry {
-            position,
-            item,
-            score,
-        })
+        self.entries
+            .get(position.index())
+            .map(|&(item, score)| ListEntry {
+                position,
+                item,
+                score,
+            })
     }
 
     /// Returns the 1-based position of an item, or `None` if the item does
@@ -204,16 +206,18 @@ mod tests {
 
     #[test]
     fn from_unsorted_sorts_descending() {
-        let l = SortedList::from_unsorted(vec![(ItemId(2), 1.0), (ItemId(5), 9.0), (ItemId(7), 4.0)])
-            .unwrap();
+        let l =
+            SortedList::from_unsorted(vec![(ItemId(2), 1.0), (ItemId(5), 9.0), (ItemId(7), 4.0)])
+                .unwrap();
         let items: Vec<_> = l.items().collect();
         assert_eq!(items, vec![ItemId(5), ItemId(7), ItemId(2)]);
     }
 
     #[test]
     fn from_unsorted_breaks_ties_by_item_id() {
-        let l = SortedList::from_unsorted(vec![(ItemId(9), 5.0), (ItemId(2), 5.0), (ItemId(4), 5.0)])
-            .unwrap();
+        let l =
+            SortedList::from_unsorted(vec![(ItemId(9), 5.0), (ItemId(2), 5.0), (ItemId(4), 5.0)])
+                .unwrap();
         let items: Vec<_> = l.items().collect();
         assert_eq!(items, vec![ItemId(2), ItemId(4), ItemId(9)]);
     }
@@ -232,7 +236,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_duplicate_and_nan() {
-        assert_eq!(SortedList::from_unsorted(vec![]).unwrap_err(), ListError::EmptyList);
+        assert_eq!(
+            SortedList::from_unsorted(vec![]).unwrap_err(),
+            ListError::EmptyList
+        );
         assert_eq!(
             SortedList::from_unsorted(vec![(ItemId(1), 1.0), (ItemId(1), 2.0)]).unwrap_err(),
             ListError::DuplicateItem(ItemId(1))

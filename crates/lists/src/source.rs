@@ -1,0 +1,728 @@
+//! Backend-generic list access: the execution API of the top-k algorithms.
+//!
+//! The paper defines TA, BPA and BPA2 purely in terms of three access
+//! modes (sorted, random, direct — Section 2 and Section 5.1) plus the
+//! per-list *best position* bookkeeping of Section 5.2. Nothing in the
+//! algorithms requires the lists to be in memory: the same driver loop
+//! works against a local array, a remote list owner, or a shard. This
+//! module captures exactly that contract:
+//!
+//! * [`ListSource`] — one list reachable through the three access modes,
+//!   with optional source-side position tracking (`track`) and an access
+//!   counter per mode. The `track`/`with_position` flags mirror the wire
+//!   protocol of `topk-distributed`: they decide *which scalars travel*,
+//!   so a networked backend can charge payload exactly as the paper's
+//!   Section 5 communication argument requires.
+//! * [`SourceSet`] — the `m` sources a query executes against, plus round
+//!   demarcation ([`SourceSet::begin_round`]) so backends can account or
+//!   coalesce per originator round.
+//! * [`InMemorySource`] / [`Sources::in_memory`] — the in-process backend
+//!   wrapping the instrumented [`ListAccessor`]; algorithm runs over it
+//!   are access-for-access identical to the pre-trait implementations.
+//! * [`BatchingSource`] — a decorator that serves sorted accesses from a
+//!   prefetched block ([`ListSource::sorted_block`]), the groundwork for
+//!   sharded and asynchronous backends where accesses are coalesced into
+//!   fewer round trips.
+//!
+//! Algorithms live in `topk-core` and receive `&mut dyn SourceSet`; the
+//! distributed backend (`ClusterSources`) lives in `topk-distributed`.
+//!
+//! ```
+//! use topk_lists::prelude::*;
+//! use topk_lists::source::{ListSource, SourceSet, Sources};
+//!
+//! let db = Database::from_unsorted_lists(vec![
+//!     vec![(1, 30.0), (2, 11.0), (3, 26.0)],
+//!     vec![(1, 21.0), (2, 28.0), (3, 14.0)],
+//! ])
+//! .unwrap();
+//! let mut sources = Sources::in_memory(&db);
+//! assert_eq!(sources.num_lists(), 2);
+//!
+//! // Sorted access to position 1 of list 0, untracked.
+//! let entry = sources.source(0).sorted_access(Position::FIRST, false).unwrap();
+//! assert_eq!(entry.item, ItemId(1));
+//! assert_eq!(sources.total_counters().sorted, 1);
+//!
+//! // Tracked random access: the source keeps the best position itself.
+//! // Item 2 tops list 1 (score 28), so seeing it sets the best position.
+//! sources.source(1).random_access(ItemId(2), false, true).unwrap();
+//! assert_eq!(sources.source_ref(1).best_position(), Some(Position::FIRST));
+//! ```
+
+use crate::access::{AccessCounters, ListAccessor};
+use crate::database::Database;
+use crate::item::{ItemId, Position, Score};
+use crate::sorted_list::SortedList;
+use crate::tracker::{PositionTracker, TrackerKind};
+
+/// The outcome of a sorted or direct access against a [`ListSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceEntry {
+    /// 1-based position of the accessed entry.
+    pub position: Position,
+    /// The data item at that position.
+    pub item: ItemId,
+    /// Its local score in this list.
+    pub score: Score,
+    /// The local score at the source's best position, present only when
+    /// the access was tracked *and* moved the best position (the BPA2
+    /// piggyback of Section 5.1, step 3).
+    pub best_position_score: Option<Score>,
+}
+
+/// The outcome of a random access against a [`ListSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceScore {
+    /// The item's local score in this list.
+    pub score: Score,
+    /// The item's position, present only when requested via
+    /// `with_position` (BPA needs it at the originator; TA does not, and
+    /// over a network it is payload that need not travel).
+    pub position: Option<Position>,
+    /// The local score at the source's best position, present only when
+    /// the access was tracked and moved the best position.
+    pub best_position_score: Option<Score>,
+}
+
+/// One sorted list reachable through the paper's three access modes.
+///
+/// Every access is counted ([`ListSource::counters`]). The `track` flags
+/// ask the *source* to record the touched position in its best-position
+/// tracker (Section 5.2) — the owner-side bookkeeping BPA2 relies on;
+/// when the best position changes, the new best score is piggybacked on
+/// the reply. Untracked accesses leave the tracker alone, which is what
+/// TA-style protocols request.
+pub trait ListSource: std::fmt::Debug {
+    /// Number of entries in the list (`n`).
+    fn len(&self) -> usize;
+
+    /// Whether the list is empty (never true for validated databases).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// *Sorted access*: read the entry at `position` (§2). Counted even
+    /// when the position is past the end of the list (the read attempt
+    /// happened). `track` marks the position seen source-side.
+    fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry>;
+
+    /// *Random access*: look up `item` (§2). Counted even when the item is
+    /// absent. `with_position` asks for the item's position in the reply;
+    /// `track` marks the revealed position seen source-side.
+    fn random_access(
+        &mut self,
+        item: ItemId,
+        with_position: bool,
+        track: bool,
+    ) -> Option<SourceScore>;
+
+    /// *Direct access* to the smallest unseen position `bp + 1` (§5.1) and
+    /// mark it seen. Returns `None` — uncounted — once every position has
+    /// been seen.
+    fn direct_access_next(&mut self) -> Option<SourceEntry>;
+
+    /// Reads up to `len` consecutive entries starting at `start` under
+    /// sorted access, stopping at the end of the list.
+    ///
+    /// The best-position piggyback is *block-level* on every backend:
+    /// when `track` moved the best position, the score at the final best
+    /// position rides on the **last** returned entry only (a networked
+    /// backend reports the owner's state once per exchange, and the
+    /// default implementation matches that contract).
+    ///
+    /// The default implementation loops over [`ListSource::sorted_access`];
+    /// backends that can serve a block in one exchange (one network
+    /// message, one shard scan) override it. [`BatchingSource`] turns
+    /// per-position scans into calls of this method.
+    fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
+        let end = self
+            .len()
+            .min(start.get().saturating_add(len).saturating_sub(1));
+        let mut entries = Vec::with_capacity(end.saturating_sub(start.get() - 1));
+        // The last best-position change during the block is the best
+        // position after it, so carrying it to the final entry reports
+        // exactly what a one-exchange backend piggybacks.
+        let mut last_change = None;
+        for pos in start.get()..=end {
+            match self.sorted_access(Position::new(pos).expect("pos >= 1"), track) {
+                Some(mut entry) => {
+                    last_change = entry.best_position_score.or(last_change);
+                    entry.best_position_score = None;
+                    entries.push(entry);
+                }
+                None => break,
+            }
+        }
+        if let Some(entry) = entries.last_mut() {
+            entry.best_position_score = last_change;
+        }
+        entries
+    }
+
+    /// The source's current best position (Section 5.2), `None` while
+    /// position 1 has not been seen. Reading it is originator-side
+    /// introspection for statistics, not a list access.
+    fn best_position(&self) -> Option<Position>;
+
+    /// The score of the list's last entry. Catalog metadata (the minimum
+    /// of a sorted list is known at registration time), not an access.
+    fn tail_score(&self) -> Score;
+
+    /// Accesses performed against this source so far.
+    fn counters(&self) -> AccessCounters;
+
+    /// Clears counters and tracking state, so the same source can serve a
+    /// fresh query over unchanged data.
+    fn reset(&mut self);
+}
+
+/// The `m` sources one top-k query executes against.
+///
+/// This is the execution backend of `topk_core::TopKAlgorithm`: the
+/// in-memory backend is [`Sources::in_memory`], the distributed one is
+/// `topk_distributed::ClusterSources`, and decorators such as
+/// [`BatchingSource`] compose with either.
+pub trait SourceSet {
+    /// Number of lists (`m`).
+    fn num_lists(&self) -> usize;
+
+    /// Mutable access to list `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= num_lists()`; algorithms only address lists
+    /// `0..m`.
+    fn source(&mut self, i: usize) -> &mut dyn ListSource;
+
+    /// Shared access to list `i` (0-based), for counters and catalog
+    /// reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= num_lists()`.
+    fn source_ref(&self, i: usize) -> &dyn ListSource;
+
+    /// Announces the start of an originator round. Backends use this for
+    /// per-round accounting (e.g. `NetworkStats::per_round`) or to flush
+    /// coalesced work; the in-memory backend ignores it.
+    fn begin_round(&mut self) {}
+
+    /// Resets every source (counters, trackers, round state) so the set
+    /// can serve another query over the same data.
+    fn reset(&mut self);
+
+    /// Number of items per list (`n`).
+    fn num_items(&self) -> usize {
+        self.source_ref(0).len()
+    }
+
+    /// Per-list access-counter snapshots, in list order.
+    fn per_list_counters(&self) -> Vec<AccessCounters> {
+        (0..self.num_lists())
+            .map(|i| self.source_ref(i).counters())
+            .collect()
+    }
+
+    /// Counters aggregated over all lists.
+    fn total_counters(&self) -> AccessCounters {
+        (0..self.num_lists())
+            .map(|i| self.source_ref(i).counters())
+            .fold(AccessCounters::default(), |acc, c| acc.combined(&c))
+    }
+}
+
+/// The in-memory backend: one [`ListAccessor`] (so every access is counted
+/// exactly as before this abstraction existed) plus a source-side
+/// [`PositionTracker`] for the tracked access modes.
+#[derive(Debug)]
+pub struct InMemorySource<'a> {
+    accessor: ListAccessor<'a>,
+    tracker: Box<dyn PositionTracker>,
+    kind: TrackerKind,
+}
+
+impl<'a> InMemorySource<'a> {
+    /// Wraps a list with the default bit-array tracker.
+    pub fn new(list: &'a SortedList) -> Self {
+        Self::with_tracker(list, TrackerKind::BitArray)
+    }
+
+    /// Wraps a list with an explicit best-position tracking strategy.
+    pub fn with_tracker(list: &'a SortedList, kind: TrackerKind) -> Self {
+        let n = list.len();
+        InMemorySource {
+            accessor: ListAccessor::new(list),
+            tracker: kind.create(n),
+            kind,
+        }
+    }
+
+    /// Marks a position seen; if the best position changed, returns the
+    /// local score at the new best position (the piggyback of §5.1).
+    fn mark_and_report(&mut self, position: Position) -> Option<Score> {
+        let before = self.tracker.best_position();
+        self.tracker.mark_seen(position);
+        let after = self.tracker.best_position();
+        if after != before {
+            after.and_then(|bp| self.accessor.raw().score_at(bp))
+        } else {
+            None
+        }
+    }
+}
+
+impl ListSource for InMemorySource<'_> {
+    fn len(&self) -> usize {
+        self.accessor.len()
+    }
+
+    fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
+        let entry = self.accessor.sorted_access(position)?;
+        let best = if track {
+            self.mark_and_report(entry.position)
+        } else {
+            None
+        };
+        Some(SourceEntry {
+            position: entry.position,
+            item: entry.item,
+            score: entry.score,
+            best_position_score: best,
+        })
+    }
+
+    fn random_access(
+        &mut self,
+        item: ItemId,
+        with_position: bool,
+        track: bool,
+    ) -> Option<SourceScore> {
+        let ps = self.accessor.random_access(item)?;
+        let best = if track {
+            self.mark_and_report(ps.position)
+        } else {
+            None
+        };
+        Some(SourceScore {
+            score: ps.score,
+            position: with_position.then_some(ps.position),
+            best_position_score: best,
+        })
+    }
+
+    fn direct_access_next(&mut self) -> Option<SourceEntry> {
+        let next = self.tracker.first_unseen();
+        if next.get() > self.accessor.len() {
+            return None; // every position seen; no read attempt is made
+        }
+        let entry = self
+            .accessor
+            .direct_access(next)
+            .expect("first unseen position is within list bounds");
+        let best = self.mark_and_report(entry.position);
+        Some(SourceEntry {
+            position: entry.position,
+            item: entry.item,
+            score: entry.score,
+            best_position_score: best,
+        })
+    }
+
+    fn best_position(&self) -> Option<Position> {
+        self.tracker.best_position()
+    }
+
+    fn tail_score(&self) -> Score {
+        self.accessor.raw().last_entry().score
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.accessor.counters()
+    }
+
+    fn reset(&mut self) {
+        self.accessor.reset_counters();
+        self.tracker = self.kind.create(self.accessor.len());
+    }
+}
+
+/// A prefetching decorator: untracked sorted accesses are served from a
+/// block fetched through [`ListSource::sorted_block`], so sequential scans
+/// cost one backend exchange per `block_len` positions instead of one per
+/// position.
+///
+/// This is the coalescing groundwork for the sharded and asynchronous
+/// backends on the roadmap. Two consequences worth knowing:
+///
+/// * **Counters reflect the backend.** Prefetched-but-unread entries are
+///   counted by the inner source, so access counts can exceed what the
+///   algorithm consumed (by at most `block_len - 1` per list). Answers
+///   are unaffected.
+/// * Tracked sorted accesses, random accesses and direct accesses are
+///   forwarded unbatched — their reply depends on source-side tracker
+///   state at access time and cannot be served from a stale block.
+#[derive(Debug)]
+pub struct BatchingSource<'a> {
+    inner: Box<dyn ListSource + 'a>,
+    block_len: usize,
+    /// Consecutive prefetched entries; `buffer[j]` is the entry at
+    /// position `buffer_start + j`.
+    buffer: Vec<SourceEntry>,
+    buffer_start: usize,
+}
+
+impl<'a> BatchingSource<'a> {
+    /// Wraps a source, coalescing untracked sorted accesses into blocks of
+    /// `block_len` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_len` is zero.
+    pub fn new(inner: Box<dyn ListSource + 'a>, block_len: usize) -> Self {
+        assert!(block_len > 0, "block_len must be at least 1");
+        BatchingSource {
+            inner,
+            block_len,
+            buffer: Vec::new(),
+            buffer_start: 0,
+        }
+    }
+
+    /// The configured block length.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    fn buffered(&self, position: Position) -> Option<SourceEntry> {
+        let p = position.get();
+        if p >= self.buffer_start && p < self.buffer_start + self.buffer.len() {
+            Some(self.buffer[p - self.buffer_start])
+        } else {
+            None
+        }
+    }
+}
+
+impl ListSource for BatchingSource<'_> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
+        if track || position.get() > self.inner.len() {
+            // Tracked accesses need live tracker state; past-the-end
+            // probes must stay a counted read attempt on the backend.
+            return self.inner.sorted_access(position, track);
+        }
+        if let Some(entry) = self.buffered(position) {
+            return Some(entry);
+        }
+        let entries = self.inner.sorted_block(position, self.block_len, false);
+        let first = entries.first().copied();
+        self.buffer = entries;
+        self.buffer_start = position.get();
+        first
+    }
+
+    fn random_access(
+        &mut self,
+        item: ItemId,
+        with_position: bool,
+        track: bool,
+    ) -> Option<SourceScore> {
+        self.inner.random_access(item, with_position, track)
+    }
+
+    fn direct_access_next(&mut self) -> Option<SourceEntry> {
+        self.inner.direct_access_next()
+    }
+
+    fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
+        self.inner.sorted_block(start, len, track)
+    }
+
+    fn best_position(&self) -> Option<Position> {
+        self.inner.best_position()
+    }
+
+    fn tail_score(&self) -> Score {
+        self.inner.tail_score()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.inner.counters()
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+        self.buffer_start = 0;
+        self.inner.reset();
+    }
+}
+
+/// A [`SourceSet`] holding its sources by value — the container used by
+/// the in-memory backend and by decorator compositions.
+#[derive(Debug)]
+pub struct Sources<'a> {
+    sources: Vec<Box<dyn ListSource + 'a>>,
+}
+
+impl<'a> Sources<'a> {
+    /// Builds a set from already-constructed sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty (a database has at least one list).
+    pub fn new(sources: Vec<Box<dyn ListSource + 'a>>) -> Self {
+        assert!(!sources.is_empty(), "a source set needs at least one list");
+        Sources { sources }
+    }
+
+    /// The in-memory backend over a database, with the default bit-array
+    /// best-position trackers.
+    pub fn in_memory(database: &'a Database) -> Self {
+        Self::in_memory_with_tracker(database, TrackerKind::BitArray)
+    }
+
+    /// The in-memory backend with an explicit tracking strategy.
+    pub fn in_memory_with_tracker(database: &'a Database, kind: TrackerKind) -> Self {
+        Self::new(
+            database
+                .lists()
+                .map(|list| {
+                    Box::new(InMemorySource::with_tracker(list, kind)) as Box<dyn ListSource>
+                })
+                .collect(),
+        )
+    }
+
+    /// Wraps every source in a [`BatchingSource`] with the given block
+    /// length.
+    pub fn batched(self, block_len: usize) -> Self {
+        Self::new(
+            self.sources
+                .into_iter()
+                .map(|inner| Box::new(BatchingSource::new(inner, block_len)) as Box<dyn ListSource>)
+                .collect(),
+        )
+    }
+}
+
+impl SourceSet for Sources<'_> {
+    fn num_lists(&self) -> usize {
+        self.sources.len()
+    }
+
+    fn source(&mut self, i: usize) -> &mut dyn ListSource {
+        self.sources[i].as_mut()
+    }
+
+    fn source_ref(&self, i: usize) -> &dyn ListSource {
+        self.sources[i].as_ref()
+    }
+
+    fn reset(&mut self) {
+        for source in &mut self.sources {
+            source.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMode;
+
+    fn db() -> Database {
+        Database::from_unsorted_lists(vec![
+            vec![(1, 30.0), (2, 11.0), (3, 26.0)],
+            vec![(1, 21.0), (2, 28.0), (3, 14.0)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn in_memory_counts_match_the_accessor_contract() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        assert_eq!(sources.num_lists(), 2);
+        assert_eq!(sources.num_items(), 3);
+
+        let entry = sources
+            .source(0)
+            .sorted_access(Position::FIRST, false)
+            .unwrap();
+        assert_eq!(entry.item, ItemId(1));
+        assert_eq!(entry.score.value(), 30.0);
+        assert!(entry.best_position_score.is_none());
+
+        // Past-the-end sorted access: counted, returns None.
+        assert!(sources
+            .source(0)
+            .sorted_access(Position::new(9).unwrap(), false)
+            .is_none());
+        assert_eq!(sources.source_ref(0).counters().sorted, 2);
+        assert_eq!(sources.total_counters().of(AccessMode::Sorted), 2);
+        assert_eq!(sources.per_list_counters()[1], AccessCounters::default());
+    }
+
+    #[test]
+    fn untracked_accesses_leave_the_tracker_alone() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        sources.source(0).sorted_access(Position::FIRST, false);
+        sources.source(0).random_access(ItemId(2), true, false);
+        assert_eq!(sources.source_ref(0).best_position(), None);
+    }
+
+    #[test]
+    fn tracked_accesses_move_the_best_position_and_piggyback_its_score() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        let source = sources.source(0);
+
+        // List 0 sorted order: (1, 30), (3, 26), (2, 11). Seeing position 2
+        // first creates no prefix, so nothing is piggybacked.
+        let ps = source.random_access(ItemId(3), false, true).unwrap();
+        assert_eq!(ps.score.value(), 26.0);
+        assert!(ps.position.is_none(), "position only when asked");
+        assert!(ps.best_position_score.is_none());
+        assert_eq!(source.best_position(), None);
+
+        // Seeing position 1 bridges the prefix through position 2: the
+        // best position jumps to 2 and its score rides along.
+        let entry = source.sorted_access(Position::FIRST, true).unwrap();
+        assert_eq!(entry.best_position_score.unwrap().value(), 26.0);
+        assert_eq!(source.best_position(), Position::new(2));
+    }
+
+    #[test]
+    fn direct_access_walks_unseen_positions_without_counting_exhaustion() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        let source = sources.source(1);
+        for expected in 1..=3usize {
+            let entry = source.direct_access_next().unwrap();
+            assert_eq!(entry.position.get(), expected);
+        }
+        assert!(source.direct_access_next().is_none());
+        let counters = source.counters();
+        assert_eq!(counters.direct, 3, "the exhausted attempt is not an access");
+        assert_eq!(source.best_position(), Position::new(3));
+    }
+
+    #[test]
+    fn tail_score_is_catalog_metadata() {
+        let db = db();
+        let sources = Sources::in_memory(&db);
+        assert_eq!(sources.source_ref(0).tail_score().value(), 11.0);
+        assert_eq!(sources.source_ref(1).tail_score().value(), 14.0);
+        assert_eq!(sources.total_counters(), AccessCounters::default());
+    }
+
+    #[test]
+    fn reset_clears_counters_and_tracking() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        sources.source(0).direct_access_next().unwrap();
+        sources
+            .source(1)
+            .sorted_access(Position::FIRST, true)
+            .unwrap();
+        sources.reset();
+        assert_eq!(sources.total_counters(), AccessCounters::default());
+        assert_eq!(sources.source_ref(0).best_position(), None);
+        assert_eq!(sources.source_ref(1).best_position(), None);
+        // And the set is fully usable again.
+        let entry = sources.source(0).direct_access_next().unwrap();
+        assert_eq!(entry.position, Position::FIRST);
+    }
+
+    #[test]
+    fn default_sorted_block_stops_at_the_end_of_the_list() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        let entries = sources
+            .source(0)
+            .sorted_block(Position::new(2).unwrap(), 10, false);
+        assert_eq!(entries.len(), 2, "positions 2 and 3 only");
+        assert_eq!(entries[0].position.get(), 2);
+        assert_eq!(entries[1].position.get(), 3);
+        // Exactly two read attempts — no counted miss past the end.
+        assert_eq!(sources.source_ref(0).counters().sorted, 2);
+    }
+
+    #[test]
+    fn tracked_sorted_block_piggybacks_once_on_the_last_entry() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        let entries = sources.source(0).sorted_block(Position::FIRST, 3, true);
+        assert_eq!(entries.len(), 3);
+        // Block-level contract: intermediate entries carry no piggyback
+        // even though the best position moved at every one of them…
+        assert!(entries[0].best_position_score.is_none());
+        assert!(entries[1].best_position_score.is_none());
+        // …and the final entry reports the best score after the block
+        // (position 3 of list 0 holds score 11).
+        assert_eq!(entries[2].best_position_score.unwrap().value(), 11.0);
+        assert_eq!(sources.source_ref(0).best_position(), Position::new(3));
+    }
+
+    #[test]
+    fn batching_serves_sequential_scans_from_one_block() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db).batched(3);
+        let source = sources.source(0);
+        let scores: Vec<f64> = (1..=3)
+            .map(|p| {
+                source
+                    .sorted_access(Position::new(p).unwrap(), false)
+                    .unwrap()
+                    .score
+                    .value()
+            })
+            .collect();
+        assert_eq!(scores, vec![30.0, 26.0, 11.0]);
+        // The inner source saw one block of 3 reads, not 3 separate calls
+        // — counters pass through to the backend.
+        assert_eq!(source.counters().sorted, 3);
+        // Past-the-end probes still reach the backend and are counted.
+        assert!(source
+            .sorted_access(Position::new(4).unwrap(), false)
+            .is_none());
+        assert_eq!(source.counters().sorted, 4);
+    }
+
+    #[test]
+    fn batching_forwards_tracked_and_non_sorted_accesses() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db).batched(2);
+        let source = sources.source(1);
+        let entry = source.sorted_access(Position::FIRST, true).unwrap();
+        assert_eq!(entry.best_position_score.unwrap().value(), 28.0);
+        assert_eq!(source.best_position(), Some(Position::FIRST));
+        assert!(source.random_access(ItemId(2), true, true).is_some());
+        assert!(source.direct_access_next().is_some());
+        assert_eq!(source.tail_score().value(), 14.0);
+        assert_eq!(source.len(), 3);
+        assert!(!source.is_empty());
+
+        source.reset();
+        assert_eq!(source.counters(), AccessCounters::default());
+        assert_eq!(source.best_position(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_len")]
+    fn zero_block_len_is_rejected() {
+        let db = db();
+        let _ = Sources::in_memory(&db).batched(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one list")]
+    fn empty_source_set_is_rejected() {
+        let _ = Sources::new(Vec::new());
+    }
+}

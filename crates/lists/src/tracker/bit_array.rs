@@ -56,7 +56,11 @@ impl BitArrayTracker {
 impl PositionTracker for BitArrayTracker {
     fn mark_seen(&mut self, position: Position) -> bool {
         let p = position.get();
-        assert!(p <= self.n, "position {p} out of range for list of {} items", self.n);
+        assert!(
+            p <= self.n,
+            "position {p} out of range for list of {} items",
+            self.n
+        );
         let newly = self.set_bit(p);
         if newly {
             self.seen += 1;

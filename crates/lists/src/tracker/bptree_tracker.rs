@@ -51,7 +51,11 @@ impl BPlusTreeTracker {
 impl PositionTracker for BPlusTreeTracker {
     fn mark_seen(&mut self, position: Position) -> bool {
         let p = position.get();
-        assert!(p <= self.n, "position {p} out of range for list of {} items", self.n);
+        assert!(
+            p <= self.n,
+            "position {p} out of range for list of {} items",
+            self.n
+        );
         let newly = self.seen.insert(p as u64);
         while self.seen.successor(self.bp + 1) == Some(self.bp + 1) {
             self.bp += 1;

@@ -154,8 +154,7 @@ mod tests {
             let pos = Position::new(p).unwrap();
             let results: Vec<bool> = trackers.iter_mut().map(|t| t.mark_seen(pos)).collect();
             assert!(results.windows(2).all(|w| w[0] == w[1]));
-            let bests: Vec<Option<Position>> =
-                trackers.iter().map(|t| t.best_position()).collect();
+            let bests: Vec<Option<Position>> = trackers.iter().map(|t| t.best_position()).collect();
             assert!(
                 bests.windows(2).all(|w| w[0] == w[1]),
                 "trackers disagree after marking {p}: {bests:?}"

@@ -31,7 +31,11 @@ impl NaiveSetTracker {
 impl PositionTracker for NaiveSetTracker {
     fn mark_seen(&mut self, position: Position) -> bool {
         let p = position.get();
-        assert!(p <= self.n, "position {p} out of range for list of {} items", self.n);
+        assert!(
+            p <= self.n,
+            "position {p} out of range for list of {} items",
+            self.n
+        );
         self.seen.insert(p)
     }
 

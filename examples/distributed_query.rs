@@ -2,8 +2,11 @@
 //! list lives at a different node and the dominant cost is the number (and
 //! size) of messages between the query originator and the list owners.
 //!
-//! Runs distributed TA, BPA and BPA2 over a simulated cluster and reports
-//! accesses, messages and shipped payload.
+//! Every protocol is the corresponding *core* algorithm running over the
+//! `ClusterSources` backend — there is no second implementation. The
+//! comparison reports accesses, messages, shipped payload and the
+//! per-round traffic breakdown, then shows the batching decorator
+//! coalescing a full scan into block messages.
 //!
 //! ```sh
 //! cargo run --release --example distributed_query
@@ -11,7 +14,8 @@
 
 use bpa_topk::datagen::{DatabaseGenerator, UniformGenerator};
 use bpa_topk::distributed::{
-    Cluster, DistributedBpa, DistributedBpa2, DistributedProtocol, DistributedTa,
+    Cluster, ClusterSources, DistributedBpa, DistributedBpa2, DistributedNaive,
+    DistributedProtocol, DistributedTa,
 };
 use bpa_topk::prelude::*;
 
@@ -25,11 +29,18 @@ fn main() {
     println!("Distributed top-{k} over {m} list owners, n = {n} items per list");
     println!();
     println!(
-        "{:>20}{:>12}{:>12}{:>18}{:>10}",
-        "protocol", "accesses", "messages", "payload (units)", "rounds"
+        "{:>20}{:>12}{:>12}{:>18}{:>10}{:>18}{:>18}",
+        "protocol",
+        "accesses",
+        "messages",
+        "payload (units)",
+        "rounds",
+        "msgs/round (avg)",
+        "peak round msgs"
     );
 
     let protocols: Vec<Box<dyn DistributedProtocol>> = vec![
+        Box::new(DistributedNaive),
         Box::new(DistributedTa),
         Box::new(DistributedBpa),
         Box::new(DistributedBpa2),
@@ -38,13 +49,16 @@ fn main() {
     for protocol in protocols {
         let mut cluster = Cluster::new(&database);
         let result = protocol.execute(&mut cluster, &query).expect("valid query");
+        let rounds = result.network.rounds().max(1) as u64;
         println!(
-            "{:>20}{:>12}{:>12}{:>18}{:>10}",
+            "{:>20}{:>12}{:>12}{:>18}{:>10}{:>18}{:>18}",
             protocol.name(),
             result.accesses,
             result.network.messages,
             result.network.payload_units,
             result.rounds,
+            result.network.messages / rounds,
+            result.network.peak_round().map_or(0, |r| r.messages),
         );
 
         // All protocols return the same top-k score sequence.
@@ -58,6 +72,34 @@ fn main() {
     println!();
     println!(
         "BPA2 needs the fewest messages and ships the least payload: best positions stay at the \
-         list owners, so the originator only ever receives scores."
+         list owners, so the originator only ever receives scores. The per-round columns are the \
+         first slice of latency modelling — with in-round requests overlapped, wall-clock cost \
+         is bounded by rounds, not messages."
+    );
+
+    // The batching decorator: the same naive scan, with sequential sorted
+    // accesses coalesced into SortedBlock messages of 256 entries.
+    println!();
+    println!("Batching (BatchingSource over ClusterSources), naive full scan:");
+    for (label, block) in [("per-position", 1), ("blocks of 256", 256)] {
+        let cluster = Cluster::new(&database);
+        let mut sources = if block == 1 {
+            ClusterSources::new(&cluster)
+        } else {
+            ClusterSources::batched(&cluster, block)
+        };
+        let result = NaiveScan.run_on(&mut sources, &query).expect("valid query");
+        let network = cluster.network();
+        println!(
+            "{:>20}{:>12}{:>12}{:>18}   top score {:.4}",
+            label,
+            cluster.accesses_served(),
+            network.messages,
+            network.payload_units,
+            result.scores()[0].value(),
+        );
+    }
+    println!(
+        "Same answers, ~256x fewer messages: the groundwork for the sharded and async backends."
     );
 }

@@ -16,11 +16,19 @@ fn main() {
     let mut index = InvertedIndex::new();
     index.add_document(
         "vldb07-best-position.pdf",
-        [("top-k", 0.95), ("sorted-lists", 0.90), ("distributed", 0.55)],
+        [
+            ("top-k", 0.95),
+            ("sorted-lists", 0.90),
+            ("distributed", 0.55),
+        ],
     );
     index.add_document(
         "fagin-optimal-aggregation.pdf",
-        [("top-k", 0.92), ("sorted-lists", 0.85), ("middleware", 0.80)],
+        [
+            ("top-k", 0.92),
+            ("sorted-lists", 0.85),
+            ("middleware", 0.80),
+        ],
     );
     index.add_document(
         "tput-distributed-topk.pdf",
@@ -28,7 +36,11 @@ fn main() {
     );
     index.add_document(
         "klee-framework.pdf",
-        [("top-k", 0.65), ("distributed", 0.85), ("sorted-lists", 0.40)],
+        [
+            ("top-k", 0.65),
+            ("distributed", 0.85),
+            ("sorted-lists", 0.40),
+        ],
     );
     index.add_document(
         "btree-survey.pdf",
@@ -52,9 +64,18 @@ fn main() {
         let result = index
             .search(&keywords, 3, algorithm)
             .expect("query terms are indexed");
-        println!("{:?} — {} list accesses:", algorithm, result.stats.total_accesses());
+        println!(
+            "{:?} — {} list accesses:",
+            algorithm,
+            result.stats.total_accesses()
+        );
         for (rank, answer) in result.answers.iter().enumerate() {
-            println!("  {}. {:<34} aggregate relevance {:.2}", rank + 1, answer.key, answer.score);
+            println!(
+                "  {}. {:<34} aggregate relevance {:.2}",
+                rank + 1,
+                answer.key,
+                answer.score
+            );
         }
         println!();
     }

@@ -35,7 +35,11 @@ fn main() {
         for url in 0..num_urls {
             let base = 1_000_000 / (url as u64 + 1);
             let jitter = next() % (base / 2 + 1);
-            system.record(id, &format!("https://example.org/page/{url}"), base / 2 + jitter);
+            system.record(
+                id,
+                &format!("https://example.org/page/{url}"),
+                base / 2 + jitter,
+            );
         }
     }
 
@@ -49,7 +53,9 @@ fn main() {
     println!();
 
     for algorithm in [AlgorithmKind::Ta, AlgorithmKind::Bpa, AlgorithmKind::Bpa2] {
-        let result = system.top_k_urls(5, algorithm).expect("system holds observations");
+        let result = system
+            .top_k_urls(5, algorithm)
+            .expect("system holds observations");
         println!(
             "{:?} — {} accesses over {} per-location lists:",
             algorithm,
@@ -57,14 +63,21 @@ fn main() {
             system.num_locations()
         );
         for (rank, answer) in result.answers.iter().enumerate() {
-            println!("  {}. {:<38} {:>12.0} total hits", rank + 1, answer.key, answer.score);
+            println!(
+                "  {}. {:<38} {:>12.0} total hits",
+                rank + 1,
+                answer.key,
+                answer.score
+            );
         }
         println!();
     }
 
     // In production the administrator would not hard-code an algorithm:
     // the cost-based planner samples the per-location lists and picks one.
-    let (planned, plan) = system.top_k_urls_planned(5).expect("system holds observations");
+    let (planned, plan) = system
+        .top_k_urls_planned(5)
+        .expect("system holds observations");
     println!(
         "Planner chose {:?} ({} accesses):",
         planned.algorithm,

@@ -18,7 +18,10 @@ fn main() {
     let db = figure1_database();
     let query = TopKQuery::top(3);
 
-    println!("Figure 1 database (m = 3, n = {}), top-3 by sum:", db.num_items());
+    println!(
+        "Figure 1 database (m = 3, n = {}), top-3 by sum:",
+        db.num_items()
+    );
     for kind in AlgorithmKind::ALL {
         let result = kind.create().run(&db, &query).expect("valid query");
         let answers: Vec<String> = result
@@ -76,7 +79,10 @@ fn main() {
     println!("Cost-based planner choices:");
     let uniform = UniformGenerator::new(8, 2_000).generate(7);
     let correlated = CorrelatedGenerator::new(8, 50_000, 0.01).generate(7);
-    for (label, db) in [("uniform m=8 n=2000", uniform), ("correlated m=8 n=50000", correlated)] {
+    for (label, db) in [
+        ("uniform m=8 n=2000", uniform),
+        ("correlated m=8 n=50000", correlated),
+    ] {
         let (plan, result) = plan_and_run(&db, &TopKQuery::top(20)).expect("valid query");
         println!(
             "  {:<24} -> {:?} ({} accesses measured)",

@@ -33,7 +33,9 @@ fn main() {
         [0.75, 0.40, 0.85, 0.55], // flat-university
     ];
     for row in rows {
-        apartments.insert(row.to_vec()).expect("row arity matches the columns");
+        apartments
+            .insert(row.to_vec())
+            .expect("row arity matches the columns");
     }
 
     let attributes = ["affordability", "size", "location", "condition"];
@@ -61,7 +63,12 @@ fn main() {
     println!();
     println!("Top-3 for a price-sensitive renter (weights 3.0 / 1.0 / 0.5 / 0.5):");
     let weighted = apartments
-        .top_k_by_weighted_sum(&attributes, vec![3.0, 1.0, 0.5, 0.5], 3, AlgorithmKind::Bpa2)
+        .top_k_by_weighted_sum(
+            &attributes,
+            vec![3.0, 1.0, 0.5, 0.5],
+            3,
+            AlgorithmKind::Bpa2,
+        )
         .expect("valid ranking query");
     for (rank, answer) in weighted.answers.iter().enumerate() {
         println!(

@@ -55,7 +55,9 @@ fn document_search_and_monitoring_agree_across_algorithms() {
         system.record(loc_b, &name, (doc * 7) % 17 + 1);
     }
 
-    let search_ref = index.search(&["alpha", "beta"], 6, AlgorithmKind::Naive).unwrap();
+    let search_ref = index
+        .search(&["alpha", "beta"], 6, AlgorithmKind::Naive)
+        .unwrap();
     let urls_ref = system.top_k_urls(6, AlgorithmKind::Naive).unwrap();
     for kind in [AlgorithmKind::Ta, AlgorithmKind::Bpa, AlgorithmKind::Bpa2] {
         let search = index.search(&["alpha", "beta"], 6, kind).unwrap();
@@ -103,7 +105,10 @@ fn distributed_protocols_match_centralized_runs_on_generated_data() {
 
         // And all protocols agree on the answers.
         let scores = |r: &bpa_topk::distributed::DistributedResult| {
-            r.answers.iter().map(|a| a.score.value()).collect::<Vec<_>>()
+            r.answers
+                .iter()
+                .map(|a| a.score.value())
+                .collect::<Vec<_>>()
         };
         assert_eq!(scores(&d_ta), scores(&d_bpa));
         assert_eq!(scores(&d_ta), scores(&d_bpa2));
@@ -148,7 +153,11 @@ fn tracker_choice_does_not_change_any_observable_behaviour() {
     let reference = Bpa2::default().run(&db, &query).unwrap();
     for kind in TrackerKind::ALL {
         let bpa2 = Bpa2::with_tracker(kind).run(&db, &query).unwrap();
-        assert_eq!(bpa2.stats().accesses, reference.stats().accesses, "{kind:?}");
+        assert_eq!(
+            bpa2.stats().accesses,
+            reference.stats().accesses,
+            "{kind:?}"
+        );
         assert!(bpa2.scores_match(&reference, 1e-9));
         let bpa = Bpa::with_tracker(kind).run(&db, &query).unwrap();
         assert!(bpa.scores_match(&reference, 1e-9));

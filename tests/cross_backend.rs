@@ -1,0 +1,260 @@
+//! Cross-backend equivalence: every distributed protocol must behave
+//! exactly like its local (in-memory) counterpart, because both are now
+//! the *same* `topk_core` algorithm running over a different
+//! `SourceSet` backend.
+//!
+//! The message/payload figures asserted here were captured from the
+//! pre-refactor hand-written protocols (the 431-line `protocol.rs` that
+//! re-implemented TA/BPA/BPA2 against `Cluster`), so this suite pins the
+//! API redesign to the old wire behaviour: same answers, same access
+//! counts, same message counts, same payload units — on the paper's
+//! figure databases and on all three `topk-datagen` families.
+
+use bpa_topk::datagen::{DatabaseKind, DatabaseSpec};
+use bpa_topk::distributed::{
+    Cluster, ClusterSources, DistributedBpa, DistributedBpa2, DistributedNaive,
+    DistributedProtocol, DistributedResult, DistributedTa,
+};
+use bpa_topk::lists::Database;
+use bpa_topk::prelude::*;
+use topk_core::examples_paper::{figure1_database, figure2_database};
+
+/// (accesses, messages, payload units, rounds) captured from the
+/// pre-refactor protocol implementations.
+type Baseline = (u64, u64, u64, u64);
+
+fn scores(result: &DistributedResult) -> Vec<f64> {
+    result.answers.iter().map(|r| r.score.value()).collect()
+}
+
+fn protocols() -> Vec<Box<dyn DistributedProtocol>> {
+    vec![
+        Box::new(DistributedTa),
+        Box::new(DistributedBpa),
+        Box::new(DistributedBpa2),
+    ]
+}
+
+/// The local algorithm a protocol delegates to, for side-by-side runs.
+fn local_counterpart(name: &str) -> Box<dyn TopKAlgorithm> {
+    match name {
+        "distributed-naive" => Box::new(NaiveScan),
+        "distributed-ta" => Box::new(Ta::literal()),
+        "distributed-bpa" => Box::new(Bpa::default()),
+        "distributed-bpa2" => Box::new(Bpa2::default()),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+fn check_equivalence(db: &Database, k: usize, protocol: &dyn DistributedProtocol) {
+    let query = TopKQuery::top(k);
+    let local = local_counterpart(protocol.name()).run(db, &query).unwrap();
+    let mut cluster = Cluster::new(db);
+    let remote = protocol.execute(&mut cluster, &query).unwrap();
+
+    // Identical answers, in identical order.
+    let local_scores: Vec<f64> = local.scores().iter().map(|s| s.value()).collect();
+    assert_eq!(scores(&remote), local_scores, "{} k={k}", protocol.name());
+    let local_ids: Vec<u64> = local.item_ids().iter().map(|i| i.0).collect();
+    let remote_ids: Vec<u64> = remote.answers.iter().map(|r| r.item.0).collect();
+    assert_eq!(remote_ids, local_ids, "{} k={k}", protocol.name());
+
+    // Identical access counts and rounds: the cluster serves exactly the
+    // accesses the in-memory backend counts.
+    assert_eq!(
+        remote.accesses,
+        local.stats().total_accesses(),
+        "{} k={k}",
+        protocol.name()
+    );
+    assert_eq!(
+        remote.rounds,
+        local.stats().rounds,
+        "{} k={k}",
+        protocol.name()
+    );
+
+    // Per-round network accounting is exhaustive.
+    let per_round_messages: u64 = remote.network.per_round.iter().map(|r| r.messages).sum();
+    assert_eq!(per_round_messages, remote.network.messages);
+}
+
+/// Every protocol, over every datagen family, agrees with its local
+/// counterpart and keeps the pre-refactor message economics (two
+/// messages per access).
+#[test]
+fn protocols_match_local_algorithms_on_all_datagen_families() {
+    for kind in [
+        DatabaseKind::Uniform,
+        DatabaseKind::Gaussian,
+        DatabaseKind::Correlated { alpha: 0.05 },
+    ] {
+        let db = DatabaseSpec::new(kind, 4, 800).generate(42);
+        for protocol in protocols() {
+            for k in [1, 5, 25] {
+                check_equivalence(&db, k, protocol.as_ref());
+            }
+        }
+        // The naive baseline rides along through the same adapter.
+        check_equivalence(&db, 5, &DistributedNaive);
+    }
+}
+
+/// The exact figures of the pre-refactor `protocol.rs`, on the paper's
+/// figure databases and the three generated families: the redesigned
+/// protocols must reproduce them to the message.
+#[test]
+fn network_figures_match_the_pre_refactor_implementations() {
+    let cases: Vec<(Database, usize, [Baseline; 3])> = vec![
+        (
+            figure1_database(),
+            3,
+            [
+                (54, 108, 144, 6), // distributed-ta
+                (27, 54, 90, 3),   // distributed-bpa
+                (27, 54, 75, 3),   // distributed-bpa2
+            ],
+        ),
+        (
+            figure2_database(),
+            3,
+            [(63, 126, 168, 7), (63, 126, 210, 7), (36, 72, 100, 4)],
+        ),
+        (
+            DatabaseSpec::new(DatabaseKind::Uniform, 4, 800).generate(42),
+            5,
+            [
+                (2288, 4576, 5720, 143),
+                (2272, 4544, 7384, 142),
+                (1696, 3392, 4243, 106),
+            ],
+        ),
+        (
+            DatabaseSpec::new(DatabaseKind::Gaussian, 4, 800).generate(42),
+            5,
+            [
+                (1280, 2560, 3200, 80),
+                (1280, 2560, 4160, 80),
+                (1088, 2176, 2720, 68),
+            ],
+        ),
+        (
+            DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.05 }, 4, 800).generate(42),
+            5,
+            [(96, 192, 240, 6), (96, 192, 312, 6), (64, 128, 165, 4)],
+        ),
+    ];
+
+    for (db, k, baselines) in &cases {
+        for (protocol, &(accesses, messages, payload, rounds)) in protocols().iter().zip(baselines)
+        {
+            let mut cluster = Cluster::new(db);
+            let result = protocol.execute(&mut cluster, &TopKQuery::top(*k)).unwrap();
+            let label = format!("{} (n={}, k={k})", protocol.name(), db.num_items());
+            assert_eq!(result.accesses, accesses, "accesses of {label}");
+            assert_eq!(result.network.messages, messages, "messages of {label}");
+            assert_eq!(result.network.payload_units, payload, "payload of {label}");
+            assert_eq!(result.rounds, rounds, "rounds of {label}");
+        }
+    }
+}
+
+/// Any core algorithm — not just the four wrapped by protocols — returns
+/// identical answers over the cluster backend, with identical per-mode
+/// access counters.
+#[test]
+fn every_algorithm_is_backend_agnostic() {
+    for kind in [
+        DatabaseKind::Uniform,
+        DatabaseKind::Gaussian,
+        DatabaseKind::Correlated { alpha: 0.05 },
+    ] {
+        let db = DatabaseSpec::new(kind, 3, 300).generate(7);
+        let query = TopKQuery::top(8);
+        for algorithm in AlgorithmKind::ALL {
+            let local = algorithm.create().run(&db, &query).unwrap();
+            let cluster = Cluster::new(&db);
+            let mut sources = ClusterSources::new(&cluster);
+            let remote = algorithm.create().run_on(&mut sources, &query).unwrap();
+            assert!(
+                remote.scores_match(&local, 1e-9),
+                "{algorithm:?} answers diverge over the cluster backend"
+            );
+            assert_eq!(
+                remote.stats().accesses,
+                local.stats().accesses,
+                "{algorithm:?} access counters diverge over the cluster backend"
+            );
+        }
+    }
+}
+
+/// Batching: the naive scan over a batched cluster returns the same
+/// answers while exchanging a small fraction of the messages.
+#[test]
+fn batched_cluster_scans_cut_messages_without_changing_answers() {
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, 3, 400).generate(11);
+    let query = TopKQuery::top(10);
+
+    let unbatched_cluster = Cluster::new(&db);
+    let mut unbatched = ClusterSources::new(&unbatched_cluster);
+    let reference = NaiveScan.run_on(&mut unbatched, &query).unwrap();
+
+    let batched_cluster = Cluster::new(&db);
+    let mut batched = ClusterSources::batched(&batched_cluster, 64);
+    let result = NaiveScan.run_on(&mut batched, &query).unwrap();
+
+    assert!(result.scores_match(&reference, 1e-9));
+    let full = unbatched_cluster.network();
+    let coalesced = batched_cluster.network();
+    // 400 per-position exchanges per list become ceil(400/64) = 7 blocks.
+    assert_eq!(full.messages, 2 * 3 * 400);
+    assert_eq!(coalesced.messages, 2 * 3 * 7);
+    assert!(coalesced.payload_units < full.payload_units);
+}
+
+/// Tracked sorted blocks return identical `SourceEntry` sequences on
+/// both backends: the best-position piggyback is block-level (last entry
+/// only) everywhere, so consumers cannot observe which backend served
+/// them.
+#[test]
+fn tracked_sorted_blocks_agree_across_backends() {
+    use bpa_topk::lists::{Position, Sources};
+
+    let db = figure1_database();
+    let mut in_memory = Sources::in_memory(&db);
+    let cluster = Cluster::new(&db);
+    let mut remote = ClusterSources::new(&cluster);
+
+    for (start, len) in [(1, 4), (5, 3), (8, 99)] {
+        let start = Position::new(start).unwrap();
+        let local_block = in_memory.source(0).sorted_block(start, len, true);
+        let remote_block = remote.source(0).sorted_block(start, len, true);
+        assert_eq!(local_block, remote_block, "block at {start:?} x {len}");
+    }
+    assert_eq!(
+        in_memory.source_ref(0).best_position(),
+        remote.source_ref(0).best_position()
+    );
+    assert_eq!(
+        in_memory.source_ref(0).counters(),
+        remote.source_ref(0).counters()
+    );
+}
+
+/// `run_all` over a cluster backend: the shared `SourceSet` is reset
+/// between algorithms, so each run reports the same counts as a dedicated
+/// cluster would.
+#[test]
+fn run_all_over_a_cluster_resets_between_algorithms() {
+    let db = figure1_database();
+    let query = TopKQuery::top(3);
+    let cluster = Cluster::new(&db);
+    let mut sources = ClusterSources::new(&cluster);
+    let results = run_all(&AlgorithmKind::EVALUATED, &mut sources, &query).unwrap();
+    for (kind, result) in &results {
+        let fresh = kind.create().run(&db, &query).unwrap();
+        assert_eq!(result.stats().accesses, fresh.stats().accesses, "{kind:?}");
+        assert!(result.scores_match(&fresh, 1e-9), "{kind:?}");
+    }
+}

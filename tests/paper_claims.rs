@@ -216,8 +216,7 @@ fn headline_gain_factors_have_the_right_shape_on_uniform_data() {
             "BPA2 must not do more accesses than BPA (m = {m})"
         );
 
-        let access_gain =
-            ta.stats().total_accesses() as f64 / bpa2.stats().total_accesses() as f64;
+        let access_gain = ta.stats().total_accesses() as f64 / bpa2.stats().total_accesses() as f64;
         assert!(
             access_gain > last_bpa2_access_gain,
             "BPA2's access advantage over TA should grow with m (m = {m}, gain {access_gain})"

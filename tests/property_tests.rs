@@ -15,10 +15,8 @@ use bpa_topk::prelude::*;
 fn arb_database_and_k() -> impl Strategy<Value = (Vec<Vec<(u64, f64)>>, usize)> {
     (1usize..=5, 1usize..=40)
         .prop_flat_map(|(m, n)| {
-            let lists = proptest::collection::vec(
-                proptest::collection::vec(0u32..20, n..=n),
-                m..=m,
-            );
+            let lists =
+                proptest::collection::vec(proptest::collection::vec(0u32..20, n..=n), m..=m);
             (lists, 1usize..=n)
         })
         .prop_map(|(raw_lists, k)| {

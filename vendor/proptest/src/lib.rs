@@ -120,7 +120,10 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            FlatMap { base: self, flat_map }
+            FlatMap {
+                base: self,
+                flat_map,
+            }
         }
     }
 
@@ -344,9 +347,8 @@ mod tests {
 
     #[test]
     fn flat_map_enables_dependent_generation() {
-        let strategy = (2usize..=4).prop_flat_map(|n| {
-            (crate::collection::vec(0u32..100, n..=n), 1usize..=n)
-        });
+        let strategy =
+            (2usize..=4).prop_flat_map(|n| (crate::collection::vec(0u32..100, n..=n), 1usize..=n));
         for case in 0..100 {
             let mut rng = TestRng::deterministic("dependent", case);
             let (items, k) = strategy.generate(&mut rng);
