@@ -51,7 +51,7 @@ pub mod relational;
 
 pub use documents::InvertedIndex;
 pub use interner::KeyInterner;
-pub use monitoring::MonitoringSystem;
+pub use monitoring::{MonitoringDeployment, MonitoringSystem};
 pub use relational::Table;
 
 use topk_core::{AlgorithmKind, RunStats, TopKError};

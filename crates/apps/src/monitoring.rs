@@ -10,7 +10,8 @@ use std::collections::HashMap;
 
 use topk_core::planner::{plan_and_run, Plan};
 use topk_core::{AlgorithmKind, Sum, TopKQuery};
-use topk_lists::{Database, ItemId, SortedList};
+use topk_distributed::{ClusterRuntime, LatencyModel, NetworkStats};
+use topk_lists::{Database, ItemId, SortedList, TrackerKind};
 
 use crate::interner::KeyInterner;
 use crate::{AppError, AppResult, RankedAnswer};
@@ -111,6 +112,31 @@ impl MonitoringSystem {
         Ok((self.to_app_result(result, choice), plan))
     }
 
+    /// Deploys the per-location lists onto the async message-passing
+    /// runtime — the literal setting of Section 8, where every monitored
+    /// IP location keeps its URL ranking locally and the administrator's
+    /// query originator reaches it only by messages (one worker thread
+    /// per location).
+    ///
+    /// The deployment is a snapshot of the current counts; spawn it once
+    /// and issue any number of [`MonitoringDeployment::top_k_urls`]
+    /// queries against it (each opens a cheap isolated session — the
+    /// worker threads are reused). Counts recorded after `deploy` are not
+    /// visible to it; redeploy to pick them up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency model does not price exactly one link per
+    /// registered location (build it with
+    /// [`MonitoringSystem::num_locations`] links).
+    pub fn deploy(&self, latency: LatencyModel) -> Result<MonitoringDeployment<'_>, AppError> {
+        let db = self.database()?;
+        Ok(MonitoringDeployment {
+            system: self,
+            runtime: ClusterRuntime::with_latency(&db, TrackerKind::BitArray, latency),
+        })
+    }
+
     fn to_app_result(
         &self,
         result: topk_core::TopKResult,
@@ -133,6 +159,35 @@ impl MonitoringSystem {
             stats: result.stats().clone(),
             algorithm,
         }
+    }
+}
+
+/// A [`MonitoringSystem`] snapshot deployed onto the async
+/// message-passing runtime: one worker thread per monitored location,
+/// serving any number of top-k queries over request/reply channels.
+#[derive(Debug)]
+pub struct MonitoringDeployment<'a> {
+    system: &'a MonitoringSystem,
+    runtime: ClusterRuntime,
+}
+
+impl MonitoringDeployment<'_> {
+    /// The `k` most popular URLs over all locations, answered entirely by
+    /// messages to the per-location worker threads. Returns the answers
+    /// together with the session's [`NetworkStats`]: message and payload
+    /// counts plus the simulated serialized/overlapped timings under the
+    /// deployment's latency model.
+    pub fn top_k_urls(
+        &self,
+        k: usize,
+        algorithm: AlgorithmKind,
+    ) -> Result<(AppResult<String>, NetworkStats), AppError> {
+        let mut session = self.runtime.connect();
+        let result = algorithm
+            .create()
+            .run_on(&mut session, &TopKQuery::new(k, Sum))?;
+        let network = session.network();
+        Ok((self.system.to_app_result(result, algorithm), network))
     }
 }
 
@@ -185,6 +240,30 @@ mod tests {
         assert_eq!(planned.answers[0].score, 280.0);
         let empty = MonitoringSystem::new();
         assert!(matches!(empty.top_k_urls_planned(1), Err(AppError::Empty)));
+    }
+
+    #[test]
+    fn deployed_queries_agree_with_local_and_reports_timings() {
+        let sys = system();
+        let local = sys.top_k_urls(2, AlgorithmKind::Bpa2).unwrap();
+        let latency = LatencyModel::lan(sys.num_locations(), 8);
+        let deployment = sys.deploy(latency).unwrap();
+
+        // One deployment serves repeated queries (fresh session each).
+        for _ in 0..2 {
+            let (distributed, network) = deployment.top_k_urls(2, AlgorithmKind::Bpa2).unwrap();
+            assert_eq!(distributed.answers, local.answers);
+            assert_eq!(distributed.stats.accesses, local.stats.accesses);
+            assert_eq!(network.messages, 2 * local.stats.accesses.total());
+            assert!(network.makespan_nanos() <= network.serialized_nanos());
+            assert!(network.makespan_nanos() > 0);
+        }
+
+        let empty = MonitoringSystem::new();
+        assert!(matches!(
+            empty.deploy(LatencyModel::zero(0)),
+            Err(AppError::Empty)
+        ));
     }
 
     #[test]

@@ -20,9 +20,14 @@
 //! runs over the
 //! in-memory backend ([`TopKAlgorithm::run`], which opens
 //! [`Sources::in_memory`](topk_lists::source::Sources::in_memory)), over
-//! a simulated cluster (`topk_distributed::ClusterSources`), or over a
-//! batching decorator — with identical answers, because the paper's
-//! algorithms only ever speak sorted/random/direct access.
+//! a simulated cluster (`topk_distributed::ClusterSources`), over one
+//! session of the asynchronous message-passing runtime
+//! (`topk_distributed::AsyncClusterSources` — worker threads behind
+//! request/reply channels), or over a batching decorator — with
+//! identical answers, because the paper's algorithms only ever speak
+//! sorted/random/direct access. [`run_all`] and
+//! [`plan_and_run_on`](crate::planner::plan_and_run_on) therefore work
+//! over every backend, the runtime included, with no extra wiring.
 //!
 //! Query validation happens once, in the shared entry point
 //! [`TopKAlgorithm::run_on`], so no algorithm can forget it.

@@ -5,20 +5,33 @@ use std::cell::{Ref, RefCell};
 use topk_lists::tracker::TrackerKind;
 use topk_lists::{Database, Score};
 
+use crate::latency::LatencyModel;
 use crate::message::{Request, Response};
 use crate::owner::ListOwner;
 
-/// Messages and payload exchanged during one originator round (between
-/// two [`Cluster::begin_round`] calls) — the first slice of the roadmap's
-/// latency modelling: a protocol's wall-clock lower bound is its number
-/// of *rounds*, not its number of messages, once requests within a round
-/// overlap.
+/// Messages, payload and simulated time exchanged during one originator
+/// round (between two [`Cluster::begin_round`] calls). A protocol's
+/// wall-clock lower bound is its number of *rounds*, not its number of
+/// messages, once requests within a round overlap — the two time fields
+/// quantify exactly that gap under a [`LatencyModel`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundStats {
     /// Messages exchanged during the round (requests + responses).
     pub messages: u64,
     /// Payload shipped during the round, in scalar units.
     pub payload_units: u64,
+    /// Simulated time of the round with every exchange serialized (the
+    /// blocking originator): the sum of all exchange costs, in
+    /// nanoseconds.
+    pub serialized_nanos: u64,
+    /// Simulated makespan of the round with in-round requests overlapped:
+    /// requests to different owners run concurrently, requests to the
+    /// same owner queue, so this is the maximum over owners of the
+    /// per-owner summed exchange costs, in nanoseconds. Achievable for
+    /// round-synchronous protocols; an optimistic lower bound where a
+    /// round's requests depend on same-round replies (see
+    /// [`crate::latency`]).
+    pub makespan_nanos: u64,
 }
 
 /// Aggregate network statistics for one distributed query execution.
@@ -33,31 +46,13 @@ pub struct NetworkStats {
     /// Total payload shipped, in scalar units (see
     /// [`crate::message::Request::payload_units`]).
     pub payload_units: u64,
-    /// Per-round breakdown of `messages` and `payload_units`, one entry
-    /// per originator round. Traffic before the first
+    /// Per-round breakdown of traffic and simulated time, one entry per
+    /// originator round. Traffic before the first
     /// [`Cluster::begin_round`] lands in an implicit first round.
     pub per_round: Vec<RoundStats>,
 }
 
 impl NetworkStats {
-    fn record(&mut self, request: &Request, response: &Response) {
-        let payload = request.payload_units() + response.payload_units();
-        self.requests += 1;
-        self.responses += 1;
-        self.messages += 2;
-        self.payload_units += payload;
-        if self.per_round.is_empty() {
-            self.per_round.push(RoundStats::default());
-        }
-        let round = self.per_round.last_mut().expect("non-empty");
-        round.messages += 2;
-        round.payload_units += payload;
-    }
-
-    fn begin_round(&mut self) {
-        self.per_round.push(RoundStats::default());
-    }
-
     /// Number of originator rounds that exchanged at least the round
     /// marker (i.e. `per_round.len()`).
     pub fn rounds(&self) -> usize {
@@ -68,6 +63,93 @@ impl NetworkStats {
     pub fn peak_round(&self) -> Option<RoundStats> {
         self.per_round.iter().copied().max_by_key(|r| r.messages)
     }
+
+    /// Total simulated time with every exchange serialized (the blocking
+    /// originator), in nanoseconds.
+    pub fn serialized_nanos(&self) -> u64 {
+        self.per_round.iter().map(|r| r.serialized_nanos).sum()
+    }
+
+    /// Total simulated makespan with in-round requests overlapped, in
+    /// nanoseconds. Rounds are barriers (round `r + 1` needs round `r`'s
+    /// replies), so the query makespan is the sum of per-round makespans.
+    pub fn makespan_nanos(&self) -> u64 {
+        self.per_round.iter().map(|r| r.makespan_nanos).sum()
+    }
+
+    /// How much faster the overlapped schedule is than the serialized one
+    /// (`serialized / makespan`); `None` under a zero latency model.
+    pub fn overlap_speedup(&self) -> Option<f64> {
+        let makespan = self.makespan_nanos();
+        (makespan > 0).then(|| self.serialized_nanos() as f64 / makespan as f64)
+    }
+}
+
+/// The shared accounting engine behind [`Cluster`] and the asynchronous
+/// [`ClusterRuntime`](crate::ClusterRuntime) sessions: every exchanged
+/// request/response pair flows through [`NetworkRecorder::record`], which
+/// tallies messages, payload, and the two simulated schedules (serialized
+/// and overlapped) under one [`LatencyModel`]. Because both backends use
+/// this same recorder, their [`NetworkStats`] are bit-identical for the
+/// same algorithm run.
+#[derive(Debug)]
+pub(crate) struct NetworkRecorder {
+    stats: NetworkStats,
+    latency: LatencyModel,
+    /// Simulated busy time of each owner within the current round — the
+    /// per-owner "lanes" whose maximum is the round's overlapped makespan.
+    lanes: Vec<u64>,
+}
+
+impl NetworkRecorder {
+    pub(crate) fn new(num_owners: usize, latency: LatencyModel) -> Self {
+        assert_eq!(
+            latency.num_links(),
+            num_owners,
+            "latency model must price one link per owner"
+        );
+        NetworkRecorder {
+            stats: NetworkStats::default(),
+            latency,
+            lanes: vec![0; num_owners],
+        }
+    }
+
+    pub(crate) fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    pub(crate) fn record(&mut self, owner: usize, request: &Request, response: &Response) {
+        let payload = request.payload_units() + response.payload_units();
+        let cost = self.latency.exchange_nanos(owner, request, response);
+        self.stats.requests += 1;
+        self.stats.responses += 1;
+        self.stats.messages += 2;
+        self.stats.payload_units += payload;
+        if self.stats.per_round.is_empty() {
+            self.stats.per_round.push(RoundStats::default());
+        }
+        let round = self.stats.per_round.last_mut().expect("non-empty");
+        round.messages += 2;
+        round.payload_units += payload;
+        round.serialized_nanos += cost;
+        self.lanes[owner] += cost;
+        round.makespan_nanos = round.makespan_nanos.max(self.lanes[owner]);
+    }
+
+    pub(crate) fn begin_round(&mut self) {
+        self.stats.per_round.push(RoundStats::default());
+        self.lanes.fill(0);
+    }
+
+    pub(crate) fn stats(&self) -> NetworkStats {
+        self.stats.clone()
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.stats = NetworkStats::default();
+        self.lanes.fill(0);
+    }
 }
 
 /// A set of [`ListOwner`] nodes (one per list of a database) reachable only
@@ -77,29 +159,47 @@ impl NetworkStats {
 /// mutability), so the `m` per-list [`ClusterSource`] handles of a
 /// [`ClusterSources`] set can coexist while routing through one tally.
 ///
+/// This is the *synchronous* backend: every [`Cluster::send`] handles the
+/// request in the caller's thread. The simulated timings it reports are
+/// computed under the same [`LatencyModel`] and overlap schedule as the
+/// thread-per-owner [`ClusterRuntime`](crate::ClusterRuntime), so the two
+/// backends agree number for number.
+///
 /// [`ClusterSource`]: crate::source::ClusterSource
 /// [`ClusterSources`]: crate::source::ClusterSources
 #[derive(Debug)]
 pub struct Cluster {
     owners: Vec<RefCell<ListOwner>>,
-    stats: RefCell<NetworkStats>,
+    recorder: RefCell<NetworkRecorder>,
 }
 
 impl Cluster {
     /// Builds one owner per list of the database, each with the default
-    /// bit-array best-position tracker.
+    /// bit-array best-position tracker and a zero (free-network) latency
+    /// model.
     pub fn new(database: &Database) -> Self {
         Self::with_tracker(database, TrackerKind::BitArray)
     }
 
     /// As [`Cluster::new`] with an explicit tracker strategy for the owners.
     pub fn with_tracker(database: &Database, kind: TrackerKind) -> Self {
+        let m = database.num_lists();
+        Self::with_latency(database, kind, LatencyModel::zero(m))
+    }
+
+    /// As [`Cluster::with_tracker`] with an explicit latency model, so the
+    /// per-round [`RoundStats`] carry non-zero simulated timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not price exactly one link per list.
+    pub fn with_latency(database: &Database, kind: TrackerKind, latency: LatencyModel) -> Self {
         Cluster {
             owners: database
                 .lists()
                 .map(|list| RefCell::new(ListOwner::with_tracker(list.clone(), kind)))
                 .collect(),
-            stats: RefCell::new(NetworkStats::default()),
+            recorder: RefCell::new(NetworkRecorder::new(database.num_lists(), latency)),
         }
     }
 
@@ -113,6 +213,11 @@ impl Cluster {
         self.owners[0].borrow().len()
     }
 
+    /// The latency model pricing this cluster's links.
+    pub fn latency(&self) -> LatencyModel {
+        self.recorder.borrow().latency().clone()
+    }
+
     /// Sends a request to owner `i` and returns its response, counting both
     /// messages.
     ///
@@ -122,19 +227,21 @@ impl Cluster {
     /// owners `0..m`.
     pub fn send(&self, owner: usize, request: Request) -> Response {
         let response = self.owners[owner].borrow_mut().handle(request);
-        self.stats.borrow_mut().record(&request, &response);
+        self.recorder
+            .borrow_mut()
+            .record(owner, &request, &response);
         response
     }
 
     /// Marks the start of a new originator round in the per-round network
     /// accounting.
     pub fn begin_round(&self) {
-        self.stats.borrow_mut().begin_round();
+        self.recorder.borrow_mut().begin_round();
     }
 
     /// Network statistics accumulated so far.
     pub fn network(&self) -> NetworkStats {
-        self.stats.borrow().clone()
+        self.recorder.borrow().stats()
     }
 
     /// Total accesses served by every owner (sorted + random + direct).
@@ -170,7 +277,7 @@ impl Cluster {
     /// Resets network statistics, keeping owner state. Useful when a single
     /// cluster serves several measured queries in a bench.
     pub fn reset_network(&self) {
-        *self.stats.borrow_mut() = NetworkStats::default();
+        self.recorder.borrow_mut().reset();
     }
 
     /// Resets network statistics *and* every owner's per-query state
@@ -198,6 +305,7 @@ mod tests {
         assert_eq!(cluster.num_items(), 12);
         assert_eq!(cluster.accesses_served(), 0);
         assert_eq!(cluster.network(), NetworkStats::default());
+        assert_eq!(cluster.latency(), LatencyModel::zero(3));
     }
 
     #[test]
@@ -304,5 +412,75 @@ mod tests {
             0,
             "catalog reads are not messages"
         );
+    }
+
+    #[test]
+    fn zero_latency_reports_zero_times() {
+        let db = figure1_database();
+        let cluster = Cluster::new(&db);
+        cluster.send(0, Request::DirectAccessNext);
+        let stats = cluster.network();
+        assert_eq!(stats.serialized_nanos(), 0);
+        assert_eq!(stats.makespan_nanos(), 0);
+        assert_eq!(stats.overlap_speedup(), None);
+    }
+
+    #[test]
+    fn overlapped_makespan_is_the_max_owner_lane_per_round() {
+        let db = figure1_database();
+        // 1 µs RTT, no bandwidth term: every exchange costs exactly 1000.
+        let cluster = Cluster::with_latency(
+            &db,
+            TrackerKind::BitArray,
+            LatencyModel::uniform(3, 1_000, 0),
+        );
+        let sorted = |p: usize| Request::SortedAccess {
+            position: Position::new(p).unwrap(),
+            track: false,
+        };
+
+        // Round 1: two exchanges with owner 0, one with owner 1.
+        cluster.begin_round();
+        cluster.send(0, sorted(1));
+        cluster.send(0, sorted(2));
+        cluster.send(1, sorted(1));
+        // Round 2: one exchange with each owner.
+        cluster.begin_round();
+        for owner in 0..3 {
+            cluster.send(owner, sorted(3));
+        }
+
+        let stats = cluster.network();
+        assert_eq!(stats.per_round[0].serialized_nanos, 3_000);
+        assert_eq!(
+            stats.per_round[0].makespan_nanos, 2_000,
+            "owner 0's two queued exchanges dominate round 1"
+        );
+        assert_eq!(stats.per_round[1].serialized_nanos, 3_000);
+        assert_eq!(
+            stats.per_round[1].makespan_nanos, 1_000,
+            "three independent owners overlap perfectly"
+        );
+        assert_eq!(stats.serialized_nanos(), 6_000);
+        assert_eq!(stats.makespan_nanos(), 3_000);
+        assert!((stats.overlap_speedup().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_term_charges_per_payload_unit() {
+        let db = figure1_database();
+        let cluster =
+            Cluster::with_latency(&db, TrackerKind::BitArray, LatencyModel::uniform(3, 0, 10));
+        // SortedAccess request = 1 unit, Entry response = 3 units.
+        cluster.send(
+            0,
+            Request::SortedAccess {
+                position: Position::FIRST,
+                track: false,
+            },
+        );
+        let stats = cluster.network();
+        assert_eq!(stats.serialized_nanos(), 40);
+        assert_eq!(stats.makespan_nanos(), 40);
     }
 }

@@ -13,19 +13,33 @@
 //!   the list's best position (as BPA2 prescribes),
 //! * [`ClusterSource`] adapts the backend-generic
 //!   [`ListSource`](topk_lists::source::ListSource) API onto typed
-//!   [`message`]s routed by a [`Cluster`], which counts every message,
-//!   its payload size, and a per-round breakdown ([`NetworkStats`]) —
-//!   so the *same* `topk_core` algorithms execute distributed, with no
-//!   re-implementation,
+//!   [`message`]s — so the *same* `topk_core` algorithms execute
+//!   distributed, with no re-implementation — over either of two
+//!   transports:
+//!   * the synchronous [`Cluster`], which handles each request in the
+//!     caller's thread, or
+//!   * the asynchronous [`ClusterRuntime`] ([`runtime`]), which runs one
+//!     worker thread per list owner behind request/reply channels and
+//!     serves any number of concurrent, isolated query sessions
+//!     ([`AsyncClusterSources`]),
+//! * both transports count every message, its payload, a per-round
+//!   breakdown, and — under a pluggable, deterministic [`LatencyModel`] —
+//!   the *simulated time* of two schedules per round: every exchange
+//!   serialized versus in-round requests overlapped across owners
+//!   ([`NetworkStats`], [`RoundStats`]). Cutting *rounds* (the paper's
+//!   BPA2 argument) is exactly what makes the overlapped makespan drop,
 //! * the query-originator protocols ([`DistributedNaive`],
 //!   [`DistributedTa`], [`DistributedBpa`], [`DistributedBpa2`]) are thin
-//!   adapters binding one core algorithm to [`ClusterSources`],
+//!   adapters binding one core algorithm to either backend
+//!   ([`DistributedProtocol::execute`] /
+//!   [`DistributedProtocol::execute_on_runtime`]),
 //! * the resulting [`NetworkStats`] quantify the communication-cost claims:
 //!   BPA2 sends fewer messages than BPA (fewer accesses) *and* smaller ones
 //!   (no positions shipped to the originator).
 //!
-//! The simulation is deterministic and single-process; it models message
-//! counts, sizes and per-round traffic, not latencies.
+//! The simulation is deterministic: latencies come from the seeded
+//! [`LatencyModel`], never from the host clock, so both backends report
+//! bit-identical figures for the same run.
 //!
 //! ```
 //! use topk_core::TopKQuery;
@@ -47,16 +61,20 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod latency;
 pub mod message;
 pub mod owner;
 pub mod protocol;
+pub mod runtime;
 pub mod source;
 
 pub use cluster::{Cluster, NetworkStats, RoundStats};
+pub use latency::{format_nanos, LatencyModel};
 pub use message::{Request, Response};
 pub use owner::ListOwner;
 pub use protocol::{
     DistributedBpa, DistributedBpa2, DistributedNaive, DistributedProtocol, DistributedResult,
     DistributedTa,
 };
+pub use runtime::{AsyncClusterSources, ClusterRuntime};
 pub use source::{ClusterSource, ClusterSources};

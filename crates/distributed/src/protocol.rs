@@ -21,6 +21,7 @@
 use topk_core::{Bpa, Bpa2, NaiveScan, RankedItem, Ta, TopKAlgorithm, TopKError, TopKQuery};
 
 use crate::cluster::{Cluster, NetworkStats};
+use crate::runtime::ClusterRuntime;
 use crate::source::ClusterSources;
 
 /// The outcome of a distributed query execution.
@@ -67,6 +68,32 @@ pub trait DistributedProtocol {
             answers: result.items().to_vec(),
             network: cluster.network(),
             accesses: cluster.accesses_served(),
+            rounds: result.stats().rounds,
+        })
+    }
+
+    /// As [`DistributedProtocol::execute`], over the asynchronous
+    /// message-passing [`ClusterRuntime`]: opens a fresh session (so no
+    /// reset is needed — sessions are born clean and isolated) and runs
+    /// the same core algorithm over the worker threads' channels.
+    ///
+    /// With the same [`LatencyModel`](crate::LatencyModel) the returned
+    /// [`DistributedResult`] is identical to [`execute`]'s — same
+    /// answers, same messages, same simulated timings — which is exactly
+    /// the cross-backend guarantee `tests/cross_backend.rs` pins.
+    ///
+    /// [`execute`]: DistributedProtocol::execute
+    fn execute_on_runtime(
+        &self,
+        runtime: &ClusterRuntime,
+        query: &TopKQuery,
+    ) -> Result<DistributedResult, TopKError> {
+        let mut sources = runtime.connect();
+        let result = self.algorithm().run_on(&mut sources, query)?;
+        Ok(DistributedResult {
+            answers: result.items().to_vec(),
+            network: sources.network(),
+            accesses: sources.accesses_served(),
             rounds: result.stats().rounds,
         })
     }

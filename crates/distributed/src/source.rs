@@ -25,6 +25,12 @@
 //! simulation introspection used only for run statistics (the algorithms'
 //! stopping logic uses the piggybacked best scores, as Section 5.1
 //! prescribes), the latter is catalog metadata known at registration.
+//!
+//! The request/response *transport* is abstracted behind the crate-private
+//! `OwnerLink` trait: the synchronous backend routes through
+//! [`Cluster::send`] in the caller's thread, the asynchronous backend
+//! ([`crate::runtime`]) through a worker thread's channels. Both reuse
+//! this exact mapping, so the two backends cannot drift apart.
 
 use topk_lists::source::{ListSource, SourceEntry, SourceScore, SourceSet};
 use topk_lists::{AccessCounters, BatchingSource, ItemId, Position, Score};
@@ -32,15 +38,67 @@ use topk_lists::{AccessCounters, BatchingSource, ItemId, Position, Score};
 use crate::cluster::Cluster;
 use crate::message::{Request, Response};
 
-/// One remote list, reached through [`Cluster::send`].
+/// How a [`ClusterSource`] reaches its list owner: one blocking
+/// request/response exchange, plus the uncounted owner introspection the
+/// simulation exposes for statistics. Implementations are responsible for
+/// recording the exchange in their backend's network accounting.
+pub(crate) trait OwnerLink: std::fmt::Debug {
+    /// Sends one request to the owner and waits for its response.
+    fn exchange(&self, request: Request) -> Response;
+
+    /// Number of entries in the owner's list (catalog metadata).
+    fn len(&self) -> usize;
+
+    /// The owner's list-tail score (catalog metadata).
+    fn tail_score(&self) -> Score;
+
+    /// The owner's current best position (uncounted introspection).
+    fn best_position(&self) -> Option<Position>;
+
+    /// Resets the owner's per-query state (seen positions, access count).
+    fn reset_owner(&self);
+}
+
+/// The synchronous transport: requests are handled by [`Cluster::send`]
+/// in the caller's thread.
+#[derive(Debug)]
+struct SyncOwnerLink<'a> {
+    cluster: &'a Cluster,
+    index: usize,
+}
+
+impl OwnerLink for SyncOwnerLink<'_> {
+    fn exchange(&self, request: Request) -> Response {
+        self.cluster.send(self.index, request)
+    }
+
+    fn len(&self) -> usize {
+        self.cluster.owner(self.index).len()
+    }
+
+    fn tail_score(&self) -> Score {
+        self.cluster.tail_score(self.index)
+    }
+
+    fn best_position(&self) -> Option<Position> {
+        self.cluster.owner(self.index).best_position()
+    }
+
+    fn reset_owner(&self) {
+        self.cluster.owner_reset(self.index);
+    }
+}
+
+/// One remote list, reached through an owner transport (synchronously via
+/// [`Cluster::send`], or via a [`crate::runtime::ClusterRuntime`] worker's
+/// channels).
 ///
 /// Accesses are mirrored into originator-side [`AccessCounters`] (the
 /// owner only keeps a total), so [`RunStats`](topk_core::RunStats) report
 /// the same per-mode counts over this backend as over the in-memory one.
 #[derive(Debug)]
 pub struct ClusterSource<'a> {
-    cluster: &'a Cluster,
-    index: usize,
+    link: Box<dyn OwnerLink + 'a>,
     counters: AccessCounters,
 }
 
@@ -48,9 +106,13 @@ impl<'a> ClusterSource<'a> {
     /// A source for owner `index` of the cluster.
     pub fn new(cluster: &'a Cluster, index: usize) -> Self {
         assert!(index < cluster.num_owners(), "owner index out of range");
+        Self::from_link(Box::new(SyncOwnerLink { cluster, index }))
+    }
+
+    /// A source speaking the wire mapping over any transport.
+    pub(crate) fn from_link(link: Box<dyn OwnerLink + 'a>) -> Self {
         ClusterSource {
-            cluster,
-            index,
+            link,
             counters: AccessCounters::default(),
         }
     }
@@ -58,14 +120,14 @@ impl<'a> ClusterSource<'a> {
 
 impl ListSource for ClusterSource<'_> {
     fn len(&self) -> usize {
-        self.cluster.owner(self.index).len()
+        self.link.len()
     }
 
     fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
         self.counters.sorted += 1;
         match self
-            .cluster
-            .send(self.index, Request::SortedAccess { position, track })
+            .link
+            .exchange(Request::SortedAccess { position, track })
         {
             Response::Entry {
                 item,
@@ -90,14 +152,11 @@ impl ListSource for ClusterSource<'_> {
         track: bool,
     ) -> Option<SourceScore> {
         self.counters.random += 1;
-        match self.cluster.send(
-            self.index,
-            Request::RandomAccess {
-                item,
-                with_position,
-                track,
-            },
-        ) {
+        match self.link.exchange(Request::RandomAccess {
+            item,
+            with_position,
+            track,
+        }) {
             Response::LocalScore {
                 score,
                 position,
@@ -113,7 +172,7 @@ impl ListSource for ClusterSource<'_> {
     }
 
     fn direct_access_next(&mut self) -> Option<SourceEntry> {
-        match self.cluster.send(self.index, Request::DirectAccessNext) {
+        match self.link.exchange(Request::DirectAccessNext) {
             Response::Entry {
                 item,
                 score,
@@ -136,14 +195,11 @@ impl ListSource for ClusterSource<'_> {
     }
 
     fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
-        let response = self.cluster.send(
-            self.index,
-            Request::SortedBlock {
-                start,
-                len: len.min(u32::MAX as usize) as u32,
-                track,
-            },
-        );
+        let response = self.link.exchange(Request::SortedBlock {
+            start,
+            len: len.min(u32::MAX as usize) as u32,
+            track,
+        });
         match response {
             Response::Entries {
                 start,
@@ -170,11 +226,11 @@ impl ListSource for ClusterSource<'_> {
     }
 
     fn best_position(&self) -> Option<Position> {
-        self.cluster.owner(self.index).best_position()
+        self.link.best_position()
     }
 
     fn tail_score(&self) -> Score {
-        self.cluster.tail_score(self.index)
+        self.link.tail_score()
     }
 
     fn counters(&self) -> AccessCounters {
@@ -183,7 +239,7 @@ impl ListSource for ClusterSource<'_> {
 
     fn reset(&mut self) {
         self.counters = AccessCounters::default();
-        self.cluster.owner_reset(self.index);
+        self.link.reset_owner();
     }
 }
 
@@ -259,6 +315,9 @@ impl SourceSet for ClusterSources<'_> {
 
     fn begin_round(&mut self) {
         self.cluster.begin_round();
+        for source in &mut self.sources {
+            source.begin_round();
+        }
     }
 
     fn reset(&mut self) {

@@ -11,8 +11,6 @@
 
 use std::cell::Cell;
 
-use crate::database::Database;
-use crate::error::ListError;
 use crate::item::{ItemId, Position};
 use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
 
@@ -154,70 +152,6 @@ impl<'a> ListAccessor<'a> {
     }
 }
 
-/// A per-query access session over a [`Database`]: one [`ListAccessor`]
-/// per list, plus aggregation helpers.
-#[derive(Debug)]
-pub struct AccessSession<'a> {
-    accessors: Vec<ListAccessor<'a>>,
-}
-
-impl<'a> AccessSession<'a> {
-    /// Opens a session over all lists of a database with zeroed counters.
-    pub fn new(database: &'a Database) -> Self {
-        AccessSession {
-            accessors: database.lists().map(ListAccessor::new).collect(),
-        }
-    }
-
-    /// Number of lists (`m`).
-    #[inline]
-    pub fn num_lists(&self) -> usize {
-        self.accessors.len()
-    }
-
-    /// Number of items per list (`n`).
-    #[inline]
-    pub fn num_items(&self) -> usize {
-        self.accessors[0].len()
-    }
-
-    /// The accessor for list `i` (0-based).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ListError::ListIndexOutOfRange`] when `i` is out of range.
-    pub fn list(&self, i: usize) -> Result<&ListAccessor<'a>, ListError> {
-        self.accessors.get(i).ok_or(ListError::ListIndexOutOfRange {
-            index: i,
-            len: self.accessors.len(),
-        })
-    }
-
-    /// Iterates over the per-list accessors.
-    pub fn lists(&self) -> impl Iterator<Item = &ListAccessor<'a>> + '_ {
-        self.accessors.iter()
-    }
-
-    /// Slice view of the accessors.
-    #[inline]
-    pub fn as_slice(&self) -> &[ListAccessor<'a>] {
-        &self.accessors
-    }
-
-    /// Per-list counter snapshots.
-    pub fn per_list_counters(&self) -> Vec<AccessCounters> {
-        self.accessors.iter().map(|a| a.counters()).collect()
-    }
-
-    /// Counters aggregated over all lists.
-    pub fn total_counters(&self) -> AccessCounters {
-        self.accessors
-            .iter()
-            .map(|a| a.counters())
-            .fold(AccessCounters::default(), |acc, c| acc.combined(&c))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,17 +168,15 @@ mod tests {
     #[test]
     fn counters_start_at_zero() {
         let db = db();
-        let session = AccessSession::new(&db);
-        assert_eq!(session.total_counters(), AccessCounters::default());
-        assert_eq!(session.num_lists(), 2);
-        assert_eq!(session.num_items(), 3);
+        let l0 = ListAccessor::new(db.list(0).unwrap());
+        assert_eq!(l0.counters(), AccessCounters::default());
+        assert_eq!(l0.len(), 3);
     }
 
     #[test]
     fn sorted_access_counts_and_reads() {
         let db = db();
-        let session = AccessSession::new(&db);
-        let l0 = session.list(0).unwrap();
+        let l0 = ListAccessor::new(db.list(0).unwrap());
         let e = l0.sorted_access(Position::FIRST).unwrap();
         assert_eq!(e.item, ItemId(1));
         assert_eq!(l0.counters().sorted, 1);
@@ -256,8 +188,7 @@ mod tests {
     #[test]
     fn random_access_counts_and_returns_position() {
         let db = db();
-        let session = AccessSession::new(&db);
-        let l1 = session.list(1).unwrap();
+        let l1 = ListAccessor::new(db.list(1).unwrap());
         let ps = l1.random_access(ItemId(3)).unwrap();
         assert_eq!(ps.position.get(), 3);
         assert_eq!(ps.score.value(), 14.0);
@@ -269,8 +200,7 @@ mod tests {
     #[test]
     fn direct_access_counts_separately() {
         let db = db();
-        let session = AccessSession::new(&db);
-        let l0 = session.list(0).unwrap();
+        let l0 = ListAccessor::new(db.list(0).unwrap());
         l0.direct_access(Position::FIRST).unwrap();
         let c = l0.counters();
         assert_eq!(
@@ -288,20 +218,14 @@ mod tests {
     }
 
     #[test]
-    fn session_aggregates_over_lists() {
+    fn counters_reset_for_a_fresh_query() {
         let db = db();
-        let session = AccessSession::new(&db);
-        session.list(0).unwrap().sorted_access(Position::FIRST);
-        session.list(1).unwrap().sorted_access(Position::FIRST);
-        session.list(1).unwrap().random_access(ItemId(1));
-        let total = session.total_counters();
-        assert_eq!(total.sorted, 2);
-        assert_eq!(total.random, 1);
-        assert_eq!(total.total(), 3);
-        let per_list = session.per_list_counters();
-        assert_eq!(per_list[0].sorted, 1);
-        assert_eq!(per_list[1].random, 1);
-        assert!(session.list(5).is_err());
+        let l0 = ListAccessor::new(db.list(0).unwrap());
+        l0.sorted_access(Position::FIRST);
+        l0.random_access(ItemId(1));
+        assert_eq!(l0.counters().total(), 2);
+        l0.reset_counters();
+        assert_eq!(l0.counters(), AccessCounters::default());
     }
 
     #[test]
@@ -329,8 +253,7 @@ mod tests {
     #[test]
     fn raw_bypasses_counting() {
         let db = db();
-        let session = AccessSession::new(&db);
-        let l0 = session.list(0).unwrap();
+        let l0 = ListAccessor::new(db.list(0).unwrap());
         let _ = l0.raw().entry_at(Position::FIRST);
         assert_eq!(l0.counters().total(), 0);
         assert!(!l0.is_empty());

@@ -8,8 +8,8 @@
 //!   access* (look up a given item) is O(1).
 //! * [`Database`] — a set of `m` sorted lists over the same `n` data items
 //!   (the paper's "database").
-//! * [`AccessSession`] / [`ListAccessor`] — instrumented handles through
-//!   which algorithms perform *sorted*, *random* and *direct* accesses.
+//! * [`ListAccessor`] — the instrumented handle through which the
+//!   in-memory backend performs *sorted*, *random* and *direct* accesses.
 //!   Every access is counted, so the middleware-cost metrics of the paper's
 //!   evaluation are measured rather than estimated.
 //! * [`tracker`] — the *best position* bookkeeping of Section 5.2 of the
@@ -44,7 +44,7 @@ pub mod sorted_list;
 pub mod source;
 pub mod tracker;
 
-pub use access::{AccessCounters, AccessMode, AccessSession, ListAccessor};
+pub use access::{AccessCounters, AccessMode, ListAccessor};
 pub use bptree::BPlusTree;
 pub use database::Database;
 pub use error::ListError;
@@ -59,7 +59,7 @@ pub use tracker::{
 
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
-    pub use crate::access::{AccessCounters, AccessMode, AccessSession, ListAccessor};
+    pub use crate::access::{AccessCounters, AccessMode, ListAccessor};
     pub use crate::database::Database;
     pub use crate::error::ListError;
     pub use crate::item::{ItemId, Position, Score};

@@ -160,6 +160,17 @@ pub trait ListSource: std::fmt::Debug {
         entries
     }
 
+    /// Announces the start of an originator round (the round-batching
+    /// hook). A round boundary is a barrier — no request of round `r + 1`
+    /// may be issued before round `r` completes — so decorators and
+    /// asynchronous backends that coalesce or keep work in flight (block
+    /// prefetchers, scatter-gather runtimes) must flush it here. (Requests
+    /// *within* a round may still depend on one another; the barrier is
+    /// the coarsest dependency structure, not the only one.) Plain
+    /// sources have nothing pending and ignore the call; decorators such
+    /// as [`BatchingSource`] forward it to their inner source.
+    fn begin_round(&mut self) {}
+
     /// The source's current best position (Section 5.2), `None` while
     /// position 1 has not been seen. Reading it is originator-side
     /// introspection for statistics, not a list access.
@@ -204,8 +215,9 @@ pub trait SourceSet {
     fn source_ref(&self, i: usize) -> &dyn ListSource;
 
     /// Announces the start of an originator round. Backends use this for
-    /// per-round accounting (e.g. `NetworkStats::per_round`) or to flush
-    /// coalesced work; the in-memory backend ignores it.
+    /// per-round accounting (e.g. `NetworkStats::per_round`) and must
+    /// forward it to their sources ([`ListSource::begin_round`]) so
+    /// coalescing decorators can flush pending work at the barrier.
     fn begin_round(&mut self) {}
 
     /// Resets every source (counters, trackers, round state) so the set
@@ -442,6 +454,13 @@ impl ListSource for BatchingSource<'_> {
         self.inner.sorted_block(start, len, track)
     }
 
+    fn begin_round(&mut self) {
+        // The prefetched block stays valid across rounds (list data is
+        // immutable within a query); only the inner source may have
+        // round-sensitive state to flush.
+        self.inner.begin_round();
+    }
+
     fn best_position(&self) -> Option<Position> {
         self.inner.best_position()
     }
@@ -520,6 +539,12 @@ impl SourceSet for Sources<'_> {
 
     fn source_ref(&self, i: usize) -> &dyn ListSource {
         self.sources[i].as_ref()
+    }
+
+    fn begin_round(&mut self) {
+        for source in &mut self.sources {
+            source.begin_round();
+        }
     }
 
     fn reset(&mut self) {

@@ -100,6 +100,7 @@ fn main() {
         );
     }
     println!(
-        "Same answers, ~256x fewer messages: the groundwork for the sharded and async backends."
+        "Same answers, ~256x fewer messages. For the async runtime (worker threads, channels) \
+         and simulated LAN/WAN timings of these protocols, run the latency_demo example."
     );
 }

@@ -1,0 +1,102 @@
+//! Latency modelling on the async runtime: per-round serialized time
+//! versus overlapped makespan for TA, BPA and BPA2, side by side.
+//!
+//! Each protocol runs over its own session of one shared
+//! `ClusterRuntime` (one worker thread per list owner, LAN latency
+//! profile). Per round, the *serialized* column is what a blocking
+//! originator would wait; the *overlapped* column is the round's makespan
+//! once requests to different owners are in flight concurrently —
+//! requests to the same owner still queue. Rounds are barriers, so the
+//! query's simulated wall clock is the sum of round makespans: fewer
+//! rounds (BPA2's argument) and wider rounds (overlap's argument) both
+//! cut it. For these three protocols the overlapped column is a scatter
+//! *bound* — their in-round data dependencies are not chained (see
+//! `topk_distributed::latency`) — so compare the protocols against each
+//! other, not against a promised deployment speedup.
+//!
+//! ```sh
+//! cargo run --release --example latency_demo
+//! ```
+
+use bpa_topk::datagen::{DatabaseGenerator, UniformGenerator};
+use bpa_topk::distributed::{format_nanos, ClusterRuntime, LatencyModel, NetworkStats};
+use bpa_topk::prelude::*;
+
+fn main() {
+    let m = 5;
+    let n = 2_000;
+    let k = 10;
+    let database = UniformGenerator::new(m, n).generate(7);
+    let query = TopKQuery::top(k);
+    let runtime =
+        ClusterRuntime::with_latency(&database, TrackerKind::BitArray, LatencyModel::lan(m, 2007));
+
+    println!("Simulated latency, top-{k} over {m} list owners (n = {n}, LAN profile)");
+    println!("serialized = blocking originator; overlapped = in-round requests concurrent");
+    println!();
+
+    let runs: Vec<(&str, Box<dyn TopKAlgorithm>)> = vec![
+        ("ta", Box::new(Ta::literal())),
+        ("bpa", Box::new(Bpa::default())),
+        ("bpa2", Box::new(Bpa2::default())),
+    ];
+    let mut networks: Vec<(&str, NetworkStats)> = Vec::new();
+    for (name, algorithm) in runs {
+        let mut session = runtime.connect();
+        algorithm.run_on(&mut session, &query).expect("valid query");
+        networks.push((name, session.network()));
+    }
+
+    // Side-by-side per-round table (first rounds, then totals).
+    print!("{:>6}", "round");
+    for (name, _) in &networks {
+        print!("{:>14}{:>14}", format!("{name} serial"), "overlapped");
+    }
+    println!();
+    let max_rounds = networks.iter().map(|(_, s)| s.rounds()).max().unwrap();
+    let shown = max_rounds.min(8);
+    for round in 0..shown {
+        print!("{:>6}", round + 1);
+        for (_, stats) in &networks {
+            match stats.per_round.get(round) {
+                Some(r) => print!(
+                    "{:>14}{:>14}",
+                    format_nanos(r.serialized_nanos),
+                    format_nanos(r.makespan_nanos)
+                ),
+                None => print!("{:>14}{:>14}", "-", "-"),
+            }
+        }
+        println!();
+    }
+    if max_rounds > shown {
+        println!("{:>6}", format!("…x{max_rounds}"));
+    }
+    print!("{:>6}", "total");
+    for (_, stats) in &networks {
+        print!(
+            "{:>14}{:>14}",
+            format_nanos(stats.serialized_nanos()),
+            format_nanos(stats.makespan_nanos())
+        );
+    }
+    println!();
+
+    println!();
+    for (name, stats) in &networks {
+        println!(
+            "{name:>6}: {} rounds, {} messages, overlap speedup {:.2}x, simulated wall clock {}",
+            stats.rounds(),
+            stats.messages,
+            stats.overlap_speedup().unwrap_or(1.0),
+            format_nanos(stats.makespan_nanos()),
+        );
+    }
+    println!();
+    println!(
+        "BPA2 wins twice: it exchanges the fewest messages AND needs the fewest rounds, so its \
+         overlapped wall clock is the shortest. All three protocols show the same per-round \
+         overlap factor — the scatter bound spreads every round over the {m} owner lanes without \
+         chaining in-round dependencies — so the ranking comes from rounds x per-lane work."
+    );
+}

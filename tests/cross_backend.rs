@@ -12,8 +12,8 @@
 
 use bpa_topk::datagen::{DatabaseKind, DatabaseSpec};
 use bpa_topk::distributed::{
-    Cluster, ClusterSources, DistributedBpa, DistributedBpa2, DistributedNaive,
-    DistributedProtocol, DistributedResult, DistributedTa,
+    AsyncClusterSources, Cluster, ClusterRuntime, ClusterSources, DistributedBpa, DistributedBpa2,
+    DistributedNaive, DistributedProtocol, DistributedResult, DistributedTa, LatencyModel,
 };
 use bpa_topk::lists::Database;
 use bpa_topk::prelude::*;
@@ -257,4 +257,218 @@ fn run_all_over_a_cluster_resets_between_algorithms() {
         assert_eq!(result.stats().accesses, fresh.stats().accesses, "{kind:?}");
         assert!(result.scores_match(&fresh, 1e-9), "{kind:?}");
     }
+}
+
+/// `run_all` over one async-runtime session: the session resets between
+/// algorithms exactly like every other `SourceSet`, so a single session
+/// can sweep the whole algorithm suite.
+#[test]
+fn run_all_over_a_runtime_session_resets_between_algorithms() {
+    let db = figure1_database();
+    let query = TopKQuery::top(3);
+    let runtime = ClusterRuntime::spawn(&db);
+    let mut session = runtime.connect();
+    let results = run_all(&AlgorithmKind::EVALUATED, &mut session, &query).unwrap();
+    for (kind, result) in &results {
+        let fresh = kind.create().run(&db, &query).unwrap();
+        assert_eq!(result.stats().accesses, fresh.stats().accesses, "{kind:?}");
+        assert!(result.scores_match(&fresh, 1e-9), "{kind:?}");
+    }
+}
+
+/// The async runtime is pinned to the synchronous `Cluster`: every one of
+/// the seven algorithms, on the paper's figure databases and all three
+/// datagen families, returns identical answers with identical access
+/// counters AND an identical `NetworkStats` — same messages, same payload,
+/// same rounds, same simulated serialized/overlapped timings — when both
+/// backends use the same latency model.
+#[test]
+fn async_runtime_matches_the_synchronous_cluster_everywhere() {
+    let mut databases = vec![figure1_database(), figure2_database()];
+    for kind in [
+        DatabaseKind::Uniform,
+        DatabaseKind::Gaussian,
+        DatabaseKind::Correlated { alpha: 0.05 },
+    ] {
+        databases.push(DatabaseSpec::new(kind, 4, 400).generate(42));
+    }
+
+    for db in &databases {
+        let m = db.num_lists();
+        let latency = LatencyModel::lan(m, 2007);
+        let runtime = ClusterRuntime::with_latency(db, TrackerKind::BitArray, latency.clone());
+        let k = 3.min(db.num_items());
+        let query = TopKQuery::top(k);
+
+        for algorithm in AlgorithmKind::ALL {
+            let cluster = Cluster::with_latency(db, TrackerKind::BitArray, latency.clone());
+            let mut sync = ClusterSources::new(&cluster);
+            let reference = algorithm.create().run_on(&mut sync, &query).unwrap();
+
+            let mut session = runtime.connect();
+            let result = algorithm.create().run_on(&mut session, &query).unwrap();
+
+            assert!(
+                result.scores_match(&reference, 1e-9),
+                "{algorithm:?} answers diverge over the async runtime"
+            );
+            assert_eq!(
+                result.stats().accesses,
+                reference.stats().accesses,
+                "{algorithm:?} access counters diverge over the async runtime"
+            );
+            assert_eq!(
+                session.network(),
+                cluster.network(),
+                "{algorithm:?} network accounting diverges over the async runtime"
+            );
+            assert_eq!(session.accesses_served(), cluster.accesses_served());
+        }
+    }
+}
+
+/// One shared runtime, many originators: concurrent queries from separate
+/// threads each open their own session and must all get the right answers
+/// with the right access counts — per-session owner state (trackers,
+/// counters) cannot bleed across sessions.
+#[test]
+fn concurrent_queries_share_one_runtime() {
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, 4, 300).generate(13);
+    let runtime = ClusterRuntime::spawn(&db);
+
+    let kinds = [AlgorithmKind::Ta, AlgorithmKind::Bpa2, AlgorithmKind::Tput];
+    let expected: Vec<_> = kinds
+        .iter()
+        .map(|kind| {
+            let query = TopKQuery::top(7);
+            kind.create().run(&db, &query).unwrap()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let runtime = &runtime;
+            let db = &db;
+            let expected = &expected;
+            scope.spawn(move || {
+                // Interleave algorithms differently per thread so sessions
+                // overlap in every combination.
+                for step in 0..6 {
+                    let which = (worker + step) % kinds.len();
+                    let query = TopKQuery::top(7);
+                    let mut session = runtime.connect();
+                    let result = kinds[which].create().run_on(&mut session, &query).unwrap();
+                    assert!(
+                        result.scores_match(&expected[which], 1e-9),
+                        "thread {worker} step {step}: {:?} answers corrupted",
+                        kinds[which]
+                    );
+                    assert_eq!(
+                        result.stats().accesses,
+                        expected[which].stats().accesses,
+                        "thread {worker} step {step}: {:?} counters corrupted",
+                        kinds[which]
+                    );
+                    let reference = kinds[which].create().run(db, &query).unwrap();
+                    assert!(reference.scores_match(&expected[which], 1e-9));
+                }
+            });
+        }
+    });
+}
+
+/// The acceptance criterion of the async-runtime issue: for the
+/// round-synchronous protocols — TPUT and the batched naive scan — the
+/// simulated overlapped makespan beats the serialized schedule at m ≥ 4,
+/// because their rounds spread work evenly over the m owner lanes.
+#[test]
+fn overlap_beats_serialization_for_round_synchronous_protocols() {
+    for m in [4, 8] {
+        let db = DatabaseSpec::new(DatabaseKind::Uniform, m, 400).generate(29);
+        let runtime =
+            ClusterRuntime::with_latency(&db, TrackerKind::BitArray, LatencyModel::lan(m, 5));
+        let query = TopKQuery::top(5);
+
+        // TPUT: three phases, each touching every list.
+        let mut session = runtime.connect();
+        Tput.run_on(&mut session, &query).unwrap();
+        let tput = session.network();
+        assert!(
+            tput.makespan_nanos() < tput.serialized_nanos(),
+            "TPUT at m = {m}: overlapped {} must beat serialized {}",
+            tput.makespan_nanos(),
+            tput.serialized_nanos()
+        );
+        assert!(
+            tput.overlap_speedup().unwrap() > 1.5,
+            "TPUT at m = {m}: speedup {:.2} too small",
+            tput.overlap_speedup().unwrap()
+        );
+
+        // Batched naive: one scatter round of m independent block scans.
+        let mut session = AsyncClusterSources::batched(&runtime, 64);
+        NaiveScan.run_on(&mut session, &query).unwrap();
+        let naive = session.network();
+        assert!(
+            naive.makespan_nanos() < naive.serialized_nanos(),
+            "batched naive at m = {m}: overlapped {} must beat serialized {}",
+            naive.makespan_nanos(),
+            naive.serialized_nanos()
+        );
+        assert!(
+            naive.overlap_speedup().unwrap() > m as f64 / 2.0,
+            "batched naive at m = {m}: speedup {:.2} should approach m",
+            naive.overlap_speedup().unwrap()
+        );
+    }
+}
+
+/// Position-chasing BPA2 overlaps too (its rounds still touch every
+/// list), but the timings must stay internally consistent: the makespan
+/// never exceeds the serialized schedule and never undercuts the
+/// heaviest single-owner lane.
+#[test]
+fn makespan_is_bounded_by_serialized_time_for_every_algorithm() {
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, 4, 400).generate(31);
+    let runtime =
+        ClusterRuntime::with_latency(&db, TrackerKind::BitArray, LatencyModel::wan(4, 17));
+    for algorithm in AlgorithmKind::ALL {
+        let mut session = runtime.connect();
+        algorithm
+            .create()
+            .run_on(&mut session, &TopKQuery::top(5))
+            .unwrap();
+        let network = session.network();
+        assert!(network.makespan_nanos() > 0, "{algorithm:?}");
+        assert!(
+            network.makespan_nanos() <= network.serialized_nanos(),
+            "{algorithm:?}: makespan cannot exceed the serialized schedule"
+        );
+        for round in &network.per_round {
+            assert!(round.makespan_nanos <= round.serialized_nanos);
+        }
+    }
+}
+
+/// The planner executes its chosen algorithm over the async runtime
+/// through the same backend-generic entry point (`plan_and_run_on`), so
+/// cost-based selection and the message-passing backend compose.
+#[test]
+fn plan_and_run_on_composes_with_the_runtime() {
+    use topk_core::stats::DatabaseStats;
+    use topk_core::{plan_and_run, plan_and_run_on};
+
+    let db = DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.05 }, 4, 400).generate(23);
+    let query = TopKQuery::top(5);
+    let stats = DatabaseStats::collect(&db);
+
+    let (local_plan, local_result) = plan_and_run(&db, &query).unwrap();
+
+    let runtime = ClusterRuntime::spawn(&db);
+    let mut session = runtime.connect();
+    let (plan, result) = plan_and_run_on(&mut session, &stats, &query).unwrap();
+
+    assert_eq!(plan.choice(), local_plan.choice());
+    assert!(result.scores_match(&local_result, 1e-9));
+    assert_eq!(result.stats().accesses, local_result.stats().accesses);
 }
