@@ -8,10 +8,13 @@
 
 use std::collections::HashMap;
 
+use topk_core::batch::QueryBatch;
 use topk_core::planner::{plan_and_run, Plan};
-use topk_core::{AlgorithmKind, Sum, TopKQuery};
+use topk_core::{AlgorithmKind, DatabaseStats, Sum, TopKQuery};
 use topk_distributed::{ClusterRuntime, LatencyModel, NetworkStats};
+use topk_lists::sharded::ShardedDatabase;
 use topk_lists::{Database, ItemId, SortedList, TrackerKind};
+use topk_pool::ThreadPool;
 
 use crate::interner::KeyInterner;
 use crate::{AppError, AppResult, RankedAnswer};
@@ -110,6 +113,38 @@ impl MonitoringSystem {
         let (plan, result) = plan_and_run(&db, &TopKQuery::new(k, Sum))?;
         let choice = plan.choice();
         Ok((self.to_app_result(result, choice), plan))
+    }
+
+    /// Answers many top-k-URLs queries **concurrently** on a shared
+    /// work-stealing pool: the per-location lists are sharded once
+    /// (`shards_per_list` contiguous position ranges each, scanned in
+    /// parallel), statistics are sampled once, and every `k` of `ks`
+    /// becomes one query of a `QueryBatch` with the cost-based planner
+    /// choosing its algorithm. This is the serving shape of a monitoring
+    /// dashboard: one widget per `k` (or per standing query), all
+    /// refreshed against one physical copy of the counts.
+    ///
+    /// Results come back in `ks` order with their plans; answers and
+    /// access counts are identical to issuing each query alone, whatever
+    /// the pool's thread count.
+    pub fn top_k_urls_batch(
+        &self,
+        ks: &[usize],
+        shards_per_list: usize,
+        pool: &ThreadPool,
+    ) -> Result<Vec<(AppResult<String>, Plan)>, AppError> {
+        let db = self.database()?;
+        let sharded = ShardedDatabase::new(&db, shards_per_list);
+        let stats = DatabaseStats::collect(&db);
+        let batch: QueryBatch = ks.iter().map(|&k| TopKQuery::new(k, Sum)).collect();
+        let outcomes = batch.run_planned(pool, &stats, || sharded.sources(pool))?;
+        Ok(outcomes
+            .into_iter()
+            .map(|(plan, result)| {
+                let choice = plan.choice();
+                (self.to_app_result(result, choice), plan)
+            })
+            .collect())
     }
 
     /// Deploys the per-location lists onto the async message-passing
@@ -240,6 +275,27 @@ mod tests {
         assert_eq!(planned.answers[0].score, 280.0);
         let empty = MonitoringSystem::new();
         assert!(matches!(empty.top_k_urls_planned(1), Err(AppError::Empty)));
+    }
+
+    #[test]
+    fn batched_queries_agree_with_single_queries() {
+        let sys = system();
+        let pool = ThreadPool::new(2);
+        let ks = [1usize, 2, 3];
+        let batched = sys.top_k_urls_batch(&ks, 2, &pool).unwrap();
+        assert_eq!(batched.len(), ks.len());
+        for (k, (result, plan)) in ks.iter().zip(&batched) {
+            let (alone, alone_plan) = sys.top_k_urls_planned(*k).unwrap();
+            assert_eq!(result.answers, alone.answers, "k = {k}");
+            assert_eq!(result.stats.accesses, alone.stats.accesses, "k = {k}");
+            assert_eq!(plan.choice(), alone_plan.choice(), "k = {k}");
+            assert_eq!(result.algorithm, plan.choice());
+        }
+        let empty = MonitoringSystem::new();
+        assert!(matches!(
+            empty.top_k_urls_batch(&ks, 2, &pool),
+            Err(AppError::Empty)
+        ));
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Shard-scaling sweep: batched top-k throughput over the sharded backend
+//! (`topk_lists::sharded`) executed on the in-tree work-stealing pool,
+//! against a sequential single-thread baseline over the in-memory
+//! backend.
+//!
+//! ```sh
+//! cargo bench --bench shard_scaling                        # paper scale
+//! TOPK_BENCH_SCALE=smoke cargo bench --bench shard_scaling # CI smoke
+//! ```
+//!
+//! Two speedup figures are reported per configuration:
+//!
+//! * **wall** — measured wall-clock throughput relative to the sequential
+//!   baseline. A hardware report: it depends on how many cores the
+//!   machine actually has (a CI container frequently has one, where no
+//!   wall-clock speedup is physically possible).
+//! * **modelled** — the deterministic schedule model of
+//!   `topk_pool::model`: the batch's *measured per-query access costs*
+//!   placed on `threads` lanes by the greedy rule work stealing
+//!   approximates, exactly as `topk_distributed::LatencyModel` prices the
+//!   network backend. Reproducible on any machine.
+//!
+//! Queries run through the `BatchingSource` decorator (block length 256)
+//! on both sides, so sequential scans coalesce into `sorted_block`
+//! fetches — which the sharded backend serves by fanning one scan job
+//! per shard onto the pool. The `tasks` column counts tasks dispatched
+//! through the pool's queues (`ThreadPool::tasks_executed`, deterministic
+//! — task submission does not depend on scheduling): at 1 shard it is
+//! exactly the query-job count, and the surplus at ≥ 2 shards is the
+//! observable witness that shard scans really fanned out.
+//!
+//! The target **exits non-zero** when the acceptance bar is missed:
+//! batched-query throughput at ≥ 4 shards / 4 threads must beat the
+//! single-thread schedule by ≥ 1.5× (modelled), shard scans must have
+//! fanned out at the gate configurations (tasks > query jobs), and every
+//! configuration must stay **bit-identical** to the in-memory baseline
+//! on answers and access counters.
+
+use std::time::{Duration, Instant};
+
+use topk_bench::config::BENCH_SEED;
+use topk_bench::{print_header, BenchScale};
+use topk_core::batch::QueryBatch;
+use topk_core::{plan_and_run_on, AlgorithmKind, DatabaseStats, TopKQuery, TopKResult};
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+use topk_lists::source::Sources;
+use topk_lists::ShardedDatabase;
+use topk_pool::{model, ThreadPool};
+
+/// The acceptance configuration: ≥ 1.5× at 4 shards / 4 threads.
+const GATE_THREADS: usize = 4;
+const GATE_SHARDS: usize = 4;
+const GATE_SPEEDUP: f64 = 1.5;
+
+/// Number of lists (`m`) of the benchmark database.
+const NUM_LISTS: usize = 4;
+
+/// Block length of the `BatchingSource` decorator both backends run
+/// under: sequential scans become `sorted_block` fetches, the call the
+/// sharded backend parallelises across shards.
+const BLOCK_LEN: usize = 256;
+
+/// One batch of standing queries: k cycles over {10, 20, 40}, the
+/// monitoring-dashboard shape (many widgets, one database).
+fn queries(batch_size: usize) -> Vec<TopKQuery> {
+    (0..batch_size)
+        .map(|i| TopKQuery::top(10 << (i % 3)))
+        .collect()
+}
+
+/// Fingerprint of one query outcome for the bit-identical check.
+type Fingerprint = (AlgorithmKind, Vec<u64>, Vec<u64>, u64, u64, u64);
+
+fn fingerprint(choice: AlgorithmKind, result: &TopKResult) -> Fingerprint {
+    let accesses = result.stats().accesses;
+    (
+        choice,
+        result.item_ids().iter().map(|i| i.0).collect(),
+        result
+            .scores()
+            .iter()
+            .map(|s| s.value().to_bits())
+            .collect(),
+        accesses.sorted,
+        accesses.random,
+        accesses.direct,
+    )
+}
+
+struct ConfigRow {
+    batch_size: usize,
+    threads: usize,
+    shards: usize,
+    elapsed: Duration,
+    wall_speedup: f64,
+    modelled_speedup: f64,
+    pool_tasks: usize,
+    identical: bool,
+}
+
+fn throughput(batch_size: usize, elapsed: Duration) -> f64 {
+    batch_size as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Shard scaling",
+        "batched top-k throughput: sharded lists on the work-stealing pool",
+        scale.label(),
+    );
+
+    let n = scale.default_n();
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, NUM_LISTS, n).generate(BENCH_SEED);
+    let stats = DatabaseStats::collect(&db);
+    println!(
+        "uniform database: m = {NUM_LISTS}, n = {n}; planner-selected algorithm per query; \
+         k cycles over 10/20/40"
+    );
+
+    let batch_sizes = [8usize, 32];
+    let thread_counts = [1usize, 2, 4, 8];
+    let shard_counts = [1usize, 4, 8];
+
+    let mut rows: Vec<ConfigRow> = Vec::new();
+    let mut baselines: Vec<(usize, Duration)> = Vec::new();
+
+    for &batch_size in &batch_sizes {
+        let batch_queries = queries(batch_size);
+
+        // Single-thread baseline: the same queries, planned and executed
+        // one after another over the in-memory backend.
+        let started = Instant::now();
+        let reference: Vec<Fingerprint> = batch_queries
+            .iter()
+            .map(|query| {
+                let (plan, result) = plan_and_run_on(
+                    &mut Sources::in_memory(&db).batched(BLOCK_LEN),
+                    &stats,
+                    query,
+                )
+                .expect("baseline query");
+                fingerprint(plan.choice(), &result)
+            })
+            .collect();
+        let baseline_elapsed = started.elapsed();
+        baselines.push((batch_size, baseline_elapsed));
+
+        for &threads in &thread_counts {
+            for &shards in &shard_counts {
+                let pool = ThreadPool::new(threads);
+                let sharded = ShardedDatabase::new(&db, shards);
+                let batch = QueryBatch::with_queries(batch_queries.clone());
+
+                let started = Instant::now();
+                let outcomes = batch
+                    .run_planned(&pool, &stats, || sharded.sources(&pool).batched(BLOCK_LEN))
+                    .expect("batched query");
+                let elapsed = started.elapsed();
+                let pool_tasks = pool.tasks_executed();
+
+                let identical = outcomes.len() == reference.len()
+                    && outcomes
+                        .iter()
+                        .zip(&reference)
+                        .all(|((plan, result), expected)| {
+                            &fingerprint(plan.choice(), result) == expected
+                        });
+
+                // Deterministic schedule model over the batch's measured
+                // per-query access costs.
+                let costs: Vec<u64> = outcomes
+                    .iter()
+                    .map(|(_, result)| result.stats().total_accesses())
+                    .collect();
+                let modelled_speedup = model::speedup(&costs, threads);
+                let wall_speedup = baseline_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+
+                rows.push(ConfigRow {
+                    batch_size,
+                    threads,
+                    shards,
+                    elapsed,
+                    wall_speedup,
+                    modelled_speedup,
+                    pool_tasks,
+                    identical,
+                });
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "{:>6} {:>8} {:>7}  {:>10} {:>10} {:>6}  {:>9} {:>7} {:>10}",
+        "batch",
+        "threads",
+        "shards",
+        "wall ms",
+        "queries/s",
+        "wall x",
+        "model x",
+        "tasks",
+        "identical"
+    );
+    for (batch_size, elapsed) in &baselines {
+        println!(
+            "{:>6} {:>8} {:>7}  {:>10.2} {:>10.0} {:>6}  {:>9} {:>7} {:>10}",
+            batch_size,
+            "seq",
+            "-",
+            elapsed.as_secs_f64() * 1e3,
+            throughput(*batch_size, *elapsed),
+            "1.00",
+            "1.00",
+            "-",
+            "baseline"
+        );
+    }
+    for row in &rows {
+        println!(
+            "{:>6} {:>8} {:>7}  {:>10.2} {:>10.0} {:>6.2}  {:>9.2} {:>7} {:>10}",
+            row.batch_size,
+            row.threads,
+            row.shards,
+            row.elapsed.as_secs_f64() * 1e3,
+            throughput(row.batch_size, row.elapsed),
+            row.wall_speedup,
+            row.modelled_speedup,
+            row.pool_tasks,
+            if row.identical { "yes" } else { "NO" },
+        );
+    }
+
+    println!();
+    println!(
+        "wall x is hardware (this machine runs the pool on however many cores it has); \
+         model x is the deterministic greedy schedule of topk_pool::model over the \
+         measured per-query access costs — the reproducible figure CI gates on. \
+         tasks counts pool-dispatched jobs: the surplus over the query count is the \
+         shard scans actually fanned out."
+    );
+
+    // Acceptance: bit-identical everywhere, and the modelled batched
+    // throughput at the gate configuration beats single-thread by 1.5x.
+    let mut failed = false;
+    if let Some(broken) = rows.iter().find(|row| !row.identical) {
+        eprintln!(
+            "FAILED: sharded backend diverged from the in-memory baseline at \
+             batch {} / {} threads / {} shards",
+            broken.batch_size, broken.threads, broken.shards
+        );
+        failed = true;
+    }
+    let gate = rows
+        .iter()
+        .filter(|row| row.threads >= GATE_THREADS && row.shards >= GATE_SHARDS)
+        .min_by(|a, b| a.modelled_speedup.total_cmp(&b.modelled_speedup));
+    match gate {
+        Some(row) => {
+            println!(
+                "gate: worst modelled speedup at >= {GATE_SHARDS} shards / >= {GATE_THREADS} \
+                 threads is {:.2}x (batch {}, {} threads, {} shards; acceptance: >= {GATE_SPEEDUP}x)",
+                row.modelled_speedup, row.batch_size, row.threads, row.shards
+            );
+            if row.modelled_speedup < GATE_SPEEDUP {
+                eprintln!("FAILED: batched throughput below the {GATE_SPEEDUP}x acceptance bar");
+                failed = true;
+            }
+        }
+        None => {
+            eprintln!("FAILED: no configuration at the gate point was measured");
+            failed = true;
+        }
+    }
+    // Shard scans must actually reach the pool at the gate
+    // configurations: each batch submits exactly batch_size query jobs,
+    // so any surplus is shard fan-out. Task submission is deterministic
+    // (it depends on the blocks the algorithms fetch, not on
+    // scheduling), so this check cannot flake.
+    for row in rows
+        .iter()
+        .filter(|row| row.threads >= GATE_THREADS && row.shards >= GATE_SHARDS)
+    {
+        if row.pool_tasks <= row.batch_size {
+            eprintln!(
+                "FAILED: no shard fan-out at batch {} / {} threads / {} shards \
+                 ({} pool tasks for {} query jobs)",
+                row.batch_size, row.threads, row.shards, row.pool_tasks, row.batch_size
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("shard scaling FAILED the acceptance bar");
+        std::process::exit(1);
+    }
+    println!("shard scaling passed");
+}

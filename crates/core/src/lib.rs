@@ -15,6 +15,10 @@
 //! * cost-based algorithm selection: sampled per-database statistics
 //!   ([`stats::DatabaseStats`]) feeding a [`planner::Planner`] that picks
 //!   among Naive/TA/BPA/BPA2 per query ([`planner::plan_and_run`]);
+//! * batched execution: a [`batch::QueryBatch`] runs many queries
+//!   concurrently on a shared `topk_pool::ThreadPool` — planner-selected
+//!   algorithm per query — against any backend, including the sharded
+//!   one (`topk_lists::sharded`);
 //! * the worked example databases of the paper's figures
 //!   ([`examples_paper`]), used by tests and benches.
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod batch;
 pub mod cost;
 pub mod error;
 pub mod examples_paper;
@@ -53,6 +58,7 @@ pub mod topk_buffer;
 pub use algorithms::{
     run_all, run_all_in_memory, AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm, Tput,
 };
+pub use batch::QueryBatch;
 pub use cost::CostModel;
 pub use error::TopKError;
 pub use planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
@@ -68,6 +74,7 @@ pub mod prelude {
         run_all, run_all_in_memory, AlgorithmKind, Bpa, Bpa2, Fa, NaiveScan, Ta, TopKAlgorithm,
         Tput,
     };
+    pub use crate::batch::QueryBatch;
     pub use crate::cost::CostModel;
     pub use crate::error::TopKError;
     pub use crate::planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};

@@ -11,7 +11,7 @@
 
 use std::cell::Cell;
 
-use crate::item::{ItemId, Position};
+use crate::item::{ItemId, Position, Score};
 use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
 
 /// The three access modes of the paper.
@@ -127,6 +127,17 @@ impl<'a> ListAccessor<'a> {
     pub fn direct_access(&self, position: Position) -> Option<ListEntry> {
         self.direct.set(self.direct.get() + 1);
         self.list.entry_at(position)
+    }
+
+    /// *Sorted access* to a whole block: the entries at positions
+    /// `start ..= start + len - 1`, clipped to the end of the list, read
+    /// as one contiguous slice and counted as one sorted access per
+    /// returned entry in a single counter update. Exactly the accesses the
+    /// per-position path would count for the same in-bounds range.
+    pub fn sorted_block(&self, start: Position, len: usize) -> &[(ItemId, Score)] {
+        let block = self.list.slice_at(start, len);
+        self.sorted.set(self.sorted.get() + block.len() as u64);
+        block
     }
 
     /// Snapshot of this accessor's counters.

@@ -18,8 +18,14 @@
 //! * [`bptree`] — the order-configurable B+tree with linked leaves used by
 //!   the B+tree tracker.
 //!
-//! The crate has no dependencies and is deliberately free of any algorithm
-//! logic; the algorithms live in `topk-core`.
+//! * [`sharded`] — the range-partitioned physical layout: each sorted
+//!   list split into contiguous position-range shards with per-shard
+//!   best-position trackers, scanned in parallel on a shared
+//!   `topk_pool::ThreadPool` ([`ShardedDatabase`]/[`ShardedSource`]).
+//!
+//! The crate's only dependency is the std-only `topk-pool` work-stealing
+//! pool, and it is deliberately free of any algorithm logic; the
+//! algorithms live in `topk-core`.
 //!
 //! # Example
 //!
@@ -40,6 +46,7 @@ pub mod bptree;
 pub mod database;
 pub mod error;
 pub mod item;
+pub mod sharded;
 pub mod sorted_list;
 pub mod source;
 pub mod tracker;
@@ -49,6 +56,7 @@ pub use bptree::BPlusTree;
 pub use database::Database;
 pub use error::ListError;
 pub use item::{ItemId, Position, Score};
+pub use sharded::{ShardedDatabase, ShardedList, ShardedSource};
 pub use sorted_list::{ListEntry, PositionedScore, SortedList};
 pub use source::{
     BatchingSource, InMemorySource, ListSource, SourceEntry, SourceScore, SourceSet, Sources,
@@ -63,6 +71,7 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::error::ListError;
     pub use crate::item::{ItemId, Position, Score};
+    pub use crate::sharded::{ShardedDatabase, ShardedList, ShardedSource};
     pub use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
     pub use crate::source::{
         BatchingSource, InMemorySource, ListSource, SourceEntry, SourceScore, SourceSet, Sources,

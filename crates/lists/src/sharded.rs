@@ -1,0 +1,774 @@
+//! The sharded storage backend: range-partitioned sorted lists scanned in
+//! parallel on a shared work-stealing pool.
+//!
+//! A [`ShardedList`] splits one sorted list into **contiguous
+//! position-range shards** — shard `s` physically owns the entries at
+//! positions `start(s) ..= end(s)` plus a shard-local best-position
+//! tracker — so block fetches and scans parallelise across shards while
+//! the *logical* access semantics of [`ListSource`] stay untouched:
+//!
+//! * [`ShardedSource::sorted_block`] partitions the requested range by
+//!   shard and dispatches one scan job per shard onto the shared
+//!   [`ThreadPool`]; results are merged **in shard order** and tracker
+//!   state is combined deterministically, so entries, per-mode access
+//!   counters and the block-level best-score piggyback are bit-identical
+//!   to [`InMemorySource`](crate::source::InMemorySource) — independent
+//!   of shard count and pool width.
+//! * Single-position accesses (`sorted_access`, `random_access`,
+//!   `direct_access_next`) route to the owning shard directly: a one-entry
+//!   lookup has nothing to parallelise, and keeping it on the calling
+//!   thread preserves the exact per-access counting contract.
+//! * The list-level best position is the merge of the per-shard trackers:
+//!   walk the shards in range order while each is completely seen, and
+//!   stop inside the first shard with a gap (the longest seen prefix of
+//!   the whole list). The merge is cached and advanced incrementally
+//!   after every mark, so reads and tracked accesses stay O(1) amortized
+//!   regardless of the shard count.
+//!
+//! [`ShardedDatabase`] holds one `Arc<ShardedList>` per list; cloning the
+//! `Arc`s into per-query [`ShardedSource`]s is cheap, so any number of
+//! concurrent queries (see `topk_core::batch::QueryBatch`) share one
+//! physical copy of the data and one pool.
+//!
+//! ```
+//! use topk_lists::prelude::*;
+//! use topk_lists::sharded::ShardedDatabase;
+//! use topk_pool::ThreadPool;
+//!
+//! let db = Database::from_unsorted_lists(vec![
+//!     vec![(1, 30.0), (2, 11.0), (3, 26.0), (4, 19.0)],
+//!     vec![(1, 21.0), (2, 28.0), (3, 14.0), (4, 17.0)],
+//! ])
+//! .unwrap();
+//!
+//! let pool = ThreadPool::new(2);
+//! let sharded = ShardedDatabase::new(&db, 2); // 2 shards per list
+//! let mut sources = sharded.sources(&pool);   // a plain SourceSet
+//!
+//! // A block scan spanning both shards of list 0, served in parallel.
+//! let block = sources.source(0).sorted_block(Position::FIRST, 4, false);
+//! assert_eq!(block.len(), 4);
+//! assert_eq!(sources.total_counters().sorted, 4);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use topk_pool::ThreadPool;
+
+use crate::access::AccessCounters;
+use crate::database::Database;
+use crate::item::{ItemId, Position, Score};
+use crate::sorted_list::SortedList;
+use crate::source::{ListSource, SourceEntry, SourceScore, Sources};
+use crate::tracker::{PositionTracker, TrackerKind};
+
+/// One contiguous position range of a sharded list, physically owning its
+/// entries.
+#[derive(Debug)]
+struct ShardSpan {
+    /// 1-based position of the shard's first entry in the whole list.
+    start: usize,
+    /// Entries in list order; index `j` holds position `start + j`.
+    entries: Vec<(ItemId, Score)>,
+}
+
+impl ShardSpan {
+    /// 1-based position of the shard's last entry.
+    fn end(&self) -> usize {
+        self.start + self.entries.len() - 1
+    }
+}
+
+/// A sorted list split into contiguous position-range shards.
+///
+/// Immutable once built: all per-query state (trackers, counters) lives in
+/// [`ShardedSource`], so one `Arc<ShardedList>` serves any number of
+/// concurrent queries.
+#[derive(Debug)]
+pub struct ShardedList {
+    shards: Vec<ShardSpan>,
+    /// Item → 1-based global position (random access stays O(1)).
+    index: HashMap<ItemId, usize>,
+    n: usize,
+}
+
+impl ShardedList {
+    /// Splits `list` into `num_shards` contiguous position ranges of
+    /// near-equal size (the first `n % num_shards` shards hold one extra
+    /// entry). `num_shards` is clamped to `1..=n`.
+    pub fn from_list(list: &SortedList, num_shards: usize) -> Self {
+        let n = list.len();
+        let shards = num_shards.clamp(1, n);
+        let base = n / shards;
+        let extra = n % shards;
+
+        let mut spans = Vec::with_capacity(shards);
+        let mut entries_iter = list.iter();
+        let mut start = 1usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            let entries: Vec<(ItemId, Score)> = entries_iter
+                .by_ref()
+                .take(len)
+                .map(|e| (e.item, e.score))
+                .collect();
+            spans.push(ShardSpan { start, entries });
+            start += len;
+        }
+
+        let index = list
+            .iter()
+            .map(|e| (e.item, e.position.get()))
+            .collect::<HashMap<_, _>>();
+
+        ShardedList {
+            shards: spans,
+            index,
+            n,
+        }
+    }
+
+    /// Number of entries in the whole list (`n`).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the list is empty (never true: sharding takes a validated
+    /// non-empty [`SortedList`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of shards the list is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index of the shard owning the 1-based position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is zero or past the end of the list.
+    fn shard_of(&self, p: usize) -> usize {
+        debug_assert!(p >= 1 && p <= self.n, "position {p} out of 1..={}", self.n);
+        self.shards.partition_point(|span| span.start <= p) - 1
+    }
+
+    /// The entry at a 1-based position, or `None` past the end.
+    fn entry(&self, p: usize) -> Option<(ItemId, Score)> {
+        if p == 0 || p > self.n {
+            return None;
+        }
+        let span = &self.shards[self.shard_of(p)];
+        Some(span.entries[p - span.start])
+    }
+
+    /// The score at a 1-based position, or `None` past the end.
+    fn score_at(&self, p: usize) -> Option<Score> {
+        self.entry(p).map(|(_, score)| score)
+    }
+
+    /// An item's 1-based position and score, or `None` if absent.
+    fn lookup(&self, item: ItemId) -> Option<(usize, Score)> {
+        let p = *self.index.get(&item)?;
+        let (_, score) = self.entry(p).expect("indexed positions are in bounds");
+        Some((p, score))
+    }
+
+    /// The score of the list's last entry (catalog metadata).
+    fn tail_score(&self) -> Score {
+        let last = self.shards.last().expect("a sharded list has >= 1 shard");
+        last.entries.last().expect("every shard holds >= 1 entry").1
+    }
+}
+
+/// Scans the in-bounds positions `lo..=hi` (global, both within shard
+/// `span`) of one shard, marking them seen when `track` is set. This is
+/// the shard-local job [`ShardedSource::sorted_block`] dispatches onto the
+/// pool.
+fn scan_span(
+    span: &ShardSpan,
+    tracker: &mut dyn PositionTracker,
+    lo: usize,
+    hi: usize,
+    track: bool,
+) -> Vec<SourceEntry> {
+    let entries: Vec<SourceEntry> = span.entries[lo - span.start..=hi - span.start]
+        .iter()
+        .enumerate()
+        .map(|(offset, &(item, score))| SourceEntry {
+            position: Position::from_index(lo - 1 + offset),
+            item,
+            score,
+            best_position_score: None,
+        })
+        .collect();
+    if track {
+        let local_lo = Position::new(lo - span.start + 1).expect("lo >= span.start");
+        let local_hi = Position::new(hi - span.start + 1).expect("hi >= span.start");
+        tracker.mark_range_seen(local_lo, local_hi);
+    }
+    entries
+}
+
+/// One sharded list served through the [`ListSource`] access model, with
+/// per-shard best-position trackers and shard-parallel block scans on a
+/// shared [`ThreadPool`].
+#[derive(Debug)]
+pub struct ShardedSource<'p> {
+    pool: &'p ThreadPool,
+    list: Arc<ShardedList>,
+    /// One tracker per shard, over the shard's local positions.
+    trackers: Vec<Box<dyn PositionTracker>>,
+    kind: TrackerKind,
+    counters: AccessCounters,
+    /// Cached merge of the per-shard trackers: the list-level best
+    /// position (0 = none yet). Advanced incrementally after every mark
+    /// ([`ShardedSource::advance_best`]), so reading it is O(1) — like
+    /// the in-memory bit array's moving pointer — instead of an
+    /// O(shard count) walk per access.
+    best: usize,
+}
+
+impl<'p> ShardedSource<'p> {
+    /// Opens a query-local view of a sharded list with the default
+    /// bit-array trackers.
+    pub fn new(list: Arc<ShardedList>, pool: &'p ThreadPool) -> Self {
+        Self::with_tracker(list, pool, TrackerKind::BitArray)
+    }
+
+    /// Opens a query-local view with an explicit tracking strategy.
+    pub fn with_tracker(list: Arc<ShardedList>, pool: &'p ThreadPool, kind: TrackerKind) -> Self {
+        let trackers = list
+            .shards
+            .iter()
+            .map(|span| kind.create(span.entries.len()))
+            .collect();
+        ShardedSource {
+            pool,
+            list,
+            trackers,
+            kind,
+            counters: AccessCounters::default(),
+            best: 0,
+        }
+    }
+
+    /// The cached list-level best position (O(1) read).
+    fn global_best(&self) -> Option<Position> {
+        Position::new(self.best)
+    }
+
+    /// Advances the cached best position over the per-shard trackers:
+    /// starting at the shard owning `best + 1`, jump to that shard's
+    /// local best (its tracker already maintains the local prefix) and
+    /// keep walking while shards are completely covered. Amortized O(1)
+    /// per mark — every step either stops or permanently consumes
+    /// positions/shards, bounding the total walk per query by n plus the
+    /// shard count (the in-memory bit array's moving-pointer argument,
+    /// lifted to the merge).
+    fn advance_best(&mut self) {
+        while self.best < self.list.len() {
+            let shard = self.list.shard_of(self.best + 1);
+            let span = &self.list.shards[shard];
+            match self.trackers[shard].best_position() {
+                Some(local) => {
+                    let candidate = span.start - 1 + local.get();
+                    if candidate <= self.best {
+                        break; // position best + 1 has not been seen
+                    }
+                    self.best = candidate;
+                    if self.best < span.end() {
+                        break; // gap inside this shard
+                    }
+                    // Shard completely covered: continue into the next.
+                }
+                None => break,
+            }
+        }
+        debug_assert_eq!(
+            Position::new(self.best),
+            self.merged_best_reference(),
+            "cached best position diverged from the tracker merge"
+        );
+    }
+
+    /// The full O(shard count) merge of the per-shard trackers — the
+    /// specification [`ShardedSource::advance_best`] is checked against
+    /// in debug builds: walk the shards in range order while completely
+    /// seen; the prefix ends inside the first shard with a gap.
+    fn merged_best_reference(&self) -> Option<Position> {
+        let mut best = 0usize;
+        for (span, tracker) in self.list.shards.iter().zip(&self.trackers) {
+            match tracker.best_position() {
+                Some(local) if local.get() == span.entries.len() => {
+                    best = span.end();
+                }
+                Some(local) => {
+                    best = span.start - 1 + local.get();
+                    break;
+                }
+                None => break,
+            }
+        }
+        Position::new(best)
+    }
+
+    /// Marks the global position seen in its owning shard's tracker.
+    fn mark_global(&mut self, position: Position) {
+        let p = position.get();
+        let shard = self.list.shard_of(p);
+        let local = Position::new(p - self.list.shards[shard].start + 1)
+            .expect("positions within a shard are >= its start");
+        self.trackers[shard].mark_seen(local);
+    }
+
+    /// Marks a position seen; if the merged best position changed, returns
+    /// the local score at the new best position (the §5.1 piggyback) —
+    /// exactly `InMemorySource::mark_and_report` over the merged state.
+    fn mark_and_report(&mut self, position: Position) -> Option<Score> {
+        let before = self.best;
+        self.mark_global(position);
+        self.advance_best();
+        if self.best != before {
+            self.list.score_at(self.best)
+        } else {
+            None
+        }
+    }
+}
+
+impl ListSource for ShardedSource<'_> {
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
+        self.counters.sorted += 1; // counted even past the end
+        let (item, score) = self.list.entry(position.get())?;
+        let best = if track {
+            self.mark_and_report(position)
+        } else {
+            None
+        };
+        Some(SourceEntry {
+            position,
+            item,
+            score,
+            best_position_score: best,
+        })
+    }
+
+    fn random_access(
+        &mut self,
+        item: ItemId,
+        with_position: bool,
+        track: bool,
+    ) -> Option<SourceScore> {
+        self.counters.random += 1; // counted even when the item is absent
+        let (p, score) = self.list.lookup(item)?;
+        let position = Position::new(p).expect("indexed positions are 1-based");
+        let best = if track {
+            self.mark_and_report(position)
+        } else {
+            None
+        };
+        Some(SourceScore {
+            score,
+            position: with_position.then_some(position),
+            best_position_score: best,
+        })
+    }
+
+    fn direct_access_next(&mut self) -> Option<SourceEntry> {
+        let next = match self.global_best() {
+            None => Position::FIRST,
+            Some(bp) => bp.next(),
+        };
+        if next.get() > self.list.len() {
+            return None; // every position seen; no read attempt is made
+        }
+        self.counters.direct += 1;
+        let (item, score) = self
+            .list
+            .entry(next.get())
+            .expect("first unseen position is within list bounds");
+        let best = self.mark_and_report(next);
+        Some(SourceEntry {
+            position: next,
+            item,
+            score,
+            best_position_score: best,
+        })
+    }
+
+    fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
+        let first = start.get();
+        let last = self
+            .list
+            .len()
+            .min(first.saturating_add(len).saturating_sub(1));
+        if last < first {
+            return Vec::new(); // nothing in bounds: nothing counted
+        }
+        let before = if track { self.global_best() } else { None };
+
+        let first_shard = self.list.shard_of(first);
+        let last_shard = self.list.shard_of(last);
+        let mut entries = if first_shard == last_shard {
+            // Single shard involved: scan inline, nothing to fan out.
+            scan_span(
+                &self.list.shards[first_shard],
+                self.trackers[first_shard].as_mut(),
+                first,
+                last,
+                track,
+            )
+        } else {
+            // One scan job per shard on the shared pool; `scope_run`
+            // returns in submission (= shard) order, so the merge is
+            // deterministic regardless of pool width.
+            let list = &self.list;
+            let jobs: Vec<_> = self.trackers[first_shard..=last_shard]
+                .iter_mut()
+                .enumerate()
+                .map(|(offset, tracker)| {
+                    let shard = first_shard + offset;
+                    let span = &list.shards[shard];
+                    let lo = first.max(span.start);
+                    let hi = last.min(span.end());
+                    let tracker = tracker.as_mut();
+                    move || scan_span(span, tracker, lo, hi, track)
+                })
+                .collect();
+            self.pool.scope_run(jobs).concat()
+        };
+
+        self.counters.sorted += entries.len() as u64;
+        if track {
+            // One cache advance for the whole block (the shard jobs only
+            // marked their local trackers).
+            self.advance_best();
+            let after = self.global_best();
+            if after != before {
+                if let Some(entry) = entries.last_mut() {
+                    entry.best_position_score = after.and_then(|bp| self.list.score_at(bp.get()));
+                }
+            }
+        }
+        entries
+    }
+
+    fn best_position(&self) -> Option<Position> {
+        self.global_best()
+    }
+
+    fn tail_score(&self) -> Score {
+        self.list.tail_score()
+    }
+
+    fn counters(&self) -> AccessCounters {
+        self.counters
+    }
+
+    fn reset(&mut self) {
+        self.counters = AccessCounters::default();
+        self.best = 0;
+        self.trackers = self
+            .list
+            .shards
+            .iter()
+            .map(|span| self.kind.create(span.entries.len()))
+            .collect();
+    }
+}
+
+/// A database whose every list is range-partitioned into shards, shared by
+/// any number of concurrent queries.
+///
+/// This is the physical layout behind the batched front door: build it
+/// once, then open a cheap per-query [`Sources`] view per query (each view
+/// has its own trackers and counters; the entry data is shared through
+/// `Arc`s).
+#[derive(Debug, Clone)]
+pub struct ShardedDatabase {
+    lists: Vec<Arc<ShardedList>>,
+    n: usize,
+}
+
+impl ShardedDatabase {
+    /// Shards every list of `database` into `shards_per_list` contiguous
+    /// position ranges (clamped to `1..=n`).
+    pub fn new(database: &Database, shards_per_list: usize) -> Self {
+        ShardedDatabase {
+            lists: database
+                .lists()
+                .map(|list| Arc::new(ShardedList::from_list(list, shards_per_list)))
+                .collect(),
+            n: database.num_items(),
+        }
+    }
+
+    /// Number of lists (`m`).
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of items per list (`n`).
+    pub fn num_items(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards each list is split into.
+    pub fn shards_per_list(&self) -> usize {
+        self.lists
+            .first()
+            .map(|list| list.shard_count())
+            .unwrap_or(0)
+    }
+
+    /// Opens a per-query [`Sources`] view over the shared shards with the
+    /// default bit-array trackers. The view composes like any other
+    /// source set — e.g. [`Sources::batched`] turns sequential scans into
+    /// the shard-parallel block fetches.
+    pub fn sources<'p>(&self, pool: &'p ThreadPool) -> Sources<'p> {
+        self.sources_with_tracker(pool, TrackerKind::BitArray)
+    }
+
+    /// Opens a per-query view with an explicit tracking strategy.
+    pub fn sources_with_tracker<'p>(&self, pool: &'p ThreadPool, kind: TrackerKind) -> Sources<'p> {
+        Sources::new(
+            self.lists
+                .iter()
+                .map(|list| {
+                    Box::new(ShardedSource::with_tracker(Arc::clone(list), pool, kind))
+                        as Box<dyn ListSource>
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceSet;
+
+    fn db() -> Database {
+        // 2 lists x 10 items with distinct scores.
+        Database::from_unsorted_lists(vec![
+            (1..=10u64).map(|i| (i, (11 - i) as f64 * 3.0)).collect(),
+            (1..=10u64).map(|i| (i, i as f64 * 2.0)).collect(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shards_partition_positions_contiguously() {
+        let database = db();
+        // 10 items over 3 shards: sizes 4, 3, 3 starting at 1, 5, 8.
+        let list = ShardedList::from_list(database.list(0).unwrap(), 3);
+        assert_eq!(list.shard_count(), 3);
+        assert_eq!(list.len(), 10);
+        let bounds: Vec<(usize, usize)> = list.shards.iter().map(|s| (s.start, s.end())).collect();
+        assert_eq!(bounds, vec![(1, 4), (5, 7), (8, 10)]);
+        for p in 1..=10 {
+            let shard = list.shard_of(p);
+            assert!(list.shards[shard].start <= p && p <= list.shards[shard].end());
+            // Entries agree with the unsharded list.
+            let reference = database
+                .list(0)
+                .unwrap()
+                .entry_at(Position::new(p).unwrap())
+                .unwrap();
+            assert_eq!(list.entry(p), Some((reference.item, reference.score)));
+        }
+        assert_eq!(list.entry(11), None);
+        assert_eq!(list.tail_score().value(), 3.0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_the_list_size() {
+        let database = db();
+        let list = ShardedList::from_list(database.list(0).unwrap(), 99);
+        assert_eq!(list.shard_count(), 10);
+        let list = ShardedList::from_list(database.list(0).unwrap(), 0);
+        assert_eq!(list.shard_count(), 1);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn merged_best_position_walks_full_shards() {
+        let database = db();
+        let pool = ThreadPool::new(1);
+        let sharded = ShardedDatabase::new(&database, 3);
+        let mut source = ShardedSource::new(Arc::clone(&sharded.lists[0]), &pool);
+
+        // Fill shard 0 (positions 1-4) out of order via random accesses.
+        for item in [2u64, 4, 1, 3] {
+            source.random_access(ItemId(item), false, true).unwrap();
+        }
+        assert_eq!(source.best_position(), Position::new(4));
+
+        // A gap in shard 1 (position 5 missing) pins the merge there even
+        // after deeper positions are seen.
+        source
+            .sorted_access(Position::new(6).unwrap(), true)
+            .unwrap();
+        source
+            .sorted_access(Position::new(9).unwrap(), true)
+            .unwrap();
+        assert_eq!(source.best_position(), Position::new(4));
+
+        // Bridging the gap extends the prefix through both seen runs.
+        let entry = source
+            .sorted_access(Position::new(5).unwrap(), true)
+            .unwrap();
+        assert_eq!(source.best_position(), Position::new(6));
+        // The piggyback reports the score at the merged best position.
+        assert_eq!(
+            entry.best_position_score,
+            database
+                .list(0)
+                .unwrap()
+                .score_at(Position::new(6).unwrap())
+        );
+    }
+
+    #[test]
+    fn direct_access_walks_the_merged_first_unseen() {
+        let database = db();
+        let pool = ThreadPool::new(2);
+        let sharded = ShardedDatabase::new(&database, 4);
+        let mut source = ShardedSource::new(Arc::clone(&sharded.lists[1]), &pool);
+        for expected in 1..=10usize {
+            let entry = source.direct_access_next().unwrap();
+            assert_eq!(entry.position.get(), expected);
+        }
+        assert!(source.direct_access_next().is_none());
+        assert_eq!(source.counters().direct, 10, "exhaustion is not counted");
+        assert_eq!(source.best_position(), Position::new(10));
+    }
+
+    #[test]
+    fn parallel_blocks_merge_in_shard_order() {
+        let database = db();
+        let reference: Vec<(ItemId, Score)> = database
+            .list(0)
+            .unwrap()
+            .iter()
+            .map(|e| (e.item, e.score))
+            .collect();
+        for shards in [1, 2, 3, 5, 10] {
+            for threads in [1, 2, 4] {
+                let pool = ThreadPool::new(threads);
+                let sharded = ShardedDatabase::new(&database, shards);
+                let mut sources = sharded.sources(&pool);
+                let block = sources.source(0).sorted_block(Position::FIRST, 10, false);
+                let got: Vec<(ItemId, Score)> = block.iter().map(|e| (e.item, e.score)).collect();
+                assert_eq!(got, reference, "{shards} shards / {threads} threads");
+                let positions: Vec<usize> = block.iter().map(|e| e.position.get()).collect();
+                assert_eq!(positions, (1..=10).collect::<Vec<_>>());
+                assert_eq!(sources.total_counters().sorted, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_cross_shard_block_piggybacks_once() {
+        let database = db();
+        let pool = ThreadPool::new(2);
+        let sharded = ShardedDatabase::new(&database, 3);
+        let mut sources = sharded.sources(&pool);
+        let block = sources
+            .source(0)
+            .sorted_block(Position::new(2).unwrap(), 5, true);
+        assert_eq!(block.len(), 5, "positions 2..=6");
+        // No prefix through position 1 yet: no piggyback anywhere.
+        assert!(block.iter().all(|e| e.best_position_score.is_none()));
+        assert_eq!(sources.source_ref(0).best_position(), None);
+
+        // Seeing position 1 bridges the prefix through position 6.
+        let entry = sources
+            .source(0)
+            .sorted_access(Position::FIRST, true)
+            .unwrap();
+        assert_eq!(sources.source_ref(0).best_position(), Position::new(6));
+        assert_eq!(
+            entry.best_position_score,
+            database
+                .list(0)
+                .unwrap()
+                .score_at(Position::new(6).unwrap())
+        );
+
+        // A fresh tracked block that moves the best position piggybacks on
+        // its last entry only.
+        let block = sources
+            .source(0)
+            .sorted_block(Position::new(7).unwrap(), 4, true);
+        assert_eq!(block.len(), 4);
+        assert!(block[..3].iter().all(|e| e.best_position_score.is_none()));
+        assert_eq!(
+            block[3].best_position_score,
+            database
+                .list(0)
+                .unwrap()
+                .score_at(Position::new(10).unwrap())
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_blocks_match_the_in_memory_contract() {
+        let database = db();
+        let pool = ThreadPool::new(1);
+        let sharded = ShardedDatabase::new(&database, 4);
+        let mut sources = sharded.sources(&pool);
+        // Entirely past the end: empty, uncounted.
+        assert!(sources
+            .source(0)
+            .sorted_block(Position::new(11).unwrap(), 5, true)
+            .is_empty());
+        assert_eq!(sources.total_counters().sorted, 0);
+        // Clipped: only in-bounds reads are counted.
+        let block = sources
+            .source(0)
+            .sorted_block(Position::new(8).unwrap(), 100, false);
+        assert_eq!(block.len(), 3);
+        assert_eq!(sources.total_counters().sorted, 3);
+        // Past-the-end single access stays a counted miss.
+        assert!(sources
+            .source(0)
+            .sorted_access(Position::new(11).unwrap(), false)
+            .is_none());
+        assert_eq!(sources.total_counters().sorted, 4);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_query_view() {
+        let database = db();
+        let pool = ThreadPool::new(2);
+        let sharded = ShardedDatabase::new(&database, 3);
+        let mut sources = sharded.sources(&pool);
+        sources.source(0).sorted_block(Position::FIRST, 7, true);
+        sources.source(1).random_access(ItemId(3), true, true);
+        sources.reset();
+        assert_eq!(sources.total_counters(), AccessCounters::default());
+        assert_eq!(sources.source_ref(0).best_position(), None);
+        assert_eq!(sources.source_ref(1).best_position(), None);
+        let entry = sources.source(0).direct_access_next().unwrap();
+        assert_eq!(entry.position, Position::FIRST);
+    }
+
+    #[test]
+    fn sharded_database_reports_its_shape() {
+        let database = db();
+        let sharded = ShardedDatabase::new(&database, 5);
+        assert_eq!(sharded.num_lists(), 2);
+        assert_eq!(sharded.num_items(), 10);
+        assert_eq!(sharded.shards_per_list(), 5);
+        let pool = ThreadPool::new(1);
+        assert_eq!(sharded.sources(&pool).num_lists(), 2);
+    }
+}

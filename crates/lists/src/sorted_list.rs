@@ -178,6 +178,18 @@ impl SortedList {
         self.entries.get(position.index()).map(|&(_, score)| score)
     }
 
+    /// The contiguous run of entries starting at `position`, at most `len`
+    /// long, clipped to the end of the list (possibly empty). This is the
+    /// raw read behind coalesced sorted access
+    /// ([`crate::access::ListAccessor::sorted_block`]); like
+    /// [`SortedList::entry_at`] it carries no access accounting.
+    #[inline]
+    pub fn slice_at(&self, position: Position, len: usize) -> &[(ItemId, Score)] {
+        let from = position.index().min(self.entries.len());
+        let to = position.index().saturating_add(len).min(self.entries.len());
+        &self.entries[from..to]
+    }
+
     /// The last (lowest-scored) entry of the list.
     pub fn last_entry(&self) -> ListEntry {
         let i = self.entries.len() - 1;

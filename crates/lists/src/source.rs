@@ -341,6 +341,41 @@ impl ListSource for InMemorySource<'_> {
         })
     }
 
+    fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
+        // Fast path over the default per-position loop: one contiguous
+        // slice walk (a single counter update) and one bulk tracker
+        // update. Entries, counters and the block-level piggyback are
+        // bit-identical to the default path, which the tests pin.
+        let block = self.accessor.sorted_block(start, len);
+        let mut entries: Vec<SourceEntry> = block
+            .iter()
+            .enumerate()
+            .map(|(offset, &(item, score))| SourceEntry {
+                position: Position::from_index(start.index() + offset),
+                item,
+                score,
+                best_position_score: None,
+            })
+            .collect();
+        if track && !entries.is_empty() {
+            let first = entries[0].position;
+            let last = entries[entries.len() - 1].position;
+            let before = self.tracker.best_position();
+            self.tracker.mark_range_seen(first, last);
+            let after = self.tracker.best_position();
+            if after != before {
+                // The score at the best position after the block — exactly
+                // what the default path's last piggybacked change reports.
+                let piggyback = after.and_then(|bp| self.accessor.raw().score_at(bp));
+                entries
+                    .last_mut()
+                    .expect("entries checked non-empty")
+                    .best_position_score = piggyback;
+            }
+        }
+        entries
+    }
+
     fn best_position(&self) -> Option<Position> {
         self.tracker.best_position()
     }
@@ -736,6 +771,136 @@ mod tests {
         source.reset();
         assert_eq!(source.counters(), AccessCounters::default());
         assert_eq!(source.best_position(), None);
+    }
+
+    /// Delegating shim that deliberately does NOT override `sorted_block`,
+    /// so block reads run through the trait's default per-position path —
+    /// the reference implementation for the fast-path regression tests.
+    #[derive(Debug)]
+    struct DefaultBlockPath<'a>(InMemorySource<'a>);
+
+    impl ListSource for DefaultBlockPath<'_> {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
+            self.0.sorted_access(position, track)
+        }
+        fn random_access(
+            &mut self,
+            item: ItemId,
+            with_position: bool,
+            track: bool,
+        ) -> Option<SourceScore> {
+            self.0.random_access(item, with_position, track)
+        }
+        fn direct_access_next(&mut self) -> Option<SourceEntry> {
+            self.0.direct_access_next()
+        }
+        // `sorted_block` intentionally not overridden: the default loops
+        // over `sorted_access` above, which delegates to the inner source.
+        fn best_position(&self) -> Option<Position> {
+            self.0.best_position()
+        }
+        fn tail_score(&self) -> Score {
+            self.0.tail_score()
+        }
+        fn counters(&self) -> AccessCounters {
+            self.0.counters()
+        }
+        fn reset(&mut self) {
+            self.0.reset()
+        }
+    }
+
+    fn twelve_entry_db() -> Database {
+        // One list of 12 entries with distinct scores, plus a sibling so
+        // the database shape matches the paper's (m >= 2).
+        Database::from_unsorted_lists(vec![
+            (1..=12u64).map(|i| (i, (13 - i) as f64 * 2.0)).collect(),
+            (1..=12u64).map(|i| (i, i as f64)).collect(),
+        ])
+        .unwrap()
+    }
+
+    /// Satellite regression: the overridden `sorted_block` fast path of
+    /// `InMemorySource` is bit-identical to the default per-position path
+    /// — same entries, same counters, same tracker state, same block-level
+    /// piggyback — across tracked/untracked blocks interleaved with the
+    /// other access modes.
+    #[test]
+    fn fast_block_path_matches_the_default_path() {
+        let db = twelve_entry_db();
+        for kind in TrackerKind::ALL {
+            let mut fast = InMemorySource::with_tracker(db.list(0).unwrap(), kind);
+            let mut slow =
+                DefaultBlockPath(InMemorySource::with_tracker(db.list(0).unwrap(), kind));
+
+            // (start, len, track) patterns: head block, mid overlap, exact
+            // tail, past-the-end clip, fully out of bounds, single entry.
+            let blocks = [
+                (1, 4, true),
+                (3, 5, false),
+                (5, 8, true),
+                (12, 1, true),
+                (9, 99, false),
+                (13, 3, true),
+                (2, 1, false),
+            ];
+            for &(start, len, track) in &blocks {
+                let start = Position::new(start).unwrap();
+                assert_eq!(
+                    fast.sorted_block(start, len, track),
+                    slow.sorted_block(start, len, track),
+                    "{kind:?} block at {start} x {len} (track: {track})"
+                );
+                assert_eq!(fast.counters(), slow.counters(), "{kind:?}");
+                assert_eq!(fast.best_position(), slow.best_position(), "{kind:?}");
+
+                // Interleave the other access modes so later blocks start
+                // from non-trivial tracker state.
+                assert_eq!(
+                    fast.random_access(ItemId(7), true, true),
+                    slow.random_access(ItemId(7), true, true)
+                );
+                assert_eq!(fast.direct_access_next(), slow.direct_access_next());
+            }
+
+            fast.reset();
+            slow.reset();
+            assert_eq!(fast.counters(), AccessCounters::default());
+            assert_eq!(
+                fast.sorted_block(Position::FIRST, 12, true),
+                slow.sorted_block(Position::FIRST, 12, true),
+                "{kind:?} after reset"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_block_path_counts_only_in_bounds_reads() {
+        let db = db();
+        let mut sources = Sources::in_memory(&db);
+        // Start past the end: no entries, nothing counted (the default
+        // path's loop never runs either).
+        let entries = sources
+            .source(0)
+            .sorted_block(Position::new(7).unwrap(), 5, false);
+        assert!(entries.is_empty());
+        assert_eq!(sources.source_ref(0).counters().sorted, 0);
+        // Clipped block: only the two in-bounds reads are counted.
+        let entries = sources
+            .source(0)
+            .sorted_block(Position::new(2).unwrap(), 100, true);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            sources.source_ref(0).counters(),
+            AccessCounters {
+                sorted: 2,
+                random: 0,
+                direct: 0
+            }
+        );
     }
 
     #[test]

@@ -72,6 +72,37 @@ impl PositionTracker for BitArrayTracker {
         newly
     }
 
+    fn mark_range_seen(&mut self, from: Position, to: Position) {
+        let (lo, hi) = (from.get(), to.get());
+        if lo > hi {
+            return;
+        }
+        assert!(
+            hi <= self.n,
+            "position {hi} out of range for list of {} items",
+            self.n
+        );
+        // Bulk word-wise marking: one OR per 64 positions instead of one
+        // call per position, and a single best-position advance at the end.
+        let (first_bit, last_bit) = (lo - 1, hi - 1);
+        for word_idx in first_bit / 64..=last_bit / 64 {
+            let bit_lo = first_bit.max(word_idx * 64) % 64;
+            let bit_hi = last_bit.min(word_idx * 64 + 63) % 64;
+            let width = bit_hi - bit_lo + 1;
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << width) - 1) << bit_lo
+            };
+            let word = &mut self.words[word_idx];
+            self.seen += (mask & !*word).count_ones() as usize;
+            *word |= mask;
+        }
+        while self.bp < self.n && self.bit(self.bp + 1) {
+            self.bp += 1;
+        }
+    }
+
     fn best_position(&self) -> Option<Position> {
         Position::new(self.bp)
     }

@@ -28,10 +28,26 @@ use crate::item::Position;
 
 /// Records the positions of one list that have been seen during query
 /// execution and maintains the list's best position.
-pub trait PositionTracker: std::fmt::Debug {
+///
+/// Trackers are `Send`: the sharded backend keeps one tracker per shard
+/// and marks them from pool worker threads (each shard's tracker is only
+/// ever touched by one job at a time).
+pub trait PositionTracker: std::fmt::Debug + Send {
     /// Marks a position as seen (idempotent). Returns `true` if the
     /// position was newly marked.
     fn mark_seen(&mut self, position: Position) -> bool;
+
+    /// Marks every position in `from..=to` as seen (inclusive; a no-op
+    /// when `from > to`). Exactly equivalent to marking each position of
+    /// the range individually — implementations may override this with a
+    /// bulk fast path, but the resulting tracker state must be identical.
+    fn mark_range_seen(&mut self, from: Position, to: Position) {
+        let mut position = from;
+        while position <= to {
+            self.mark_seen(position);
+            position = position.next();
+        }
+    }
 
     /// The current best position: the greatest position `bp` such that all
     /// positions `1..=bp` have been seen, or `None` when position 1 has not
@@ -137,6 +153,48 @@ mod tests {
     fn all_trackers_satisfy_contract() {
         for kind in TrackerKind::ALL {
             check_contract(kind.create(10));
+        }
+    }
+
+    /// `mark_range_seen` (overridden or default) must leave the tracker in
+    /// exactly the state that marking every position individually leaves
+    /// it in — the invariant the bulk block-scan path relies on.
+    #[test]
+    fn range_marking_matches_individual_marking() {
+        let ranges: [(usize, usize); 6] = [(3, 9), (1, 1), (60, 70), (64, 64), (10, 130), (2, 5)];
+        for kind in TrackerKind::ALL {
+            let mut bulk = kind.create(130);
+            let mut one_by_one = kind.create(130);
+            for &(lo, hi) in &ranges {
+                bulk.mark_range_seen(Position::new(lo).unwrap(), Position::new(hi).unwrap());
+                for p in lo..=hi {
+                    one_by_one.mark_seen(Position::new(p).unwrap());
+                }
+                assert_eq!(
+                    bulk.best_position(),
+                    one_by_one.best_position(),
+                    "{kind:?} after [{lo}, {hi}]"
+                );
+                assert_eq!(bulk.seen_count(), one_by_one.seen_count(), "{kind:?}");
+            }
+            for p in 1..=130 {
+                let pos = Position::new(p).unwrap();
+                assert_eq!(
+                    bulk.is_seen(pos),
+                    one_by_one.is_seen(pos),
+                    "{kind:?} at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_no_op() {
+        for kind in TrackerKind::ALL {
+            let mut tracker = kind.create(16);
+            tracker.mark_range_seen(Position::new(5).unwrap(), Position::new(4).unwrap());
+            assert_eq!(tracker.seen_count(), 0);
+            assert_eq!(tracker.best_position(), None);
         }
     }
 

@@ -1,0 +1,112 @@
+//! Deterministic schedule modelling for pool execution.
+//!
+//! Wall-clock speedup of a thread pool depends on how many hardware cores
+//! the machine running the benchmark happens to have — a CI container
+//! frequently has one. This module plays the role
+//! `topk_distributed::LatencyModel` plays for the network backend: it
+//! prices a batch of weighted jobs under a **deterministic schedule**
+//! (greedy assignment to the least-loaded lane, in submission order — the
+//! same greedy rule work stealing approximates), so scalability gates are
+//! reproducible on any machine. Wall-clock numbers stay in the reports as
+//! hardware measurements; the CI gate reads the model.
+//!
+//! The greedy list schedule is the textbook 2-approximation of the
+//! optimal makespan (Graham's bound), and is *exact* for equal-cost jobs
+//! whose count is a multiple of the lane count — the shape of a batched
+//! top-k benchmark sweep.
+
+/// The makespan (maximum lane load) of scheduling `costs` onto `lanes`
+/// parallel lanes: each job, in order, goes to the currently least-loaded
+/// lane (ties towards the lowest lane index).
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn makespan(costs: &[u64], lanes: usize) -> u64 {
+    assert!(lanes > 0, "a schedule needs at least one lane");
+    let mut load = vec![0u64; lanes];
+    for &cost in costs {
+        let laziest = (0..lanes)
+            .min_by_key(|&i| load[i])
+            .expect("lanes > 0 guarantees a minimum");
+        load[laziest] += cost;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// The total work of a batch: the single-lane makespan.
+pub fn total_work(costs: &[u64]) -> u64 {
+    costs.iter().sum()
+}
+
+/// Modelled throughput speedup of running `costs` on `lanes` lanes versus
+/// one lane: `total_work / makespan`. Returns 1.0 for an empty or
+/// zero-cost batch (nothing to speed up).
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn speedup(costs: &[u64], lanes: usize) -> f64 {
+    let span = makespan(costs, lanes);
+    if span == 0 {
+        return 1.0;
+    }
+    total_work(costs) as f64 / span as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lane_makespan_is_total_work() {
+        let costs = [3, 1, 4, 1, 5];
+        assert_eq!(makespan(&costs, 1), 14);
+        assert_eq!(total_work(&costs), 14);
+    }
+
+    #[test]
+    fn equal_jobs_split_evenly() {
+        let costs = [10u64; 8];
+        assert_eq!(makespan(&costs, 4), 20);
+        assert!((speedup(&costs, 4) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_jobs_are_balanced_greedily() {
+        // Greedy: lanes end at [6, 5+1, 4+2] = [6, 6, 6].
+        let costs = [6, 5, 4, 2, 1];
+        assert_eq!(makespan(&costs, 3), 6);
+        assert!((speedup(&costs, 3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_dominant_job_bounds_the_makespan() {
+        let costs = [100, 1, 1, 1];
+        assert_eq!(makespan(&costs, 4), 100);
+        assert!(speedup(&costs, 4) < 1.1);
+    }
+
+    #[test]
+    fn degenerate_batches_report_unit_speedup() {
+        assert_eq!(makespan(&[], 4), 0);
+        assert!((speedup(&[], 4) - 1.0).abs() < 1e-12);
+        assert!((speedup(&[0, 0], 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_the_lane_count() {
+        let costs: Vec<u64> = (1..=37).collect();
+        for lanes in 1..=8 {
+            let s = speedup(&costs, lanes);
+            assert!(s <= lanes as f64 + 1e-12, "{lanes} lanes gave {s}");
+            assert!(s >= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_are_rejected() {
+        let _ = makespan(&[1], 0);
+    }
+}

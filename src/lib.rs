@@ -32,6 +32,7 @@ pub use topk_core as core;
 pub use topk_datagen as datagen;
 pub use topk_distributed as distributed;
 pub use topk_lists as lists;
+pub use topk_pool as pool;
 
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
