@@ -1,0 +1,214 @@
+//! Paged-scan gate: the disk-backed `topk-storage` backend against the
+//! in-memory baseline.
+//!
+//! ```sh
+//! cargo bench --bench paged_scan                        # paper scale
+//! TOPK_BENCH_SCALE=smoke cargo bench --bench paged_scan # CI smoke
+//! ```
+//!
+//! The database is written once as paged list files, then every
+//! algorithm runs over `PagedSource` at three cache capacities. Per
+//! configuration the table reports the answer fingerprint (FNV-1a over
+//! item ids and exact score bits), the cache hit/miss counters, and the
+//! cost model's view of them: `io` is the fourth access class
+//! (`CostModel::io_cost`, misses priced as physical reads), `total` adds
+//! it to the paper's sorted/random/direct execution cost.
+//!
+//! The target **exits non-zero** when the acceptance bar is missed:
+//!
+//! * every configuration must be **bit-identical** to the in-memory
+//!   baseline — same answer fingerprint, same per-mode access counters;
+//! * hit/miss counts must be **deterministic**: a `reset` re-run counts
+//!   exactly the same (the LRU evicts by logical use stamp, not clocks);
+//! * misses must be **monotone** in capacity (a smaller cache never
+//!   misses less — LRU inclusion) and non-zero (the data really came
+//!   off disk).
+
+use std::time::Instant;
+
+use topk_bench::config::BENCH_SEED;
+use topk_bench::{print_header, BenchScale};
+use topk_core::{AlgorithmKind, CostModel, TopKQuery, TopKResult};
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+use topk_lists::source::SourceSet;
+use topk_storage::{CacheCapacity, PageLayout, PagedDatabase, ScratchDir};
+
+/// Number of lists (`m`) of the benchmark database.
+const NUM_LISTS: usize = 4;
+
+/// Page size of the on-disk layout: small enough that even the smoke
+/// database spans many pages per list (2 000 entries x 16 B = 500 pages
+/// at 64 entries per page), so bounded caches really evict.
+const PAGE_SIZE: usize = 1024;
+
+/// Cache capacities swept per algorithm, smallest first.
+const CAPACITIES: [CacheCapacity; 3] = [
+    CacheCapacity::Pages(2),
+    CacheCapacity::Pages(8),
+    CacheCapacity::Unbounded,
+];
+
+/// What one physical page read costs relative to one sorted access, for
+/// the `io`/`total` columns (the in-memory figures all have io = 0).
+const PAGE_MISS_COST: f64 = 8.0;
+
+/// FNV-1a over the answers: item ids and exact score bits, in rank
+/// order. Bit-identical answers — not approximately equal ones — are
+/// the acceptance criterion.
+fn fingerprint(result: &TopKResult) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for ranked in result.items() {
+        mix(ranked.item.0);
+        mix(ranked.score.value().to_bits());
+    }
+    hash
+}
+
+fn capacity_label(capacity: CacheCapacity) -> String {
+    match capacity {
+        CacheCapacity::Pages(pages) => format!("{pages} pages"),
+        CacheCapacity::Unbounded => "unbounded".to_string(),
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Paged scan",
+        "disk-backed paged lists vs the in-memory backend",
+        scale.label(),
+    );
+
+    let n = scale.default_n();
+    let k = scale.default_k();
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, NUM_LISTS, n).generate(BENCH_SEED);
+    let query = TopKQuery::top(k);
+    let model = CostModel::paper_default(n).with_page_miss_cost(PAGE_MISS_COST);
+
+    let dir = ScratchDir::new("paged-scan-bench");
+    let started = Instant::now();
+    let paged = PagedDatabase::create(dir.path(), &db, PageLayout::with_page_size(PAGE_SIZE))
+        .expect("write paged database");
+    let pages_per_list = (n * 16).div_ceil(PAGE_SIZE);
+    println!(
+        "uniform database: m = {NUM_LISTS}, n = {n}, k = {k}; {PAGE_SIZE}-byte pages \
+         (~{pages_per_list} data pages per list), written in {:.1} ms; \
+         page miss priced at {PAGE_MISS_COST} sorted accesses",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    println!();
+    println!(
+        "{:<12} {:>10}  {:>16} {:>9} {:>9} {:>10} {:>10} {:>9}  {:>9} {:>13}",
+        "algorithm",
+        "cache",
+        "fingerprint",
+        "hits",
+        "misses",
+        "io",
+        "total",
+        "wall ms",
+        "identical",
+        "deterministic"
+    );
+
+    let mut failed = false;
+    for kind in AlgorithmKind::ALL {
+        let reference = kind
+            .create()
+            .run(&db, &query)
+            .expect("in-memory reference run");
+        let expected_fingerprint = fingerprint(&reference);
+
+        let mut miss_series = Vec::new();
+        for capacity in CAPACITIES {
+            let mut sources = paged.sources(capacity).expect("open paged sources");
+
+            let started = Instant::now();
+            let result = kind
+                .create()
+                .run_on(&mut sources, &query)
+                .expect("paged run");
+            let elapsed = started.elapsed();
+            let counters = sources.total_cache_counters();
+            let fp = fingerprint(&result);
+
+            let identical =
+                fp == expected_fingerprint && result.stats().accesses == reference.stats().accesses;
+
+            // Determinism: a cold re-run on the same sources must produce
+            // the same fingerprint and the same hit/miss counts.
+            sources.reset();
+            let again = kind
+                .create()
+                .run_on(&mut sources, &query)
+                .expect("paged re-run");
+            let deterministic =
+                fingerprint(&again) == fp && sources.total_cache_counters() == counters;
+
+            let execution = model.execution_cost(&result.stats().accesses);
+            let io = model.io_cost(&counters);
+            println!(
+                "{:<12} {:>10}  {:>16x} {:>9} {:>9} {:>10.0} {:>10.0} {:>9.2}  {:>9} {:>13}",
+                format!("{kind:?}"),
+                capacity_label(capacity),
+                fp,
+                counters.hits,
+                counters.misses,
+                io,
+                execution + io,
+                elapsed.as_secs_f64() * 1e3,
+                if identical { "yes" } else { "NO" },
+                if deterministic { "yes" } else { "NO" },
+            );
+
+            if !identical {
+                eprintln!(
+                    "FAILED: {kind:?} at {} diverged from the in-memory baseline",
+                    capacity_label(capacity)
+                );
+                failed = true;
+            }
+            if !deterministic {
+                eprintln!(
+                    "FAILED: {kind:?} at {} counted different hits/misses on a cold re-run",
+                    capacity_label(capacity)
+                );
+                failed = true;
+            }
+            if counters.misses == 0 {
+                eprintln!(
+                    "FAILED: {kind:?} at {} read no pages — the gate measured nothing",
+                    capacity_label(capacity)
+                );
+                failed = true;
+            }
+            miss_series.push(counters.misses);
+        }
+
+        // LRU inclusion: growing the cache can only remove misses.
+        if miss_series.windows(2).any(|pair| pair[0] < pair[1]) {
+            eprintln!("FAILED: {kind:?} misses are not monotone in capacity: {miss_series:?}");
+            failed = true;
+        }
+    }
+
+    println!();
+    println!(
+        "fingerprint is FNV-1a over (item id, score bits) in rank order; identical means \
+         fingerprint and per-mode access counters match the in-memory run exactly. \
+         io = misses x {PAGE_MISS_COST} (CostModel::io_cost); total adds the paper's \
+         execution cost. deterministic means a reset re-run repeated the counters."
+    );
+
+    if failed {
+        eprintln!("paged scan FAILED the acceptance bar");
+        std::process::exit(1);
+    }
+    println!("paged scan passed");
+}

@@ -71,6 +71,12 @@ impl TopKAlgorithm for Fa {
         sources.begin_round();
         let mut buffer = TopKBuffer::new(k);
         let items_scored = seen.len();
+        // Resolve in item-id order, not hash order: the *sequence* of
+        // random accesses must be deterministic so that physical-layer
+        // observers (the paged backend's cache hit/miss counters) see
+        // identical runs, not just identical totals.
+        let mut seen: Vec<(ItemId, Vec<Option<Score>>)> = seen.into_iter().collect();
+        seen.sort_unstable_by_key(|(item, _)| *item);
         for (item, mut locals) in seen {
             for (i, slot) in locals.iter_mut().enumerate() {
                 if slot.is_none() {

@@ -48,7 +48,7 @@ pub use tput::Tput;
 
 use std::time::Instant;
 
-use topk_lists::source::{SourceSet, Sources};
+use topk_lists::source::{SourceError, SourceSet, Sources};
 use topk_lists::{Database, TrackerKind};
 
 use crate::error::TopKError;
@@ -86,13 +86,36 @@ pub trait TopKAlgorithm {
     /// sources, then runs the algorithm. Every backend goes through this
     /// method, so validation cannot be skipped by an algorithm
     /// implementation.
+    ///
+    /// This is also the single choke point of the fail-stop contract:
+    /// fallible backends (disk, network) signal an access failure by
+    /// unwinding with a [`SourceError`] payload
+    /// ([`SourceError::raise`](topk_lists::source::SourceError::raise)),
+    /// and `run_on` converts exactly that payload into
+    /// [`TopKError::Source`]. Algorithm bodies therefore never handle IO
+    /// errors, yet callers always see a typed `Err` rather than a panic.
+    /// Unwinds with any other payload (genuine bugs) are re-raised
+    /// unchanged. After an error the sources are mid-query; call
+    /// [`SourceSet::reset`] before reusing them.
     fn run_on(
         &self,
         sources: &mut dyn SourceSet,
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
         query.validate_for(sources.num_items())?;
-        self.execute(sources, query)
+        // AssertUnwindSafe: on a caught SourceError we return Err without
+        // touching `sources` again, and the fail-stop contract requires a
+        // `reset` before reuse — so no broken invariant can be observed.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute(sources, query)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => match payload.downcast::<SourceError>() {
+                Ok(err) => Err(TopKError::Source(*err)),
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+        }
     }
 
     /// Convenience entry point for the in-memory backend: opens
@@ -328,5 +351,66 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, TopKError::InvalidK { k: got, n: 12 } if got == k));
         }
+    }
+
+    /// The fail-stop contract: a `SourceError` unwind raised anywhere
+    /// inside `execute` surfaces as `Err(TopKError::Source)` from
+    /// `run_on`, while any other unwind payload propagates unchanged.
+    #[test]
+    fn run_on_converts_source_error_unwinds_into_typed_errors() {
+        #[derive(Debug)]
+        struct FailStop;
+        impl TopKAlgorithm for FailStop {
+            fn name(&self) -> &'static str {
+                "fail-stop"
+            }
+            fn execute(
+                &self,
+                _sources: &mut dyn SourceSet,
+                _query: &TopKQuery,
+            ) -> Result<TopKResult, TopKError> {
+                SourceError::new("page read", "injected failure at op 3").raise()
+            }
+        }
+
+        let db = figure1_database();
+        let mut sources = Sources::in_memory(&db);
+        let err = FailStop
+            .run_on(&mut sources, &TopKQuery::top(1))
+            .unwrap_err();
+        match err {
+            TopKError::Source(source) => {
+                assert_eq!(source.op, "page read");
+                assert!(source.detail.contains("op 3"));
+            }
+            other => panic!("expected a Source error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_on_reraises_non_source_panics() {
+        #[derive(Debug)]
+        struct Bug;
+        impl TopKAlgorithm for Bug {
+            fn name(&self) -> &'static str {
+                "bug"
+            }
+            fn execute(
+                &self,
+                _sources: &mut dyn SourceSet,
+                _query: &TopKQuery,
+            ) -> Result<TopKResult, TopKError> {
+                panic!("a genuine bug, not an IO failure")
+            }
+        }
+
+        let db = figure1_database();
+        let caught = std::panic::catch_unwind(|| {
+            let mut sources = Sources::in_memory(&db);
+            let _ = Bug.run_on(&mut sources, &TopKQuery::top(1));
+        });
+        let payload = caught.expect_err("the panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("genuine bug"));
     }
 }

@@ -182,7 +182,13 @@ impl TopKAlgorithm for Tput {
         sources.begin_round();
         let mut buffer = TopKBuffer::new(k);
         let mut items_scored = 0usize;
-        for (item, candidate) in &candidates {
+        // Resolve in item-id order, not hash order: the *sequence* of
+        // random accesses must be deterministic so that physical-layer
+        // observers (the paged backend's cache hit/miss counters) see
+        // identical runs, not just identical totals.
+        let mut survivors: Vec<(&ItemId, &Candidate)> = candidates.iter().collect();
+        survivors.sort_unstable_by_key(|(item, _)| **item);
+        for (item, candidate) in survivors {
             if candidate.upper_bound(threshold) < tau2 {
                 continue;
             }

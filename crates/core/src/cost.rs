@@ -1,5 +1,6 @@
 //! The middleware cost model (Section 2 and Section 6.1).
 
+use topk_lists::source::CacheCounters;
 use topk_lists::AccessCounters;
 
 /// Execution-cost model: `cost = as·cs + ar·cr (+ ad·cd)`.
@@ -11,6 +12,12 @@ use topk_lists::AccessCounters;
 /// random accesses ("we consider each direct access equivalent to a random
 /// access"). [`CostModel::paper_default`] reproduces exactly that; custom
 /// models can be built with [`CostModel::new`].
+///
+/// Disk-backed sources add a fourth access class the paper's middleware
+/// model abstracts away: **page-cache misses**, each standing for one
+/// physical page read. [`CostModel::with_page_miss_cost`] prices them
+/// (the default is zero, so in-memory figures are unchanged) and
+/// [`CostModel::total_cost`] adds them on top of the execution cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Cost of one sorted access (`cs`).
@@ -19,6 +26,9 @@ pub struct CostModel {
     pub random_cost: f64,
     /// Cost of one direct access (`cd`).
     pub direct_cost: f64,
+    /// Cost of one page-cache miss, i.e. one physical page read on a
+    /// disk-backed source (`cp`). Zero for the paper's in-memory model.
+    pub page_miss_cost: f64,
 }
 
 impl CostModel {
@@ -42,7 +52,24 @@ impl CostModel {
             sorted_cost,
             random_cost,
             direct_cost,
+            page_miss_cost: 0.0,
         }
+    }
+
+    /// Returns this model with the page-cache miss cost set (`cp`), the
+    /// access class charged for physical page reads by disk-backed
+    /// sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost is negative or non-finite.
+    pub fn with_page_miss_cost(mut self, page_miss_cost: f64) -> Self {
+        assert!(
+            page_miss_cost.is_finite() && page_miss_cost >= 0.0,
+            "page miss cost must be non-negative and finite"
+        );
+        self.page_miss_cost = page_miss_cost;
+        self
     }
 
     /// The model used in the paper's evaluation for a database of `n` items
@@ -68,6 +95,21 @@ impl CostModel {
         accesses.sorted as f64 * self.sorted_cost
             + accesses.random as f64 * self.random_cost
             + accesses.direct as f64 * self.direct_cost
+    }
+
+    /// The IO cost of a run: page-cache misses (physical page reads)
+    /// priced at [`page_miss_cost`](CostModel::page_miss_cost). Hits are
+    /// free — they never left the cache.
+    pub fn io_cost(&self, cache: &CacheCounters) -> f64 {
+        cache.misses as f64 * self.page_miss_cost
+    }
+
+    /// Execution cost plus IO cost: the full price of a run on a
+    /// disk-backed source. With the default `page_miss_cost` of zero
+    /// this equals [`execution_cost`](CostModel::execution_cost), so the
+    /// paper's in-memory figures are a special case.
+    pub fn total_cost(&self, accesses: &AccessCounters, cache: &CacheCounters) -> f64 {
+        self.execution_cost(accesses) + self.io_cost(cache)
     }
 }
 
@@ -133,9 +175,36 @@ mod tests {
     }
 
     #[test]
+    fn page_misses_form_a_separate_access_class() {
+        let model = CostModel::paper_default(1024).with_page_miss_cost(4.0);
+        let accesses = AccessCounters {
+            sorted: 10,
+            random: 1,
+            direct: 0,
+        };
+        let cache = CacheCounters { hits: 7, misses: 3 };
+        assert_eq!(model.execution_cost(&accesses), 20.0);
+        assert_eq!(model.io_cost(&cache), 12.0, "hits are free, misses are not");
+        assert_eq!(model.total_cost(&accesses, &cache), 32.0);
+        // The default model prices misses at zero: in-memory figures are
+        // unchanged by the new access class.
+        let free = CostModel::paper_default(1024);
+        assert_eq!(
+            free.total_cost(&accesses, &cache),
+            free.execution_cost(&accesses)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_costs_are_rejected() {
         let _ = CostModel::new(1.0, -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page miss cost")]
+    fn negative_page_miss_cost_is_rejected() {
+        let _ = CostModel::unit().with_page_miss_cost(-1.0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use topk_lists::source::SourceError;
 use topk_lists::ListError;
 
 /// Errors raised when validating or executing a top-k query.
@@ -24,6 +25,12 @@ pub enum TopKError {
     },
     /// An error bubbled up from the sorted-list substrate.
     List(ListError),
+    /// A backend list access failed (disk IO, corrupt page, truncated
+    /// file). Fallible backends raise this via the fail-stop contract
+    /// ([`SourceError::raise`]); [`run_on`](crate::TopKAlgorithm::run_on)
+    /// converts the unwind into this variant so callers see a typed
+    /// `Err`, never a panic.
+    Source(SourceError),
 }
 
 impl fmt::Display for TopKError {
@@ -39,6 +46,7 @@ impl fmt::Display for TopKError {
                 )
             }
             TopKError::List(err) => write!(f, "list error: {err}"),
+            TopKError::Source(err) => write!(f, "backend error: {err}"),
         }
     }
 }
@@ -47,6 +55,7 @@ impl std::error::Error for TopKError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TopKError::List(err) => Some(err),
+            TopKError::Source(err) => Some(err),
             TopKError::InvalidK { .. } | TopKError::UnsupportedScoring { .. } => None,
         }
     }
@@ -55,6 +64,12 @@ impl std::error::Error for TopKError {
 impl From<ListError> for TopKError {
     fn from(err: ListError) -> Self {
         TopKError::List(err)
+    }
+}
+
+impl From<SourceError> for TopKError {
+    fn from(err: SourceError) -> Self {
+        TopKError::Source(err)
     }
 }
 
@@ -76,5 +91,14 @@ mod tests {
         let e: TopKError = ListError::EmptyList.into();
         assert!(e.source().is_some());
         assert!(TopKError::InvalidK { k: 1, n: 0 }.source().is_none());
+    }
+
+    #[test]
+    fn backend_errors_wrap_and_chain() {
+        use std::error::Error;
+        let e: TopKError = SourceError::new("page read", "injected failure").into();
+        assert!(e.to_string().contains("backend error"));
+        assert!(e.to_string().contains("page read"));
+        assert!(e.source().is_some());
     }
 }

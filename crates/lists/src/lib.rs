@@ -59,7 +59,8 @@ pub use item::{ItemId, Position, Score};
 pub use sharded::{ShardedDatabase, ShardedList, ShardedSource};
 pub use sorted_list::{ListEntry, PositionedScore, SortedList};
 pub use source::{
-    BatchingSource, InMemorySource, ListSource, SourceEntry, SourceScore, SourceSet, Sources,
+    BatchingSource, CacheCounters, InMemorySource, ListSource, SourceEntry, SourceError,
+    SourceScore, SourceSet, Sources,
 };
 pub use tracker::{
     BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionTracker, TrackerKind,
@@ -74,7 +75,8 @@ pub mod prelude {
     pub use crate::sharded::{ShardedDatabase, ShardedList, ShardedSource};
     pub use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
     pub use crate::source::{
-        BatchingSource, InMemorySource, ListSource, SourceEntry, SourceScore, SourceSet, Sources,
+        BatchingSource, CacheCounters, InMemorySource, ListSource, SourceEntry, SourceError,
+        SourceScore, SourceSet, Sources,
     };
     pub use crate::tracker::{
         BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionTracker, TrackerKind,

@@ -56,6 +56,81 @@ use crate::item::{ItemId, Position, Score};
 use crate::sorted_list::SortedList;
 use crate::tracker::{PositionTracker, TrackerKind};
 
+/// Hit/miss statistics of a backend-side page cache.
+///
+/// In-memory backends have no cache and report zeros; disk-backed
+/// backends (`topk-storage`) count one hit or miss per page lookup.
+/// Misses are the unit the cost model charges for physical IO — they
+/// form a fourth access class next to sorted/random/direct, because a
+/// logical access that hits the cache costs no disk read.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Page lookups served from the cache.
+    pub hits: u64,
+    /// Page lookups that had to read the backing store.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Total page lookups (hits + misses).
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Element-wise sum of two snapshots.
+    pub fn combined(&self, other: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// A failure of the physical layer behind a [`ListSource`] (disk IO,
+/// corrupt page, truncated file) that made a list access impossible.
+///
+/// The `ListSource` access methods return `Option` — `None` means "no
+/// such entry", never "the read failed" — so fallible backends follow a
+/// **fail-stop contract**: they latch the error and call
+/// [`SourceError::raise`], which unwinds with the error as payload.
+/// `topk_core::TopKAlgorithm::run_on` catches exactly that payload and
+/// converts it into a typed `Err`, so callers see a normal `Result` and
+/// no algorithm needs error-handling code in its inner loop. After an
+/// error, a source is unusable until [`ListSource::reset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// The access that failed (e.g. `"sorted_access"`, `"page read"`).
+    pub op: String,
+    /// Backend-specific description of the failure.
+    pub detail: String,
+}
+
+impl SourceError {
+    /// Builds an error for a failed operation.
+    pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
+        SourceError {
+            op: op.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Raises this error as a fail-stop unwind. The payload is the
+    /// `SourceError` itself; `topk_core::TopKAlgorithm::run_on` downcasts
+    /// it back into a typed `Err`. Unwinds with any other payload (real
+    /// bugs, assertion failures) are not intercepted there.
+    pub fn raise(self) -> ! {
+        std::panic::panic_any(self)
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "list source {} failed: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
 /// The outcome of a sorted or direct access against a [`ListSource`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceEntry {
@@ -183,8 +258,19 @@ pub trait ListSource: std::fmt::Debug {
     /// Accesses performed against this source so far.
     fn counters(&self) -> AccessCounters;
 
+    /// Page-cache statistics for this source. Backends without a cache
+    /// (everything in-memory) report the default all-zero snapshot;
+    /// disk-backed sources surface their LRU page cache here so the
+    /// cost model can charge physical reads separately from logical
+    /// accesses.
+    fn cache_counters(&self) -> CacheCounters {
+        CacheCounters::default()
+    }
+
     /// Clears counters and tracking state, so the same source can serve a
-    /// fresh query over unchanged data.
+    /// fresh query over unchanged data. Fallible backends also clear any
+    /// latched [`SourceError`] and drop cached pages, so a retry runs
+    /// from a cold, consistent state.
     fn reset(&mut self);
 }
 
@@ -241,6 +327,21 @@ pub trait SourceSet {
         (0..self.num_lists())
             .map(|i| self.source_ref(i).counters())
             .fold(AccessCounters::default(), |acc, c| acc.combined(&c))
+    }
+
+    /// Per-list page-cache snapshots, in list order (all zero for
+    /// cache-less backends).
+    fn per_list_cache_counters(&self) -> Vec<CacheCounters> {
+        (0..self.num_lists())
+            .map(|i| self.source_ref(i).cache_counters())
+            .collect()
+    }
+
+    /// Page-cache statistics aggregated over all lists.
+    fn total_cache_counters(&self) -> CacheCounters {
+        (0..self.num_lists())
+            .map(|i| self.source_ref(i).cache_counters())
+            .fold(CacheCounters::default(), |acc, c| acc.combined(&c))
     }
 }
 
@@ -506,6 +607,10 @@ impl ListSource for BatchingSource<'_> {
 
     fn counters(&self) -> AccessCounters {
         self.inner.counters()
+    }
+
+    fn cache_counters(&self) -> CacheCounters {
+        self.inner.cache_counters()
     }
 
     fn reset(&mut self) {

@@ -1,0 +1,181 @@
+//! A deterministic LRU page cache.
+//!
+//! Determinism is the point: eviction is by least-recent logical use
+//! stamp (ties broken by page id), never by wall clock or hash order, so
+//! two identical runs produce identical hit/miss counters — which the
+//! `paged_scan` CI gate asserts, and which makes cache counters safe to
+//! pin in tests.
+
+use std::collections::HashMap;
+
+use topk_lists::source::CacheCounters;
+
+use crate::error::StorageError;
+use crate::io::PageIo;
+
+/// How many pages a [`PagedSource`](crate::PagedSource) may keep
+/// resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCapacity {
+    /// At most this many pages (at least 1); the least recently used
+    /// page is evicted to make room.
+    Pages(usize),
+    /// No eviction: every page read stays resident. This is the
+    /// "fits in RAM" configuration — misses equal distinct pages
+    /// touched.
+    Unbounded,
+}
+
+#[derive(Debug)]
+struct Slot {
+    bytes: Vec<u8>,
+    last_used: u64,
+}
+
+/// The cache proper: page id → bytes, with hit/miss accounting.
+#[derive(Debug)]
+pub(crate) struct PageCache {
+    capacity: CacheCapacity,
+    slots: HashMap<u64, Slot>,
+    clock: u64,
+    counters: CacheCounters,
+}
+
+impl PageCache {
+    /// # Panics
+    ///
+    /// Panics on `CacheCapacity::Pages(0)` — a source must be able to
+    /// hold the page it is reading.
+    pub fn new(capacity: CacheCapacity) -> PageCache {
+        if let CacheCapacity::Pages(pages) = capacity {
+            assert!(pages >= 1, "cache capacity must be at least one page");
+        }
+        PageCache {
+            capacity,
+            slots: HashMap::new(),
+            clock: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Drops every resident page and zeroes the counters — the cold
+    /// state a [`reset`](topk_lists::source::ListSource::reset) restores.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.clock = 0;
+        self.counters = CacheCounters::default();
+    }
+
+    /// The bytes of `page`, from cache or by reading `io`. A failed read
+    /// inserts nothing (no partially-filled page can be observed later).
+    pub fn page(
+        &mut self,
+        page: u64,
+        io: &mut dyn PageIo,
+        page_size: usize,
+    ) -> Result<&[u8], StorageError> {
+        self.clock += 1;
+        let stamp = self.clock;
+        if self.slots.contains_key(&page) {
+            self.counters.hits += 1;
+            let slot = self.slots.get_mut(&page).expect("membership just checked");
+            slot.last_used = stamp;
+            return Ok(&slot.bytes);
+        }
+        self.counters.misses += 1;
+        let mut bytes = vec![0u8; page_size];
+        io.read_exact_at(page * page_size as u64, &mut bytes)
+            .map_err(|e| StorageError::io(format!("read of page {page}"), e))?;
+        if let CacheCapacity::Pages(pages) = self.capacity {
+            while self.slots.len() >= pages {
+                let victim = self
+                    .slots
+                    .iter()
+                    .map(|(&id, slot)| (slot.last_used, id))
+                    .min()
+                    .expect("cache is non-empty")
+                    .1;
+                self.slots.remove(&victim);
+            }
+        }
+        Ok(&self
+            .slots
+            .entry(page)
+            .or_insert(Slot {
+                bytes,
+                last_used: stamp,
+            })
+            .bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+
+    fn image(pages: usize, page_size: usize) -> MemIo {
+        // Page p is filled with the byte p, so reads are checkable.
+        let mut bytes = Vec::with_capacity(pages * page_size);
+        for p in 0..pages {
+            bytes.resize((p + 1) * page_size, p as u8);
+        }
+        MemIo::new(bytes)
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_page() {
+        let mut io = image(4, 64);
+        let mut cache = PageCache::new(CacheCapacity::Pages(2));
+        for page in [0u64, 1, 0, 2, 0, 1] {
+            let bytes = cache.page(page, &mut io, 64).unwrap();
+            assert!(bytes.iter().all(|&b| b == page as u8));
+        }
+        // 0 miss, 1 miss, 0 hit, 2 miss (evicts 1), 0 hit, 1 miss (evicts 2).
+        assert_eq!(cache.counters(), CacheCounters { hits: 2, misses: 4 });
+    }
+
+    #[test]
+    fn unbounded_cache_misses_once_per_distinct_page() {
+        let mut io = image(3, 64);
+        let mut cache = PageCache::new(CacheCapacity::Unbounded);
+        for page in [0u64, 1, 2, 0, 1, 2, 0] {
+            cache.page(page, &mut io, 64).unwrap();
+        }
+        assert_eq!(cache.counters(), CacheCounters { hits: 4, misses: 3 });
+    }
+
+    #[test]
+    fn failed_reads_poison_nothing() {
+        let mut io = image(2, 64);
+        let mut cache = PageCache::new(CacheCapacity::Pages(2));
+        // Page 9 is out of range: the read fails and nothing is cached.
+        assert!(cache.page(9, &mut io, 64).is_err());
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 1 });
+        // The failure is repeatable, not served from a phantom slot.
+        assert!(cache.page(9, &mut io, 64).is_err());
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn clear_restores_the_cold_state() {
+        let mut io = image(2, 64);
+        let mut cache = PageCache::new(CacheCapacity::Pages(1));
+        cache.page(0, &mut io, 64).unwrap();
+        cache.page(0, &mut io, 64).unwrap();
+        cache.clear();
+        assert_eq!(cache.counters(), CacheCounters::default());
+        cache.page(0, &mut io, 64).unwrap();
+        assert_eq!(cache.counters(), CacheCounters { hits: 0, misses: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_is_rejected() {
+        let _ = PageCache::new(CacheCapacity::Pages(0));
+    }
+}

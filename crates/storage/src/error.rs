@@ -1,0 +1,77 @@
+//! Typed failures of the paged storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised while creating, opening or reading paged list files.
+///
+/// Environmental failures (IO errors, corrupt or truncated files) are
+/// errors; malformed *configuration* (e.g. a page size below
+/// [`MIN_PAGE_SIZE`](crate::layout::MIN_PAGE_SIZE)) is a programmer
+/// mistake and panics at construction, matching the rest of the
+/// workspace.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system IO operation failed.
+    Io {
+        /// What the storage layer was doing (e.g. `"page read"`).
+        op: String,
+        /// The underlying IO error.
+        source: io::Error,
+    },
+    /// The file's bytes do not form a valid paged list (bad magic,
+    /// checksum mismatch, truncated sections, non-monotone scores…).
+    Corrupt {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl StorageError {
+    pub(crate) fn io(op: impl Into<String>, source: io::Error) -> Self {
+        StorageError::Io {
+            op: op.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(detail: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, source } => write!(f, "{op} failed: {source}"),
+            StorageError::Corrupt { detail } => write!(f, "corrupt paged list: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = StorageError::io("page read", io::Error::other("disk on fire"));
+        assert!(e.to_string().contains("page read"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = StorageError::corrupt("bad magic");
+        assert!(e.to_string().contains("bad magic"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,250 @@
+//! Reading paged list files: open-time validation and cached page reads.
+
+use topk_lists::{ItemId, Position, PositionedScore, Score};
+
+use crate::cache::PageCache;
+use crate::error::StorageError;
+use crate::io::PageIo;
+use crate::layout::{Geometry, Header, ENTRY_LEN, HEADER_LEN, RECORD_LEN, TAIL_LEN};
+
+/// One open paged list file: validated header + geometry, with all
+/// post-open reads going through a caller-supplied [`PageCache`].
+#[derive(Debug)]
+pub(crate) struct PagedListFile {
+    io: Box<dyn PageIo>,
+    geometry: Geometry,
+    tail_score: Score,
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+fn le_score(bytes: &[u8], what: &str) -> Result<Score, StorageError> {
+    let value = f64::from_bits(le_u64(bytes));
+    if value.is_nan() {
+        return Err(StorageError::corrupt(format!("{what} is NaN")));
+    }
+    Ok(Score::from_f64(value))
+}
+
+impl PagedListFile {
+    /// Opens and validates a file image: header (magic, version,
+    /// checksum), exact file length, section offsets, and the page
+    /// index's tail scores (present, non-increasing, and consistent with
+    /// the header's tail score). Corruption and IO failures at open are
+    /// ordinary `Err`s — the fail-stop unwind only covers reads *during*
+    /// a query.
+    pub fn open(mut io: Box<dyn PageIo>) -> Result<PagedListFile, StorageError> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        io.read_exact_at(0, &mut header_bytes)
+            .map_err(|e| StorageError::io("header read", e))?;
+        let header = Header::decode(&header_bytes)?;
+
+        let entry_count = usize::try_from(header.entry_count)
+            .map_err(|_| StorageError::corrupt("entry count exceeds the address space"))?;
+        let geometry = Geometry::new(header.page_size, entry_count);
+        if header.page_index_page != geometry.page_index_first_page()
+            || header.item_index_page != geometry.item_index_first_page()
+        {
+            return Err(StorageError::corrupt(format!(
+                "section offsets disagree with geometry: header says pages {} and {}, expected {} and {}",
+                header.page_index_page,
+                header.item_index_page,
+                geometry.page_index_first_page(),
+                geometry.item_index_first_page()
+            )));
+        }
+        let actual_len = io
+            .total_len()
+            .map_err(|e| StorageError::io("length probe", e))?;
+        if actual_len != geometry.total_bytes() {
+            return Err(StorageError::corrupt(format!(
+                "file is {actual_len} bytes, layout requires {}",
+                geometry.total_bytes()
+            )));
+        }
+
+        // Page index: every data page's tail score, which must be
+        // non-increasing (the file stores a descending-sorted list) and
+        // end at the header's tail score.
+        let mut page = vec![0u8; geometry.page_size];
+        let mut previous: Option<Score> = None;
+        for data_page in 0..geometry.data_pages {
+            let slot_page = geometry.tail_slot(data_page).0;
+            if data_page % geometry.tails_per_page == 0 {
+                io.read_exact_at(slot_page * geometry.page_size as u64, &mut page)
+                    .map_err(|e| StorageError::io("page-index read", e))?;
+            }
+            let offset = geometry.tail_slot(data_page).1;
+            let tail = le_score(&page[offset..offset + TAIL_LEN], "page tail score")?;
+            if let Some(previous) = previous {
+                if tail > previous {
+                    return Err(StorageError::corrupt(format!(
+                        "page tails increase at data page {data_page}: {} after {}",
+                        tail.value(),
+                        previous.value()
+                    )));
+                }
+            }
+            previous = Some(tail);
+        }
+        let last_tail = previous.expect("at least one data page");
+        if last_tail.value().to_bits() != header.tail_score.to_bits() {
+            return Err(StorageError::corrupt(format!(
+                "tail score mismatch: header {} vs page index {}",
+                header.tail_score,
+                last_tail.value()
+            )));
+        }
+
+        Ok(PagedListFile {
+            io,
+            geometry,
+            tail_score: last_tail,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.geometry.entry_count
+    }
+
+    pub fn tail_score(&self) -> Score {
+        self.tail_score
+    }
+
+    /// The data entry at 0-based index `idx` (`idx < len()`).
+    pub fn entry(
+        &mut self,
+        idx: usize,
+        cache: &mut PageCache,
+    ) -> Result<(ItemId, Score), StorageError> {
+        let (page, offset) = self.geometry.data_slot(idx);
+        let bytes = cache.page(page, self.io.as_mut(), self.geometry.page_size)?;
+        let slot = &bytes[offset..offset + ENTRY_LEN];
+        let item = ItemId(le_u64(&slot[..8]));
+        let score = le_score(&slot[8..], "entry score")?;
+        Ok((item, score))
+    }
+
+    /// Item-index record `i`: `(item id, position, score)`.
+    fn record(
+        &mut self,
+        i: usize,
+        cache: &mut PageCache,
+    ) -> Result<(u64, Position, Score), StorageError> {
+        let (page, offset) = self.geometry.record_slot(i);
+        let bytes = cache.page(page, self.io.as_mut(), self.geometry.page_size)?;
+        let slot = &bytes[offset..offset + RECORD_LEN];
+        let item = le_u64(&slot[..8]);
+        let raw_position = le_u64(&slot[8..16]);
+        let position = usize::try_from(raw_position)
+            .ok()
+            .and_then(Position::new)
+            .filter(|p| p.get() <= self.geometry.entry_count)
+            .ok_or_else(|| {
+                StorageError::corrupt(format!("record {i} has invalid position {raw_position}"))
+            })?;
+        let score = le_score(&slot[16..], "record score")?;
+        Ok((item, position, score))
+    }
+
+    /// Random access: binary search over the item index — `O(log n)`
+    /// page reads, the indexed lookup the paper's `cr = log n` cost
+    /// models. `Ok(None)` means the item is genuinely absent.
+    pub fn lookup(
+        &mut self,
+        item: ItemId,
+        cache: &mut PageCache,
+    ) -> Result<Option<PositionedScore>, StorageError> {
+        let (mut lo, mut hi) = (0usize, self.geometry.entry_count);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (found, position, score) = self.record(mid, cache)?;
+            match found.cmp(&item.0) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(Some(PositionedScore { position, score })),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheCapacity;
+    use crate::io::MemIo;
+    use crate::layout::PageLayout;
+    use crate::writer::encode_list;
+    use topk_lists::SortedList;
+
+    fn list() -> SortedList {
+        // 12 entries, distinct scores, item ids deliberately not in
+        // score order.
+        SortedList::from_unsorted(
+            (1..=12u64)
+                .map(|i| (ItemId(i), ((i * 7) % 13) as f64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn open(page_size: usize) -> PagedListFile {
+        let image = encode_list(&list(), PageLayout::with_page_size(page_size));
+        PagedListFile::open(Box::new(MemIo::new(image))).unwrap()
+    }
+
+    #[test]
+    fn every_entry_and_lookup_roundtrips() {
+        for page_size in [64, 4096] {
+            let reference = list();
+            let mut file = open(page_size);
+            let mut cache = PageCache::new(CacheCapacity::Unbounded);
+            assert_eq!(file.len(), reference.len());
+            assert_eq!(file.tail_score(), reference.last_entry().score);
+            for entry in reference.iter() {
+                let (item, score) = file.entry(entry.position.index(), &mut cache).unwrap();
+                assert_eq!((item, score), (entry.item, entry.score));
+                let found = file.lookup(entry.item, &mut cache).unwrap().unwrap();
+                assert_eq!(found, reference.lookup(entry.item).unwrap());
+            }
+            assert_eq!(file.lookup(ItemId(999), &mut cache).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_at_open() {
+        let mut image = encode_list(&list(), PageLayout::with_page_size(64));
+        image.truncate(image.len() - 64);
+        let err = PagedListFile::open(Box::new(MemIo::new(image))).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { detail } if detail.contains("bytes")));
+    }
+
+    #[test]
+    fn non_monotone_page_tails_are_rejected_at_open() {
+        let layout = PageLayout::with_page_size(64);
+        let mut image = encode_list(&list(), layout);
+        let geometry = Geometry::new(64, 12);
+        // Overwrite the first tail slot with a score smaller than the
+        // later ones: tails must now increase somewhere.
+        let (page, offset) = geometry.tail_slot(0);
+        let at = page as usize * 64 + offset;
+        image[at..at + 8].copy_from_slice(&(-1e9f64).to_bits().to_le_bytes());
+        let err = PagedListFile::open(Box::new(MemIo::new(image))).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { detail } if detail.contains("increase")));
+    }
+
+    #[test]
+    fn header_data_mismatch_is_rejected_at_open() {
+        // A valid header whose tail score disagrees with the page index.
+        let layout = PageLayout::with_page_size(64);
+        let mut image = encode_list(&list(), layout);
+        let mut header = Header::decode(&image[..HEADER_LEN].try_into().unwrap()).unwrap();
+        header.tail_score += 1.0;
+        image[..HEADER_LEN].copy_from_slice(&header.encode());
+        let err = PagedListFile::open(Box::new(MemIo::new(image))).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { detail } if detail.contains("tail score")));
+    }
+}

@@ -1,0 +1,65 @@
+//! A tiny RAII scratch directory (the workspace builds offline, so the
+//! usual `tempfile` crate is unavailable).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{env, fs, process};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique directory under the system temp dir, removed (best
+/// effort) on drop. Used by tests, benches and doc examples that need
+/// somewhere to write paged list files.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Creates `TMPDIR/{prefix}-{pid}-{counter}`, replacing any stale
+    /// leftover of the same name from a crashed earlier run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — scratch space is a
+    /// test-environment precondition, not a recoverable condition.
+    pub fn new(prefix: &str) -> ScratchDir {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir().join(format!("{prefix}-{}-{id}", process::id()));
+        if path.exists() {
+            let _ = fs::remove_dir_all(&path);
+        }
+        fs::create_dir_all(&path).expect("scratch directory must be creatable");
+        ScratchDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_a_unique_directory_and_removes_it_on_drop() {
+        let first = ScratchDir::new("scratch-test");
+        let second = ScratchDir::new("scratch-test");
+        assert_ne!(first.path(), second.path());
+        assert!(first.path().is_dir());
+
+        let kept = first.path().to_path_buf();
+        fs::write(kept.join("file"), b"contents").unwrap();
+        drop(first);
+        assert!(!kept.exists(), "dropped scratch dirs are removed");
+        assert!(second.path().is_dir(), "other instances are untouched");
+    }
+}

@@ -33,10 +33,12 @@ pub use topk_datagen as datagen;
 pub use topk_distributed as distributed;
 pub use topk_lists as lists;
 pub use topk_pool as pool;
+pub use topk_storage as storage;
 
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
     pub use topk_core::prelude::*;
     pub use topk_datagen::prelude::*;
     pub use topk_lists::prelude::*;
+    pub use topk_storage::prelude::*;
 }

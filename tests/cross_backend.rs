@@ -10,6 +10,12 @@
 //! counts, same message counts, same payload units — on the paper's
 //! figure databases and on all three `topk-datagen` families.
 
+//! The disk-backed paged backend is pinned the same way (see the
+//! "paged" tests at the bottom): `PagedSource` must be indistinguishable
+//! from `InMemorySource` — identical answers, per-mode access counters
+//! and `RunStats` — across page sizes and cache capacities, with the
+//! physical difference visible only in the cache hit/miss counters.
+
 use bpa_topk::datagen::{DatabaseKind, DatabaseSpec};
 use bpa_topk::distributed::{
     AsyncClusterSources, Cluster, ClusterRuntime, ClusterSources, DistributedBpa, DistributedBpa2,
@@ -471,4 +477,221 @@ fn plan_and_run_on_composes_with_the_runtime() {
     assert_eq!(plan.choice(), local_plan.choice());
     assert!(result.scores_match(&local_result, 1e-9));
     assert_eq!(result.stats().accesses, local_result.stats().accesses);
+}
+
+// --------------------------------------------------------------------
+// Disk-backed paged sources (`topk-storage`)
+// --------------------------------------------------------------------
+
+use bpa_topk::lists::{AccessCounters, CacheCounters, ItemId, Sources};
+use bpa_topk::pool::ThreadPool;
+
+/// Everything observable about a run except wall-clock time: answers
+/// (with exact score bits), total and per-list access counters, stop
+/// position, rounds and items scored.
+type Essence = (
+    Vec<(ItemId, u64)>,
+    AccessCounters,
+    Vec<AccessCounters>,
+    Option<usize>,
+    u64,
+    usize,
+);
+
+fn essence(result: &TopKResult) -> Essence {
+    (
+        result
+            .items()
+            .iter()
+            .map(|r| (r.item, r.score.value().to_bits()))
+            .collect(),
+        result.stats().accesses,
+        result.stats().per_list.clone(),
+        result.stats().stop_position,
+        result.stats().rounds,
+        result.stats().items_scored,
+    )
+}
+
+fn paged_test_databases() -> Vec<Database> {
+    let mut databases = vec![figure1_database(), figure2_database()];
+    for kind in [
+        DatabaseKind::Uniform,
+        DatabaseKind::Gaussian,
+        DatabaseKind::Correlated { alpha: 0.05 },
+    ] {
+        databases.push(DatabaseSpec::new(kind, 4, 800).generate(42));
+    }
+    databases
+}
+
+/// The acceptance criterion of the storage issue: every one of the seven
+/// algorithms, over the paper's figure databases and all three datagen
+/// families, returns bit-identical answers and identical `RunStats` over
+/// `PagedSource` and `InMemorySource` — at a page size that forces
+/// multi-page lists and at the 4 KiB default, under a 1-page cache, a
+/// 2-page cache and an unbounded one.
+#[test]
+fn paged_sources_match_in_memory_for_every_algorithm() {
+    for (which, db) in paged_test_databases().iter().enumerate() {
+        for page_size in [64usize, 4096] {
+            let dir = ScratchDir::new(&format!("cross-backend-{which}-{page_size}"));
+            let paged =
+                PagedDatabase::create(dir.path(), db, PageLayout::with_page_size(page_size))
+                    .unwrap();
+            for capacity in [
+                CacheCapacity::Pages(1),
+                CacheCapacity::Pages(2),
+                CacheCapacity::Unbounded,
+            ] {
+                let mut sources = paged.sources(capacity).unwrap();
+                for algorithm in AlgorithmKind::ALL {
+                    for k in [1, 5.min(db.num_items())] {
+                        let query = TopKQuery::top(k);
+                        let reference = algorithm.create().run(db, &query).unwrap();
+                        sources.reset();
+                        let result = algorithm.create().run_on(&mut sources, &query).unwrap();
+                        assert_eq!(
+                            essence(&result),
+                            essence(&reference),
+                            "{algorithm:?} db {which} page {page_size} {capacity:?} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache behaviour is deterministic (two cold-start runs count the same
+/// hits and misses) and monotone (a smaller cache never misses less —
+/// the LRU inclusion property), and per-list counters sum to the total.
+#[test]
+fn paged_cache_counters_are_deterministic_and_monotone() {
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, 4, 800).generate(42);
+    let dir = ScratchDir::new("cross-backend-cache");
+    let paged = PagedDatabase::create(dir.path(), &db, PageLayout::with_page_size(64)).unwrap();
+    let query = TopKQuery::top(5);
+
+    let mut misses = Vec::new();
+    for capacity in [
+        CacheCapacity::Pages(1),
+        CacheCapacity::Pages(2),
+        CacheCapacity::Unbounded,
+    ] {
+        let mut sources = paged.sources(capacity).unwrap();
+        Bpa2::default().run_on(&mut sources, &query).unwrap();
+        let first = sources.total_cache_counters();
+        assert!(first.misses > 0, "{capacity:?}: the data came off disk");
+
+        let per_list = sources.per_list_cache_counters();
+        let summed = per_list
+            .iter()
+            .fold(CacheCounters::default(), |acc, c| acc.combined(c));
+        assert_eq!(
+            summed, first,
+            "{capacity:?}: per-list counters are exhaustive"
+        );
+
+        sources.reset();
+        assert_eq!(sources.total_cache_counters(), CacheCounters::default());
+        Bpa2::default().run_on(&mut sources, &query).unwrap();
+        assert_eq!(
+            sources.total_cache_counters(),
+            first,
+            "{capacity:?}: cold-start runs must count identically"
+        );
+        misses.push(first.misses);
+    }
+    assert!(
+        misses[0] >= misses[1] && misses[1] >= misses[2],
+        "shrinking the cache can only add misses: {misses:?}"
+    );
+
+    // The miss counters are exactly what the cost model prices.
+    let model = CostModel::paper_default(db.num_items()).with_page_miss_cost(4.0);
+    let counters = CacheCounters {
+        hits: 10,
+        misses: misses[0],
+    };
+    assert_eq!(model.io_cost(&counters), misses[0] as f64 * 4.0);
+}
+
+/// The `.batched(block_len)` decorator composes over paged sources: the
+/// batched naive scan returns the same essence over disk as over memory,
+/// and the cache counters stay visible through the decorator.
+#[test]
+fn batched_decorator_composes_over_paged_sources() {
+    let db = DatabaseSpec::new(DatabaseKind::Uniform, 3, 400).generate(11);
+    let dir = ScratchDir::new("cross-backend-batched");
+    let paged = PagedDatabase::create(dir.path(), &db, PageLayout::with_page_size(64)).unwrap();
+    let query = TopKQuery::top(10);
+
+    let mut memory = Sources::in_memory(&db).batched(64);
+    let reference = NaiveScan.run_on(&mut memory, &query).unwrap();
+
+    let mut disk = paged.sources(CacheCapacity::Pages(2)).unwrap().batched(64);
+    let result = NaiveScan.run_on(&mut disk, &query).unwrap();
+
+    assert_eq!(essence(&result), essence(&reference));
+    assert!(
+        disk.total_cache_counters().misses > 0,
+        "cache counters must be forwarded through the decorator"
+    );
+    assert_eq!(memory.total_cache_counters(), CacheCounters::default());
+}
+
+/// `run_all` over one set of paged sources: the shared `SourceSet` (and
+/// its page cache) is reset between algorithms, so each run reports the
+/// same counts as a dedicated backend would.
+#[test]
+fn run_all_over_paged_sources_resets_between_algorithms() {
+    let db = figure1_database();
+    let query = TopKQuery::top(3);
+    let dir = ScratchDir::new("cross-backend-run-all");
+    let paged = PagedDatabase::create(dir.path(), &db, PageLayout::with_page_size(64)).unwrap();
+    let mut sources = paged.sources(CacheCapacity::Pages(1)).unwrap();
+    let results = run_all(&AlgorithmKind::EVALUATED, &mut sources, &query).unwrap();
+    for (kind, result) in &results {
+        let fresh = kind.create().run(&db, &query).unwrap();
+        assert_eq!(essence(result), essence(&fresh), "{kind:?}");
+    }
+}
+
+/// Cost-based planning and concurrent query batches compose over the
+/// paged backend unchanged: same plan choices, same essences as the
+/// in-memory backend.
+#[test]
+fn planner_and_query_batches_compose_over_paged_sources() {
+    use topk_core::stats::DatabaseStats;
+    use topk_core::{plan_and_run, plan_and_run_on};
+
+    let db = DatabaseSpec::new(DatabaseKind::Correlated { alpha: 0.05 }, 4, 400).generate(23);
+    let stats = DatabaseStats::collect(&db);
+    let dir = ScratchDir::new("cross-backend-planner");
+    let paged = PagedDatabase::create(dir.path(), &db, PageLayout::default()).unwrap();
+    let query = TopKQuery::top(5);
+
+    let (local_plan, local_result) = plan_and_run(&db, &query).unwrap();
+    let mut sources = paged.sources(CacheCapacity::Pages(2)).unwrap();
+    let (plan, result) = plan_and_run_on(&mut sources, &stats, &query).unwrap();
+    assert_eq!(plan.choice(), local_plan.choice());
+    assert_eq!(essence(&result), essence(&local_result));
+
+    let pool = ThreadPool::new(2);
+    let batch: QueryBatch = (1..=6).map(TopKQuery::top).collect();
+    let over_disk = batch
+        .run_planned(&pool, &stats, || {
+            paged.sources(CacheCapacity::Pages(2)).unwrap()
+        })
+        .unwrap();
+    let over_memory = batch
+        .run_planned(&pool, &stats, || Sources::in_memory(&db))
+        .unwrap();
+    for (slot, ((disk_plan, disk_result), (memory_plan, memory_result))) in
+        over_disk.iter().zip(&over_memory).enumerate()
+    {
+        assert_eq!(disk_plan.choice(), memory_plan.choice(), "query {slot}");
+        assert_eq!(essence(disk_result), essence(memory_result), "query {slot}");
+    }
 }

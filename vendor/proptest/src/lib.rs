@@ -1,8 +1,8 @@
 //! Minimal, offline stand-in for the `proptest` crate.
 //!
 //! The workspace builds without network access, so this in-tree crate
-//! provides the subset of proptest's API that `tests/property_tests.rs`
-//! uses: the [`Strategy`](strategy::Strategy) trait with
+//! provides the subset of proptest's API that the workspace's property
+//! tests use: the [`Strategy`](strategy::Strategy) trait with
 //! [`prop_map`](strategy::Strategy::prop_map) and
 //! [`prop_flat_map`](strategy::Strategy::prop_flat_map), range and tuple
 //! strategies, [`collection::vec`](fn@collection::vec),
@@ -11,8 +11,17 @@
 //!
 //! Inputs are drawn deterministically (the stream is a pure function of the
 //! test name and case index), so failures are reproducible run-to-run.
-//! Unlike real proptest there is **no shrinking**: a failing case reports
-//! the assertion message and case number as-is.
+//!
+//! Failing cases are **shrunk** with a greedy minimisation pass before
+//! being reported: scalar strategies propose their range's lower bound,
+//! the halfway point toward it and the decrement; vector strategies
+//! truncate toward their minimum length and simplify elements; tuples
+//! shrink one component at a time. Whenever a candidate still fails, it
+//! replaces the failing input and shrinking restarts from it, until no
+//! candidate fails or the attempt budget runs out — the report then
+//! names the *minimal* failing input found. Unlike real proptest there
+//! is no value tree: `prop_map`/`prop_flat_map` outputs do not shrink
+//! (there is no inverse to map a simplified output back through).
 //!
 //! ```
 //! use proptest::prelude::*;
@@ -31,10 +40,19 @@
 #![warn(missing_docs)]
 
 pub mod test_runner {
-    //! Test-case configuration and the deterministic input stream.
+    //! Test-case configuration, the deterministic input stream, and the
+    //! generate → check → shrink driver behind the [`proptest!`](crate::proptest)
+    //! macro.
+
+    use std::any::Any;
+    use std::cell::Cell;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Once;
 
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    use crate::strategy::Strategy;
 
     /// How the [`proptest!`](crate::proptest) macro runs each test.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +99,95 @@ pub mod test_runner {
             &mut self.inner
         }
     }
+
+    /// Cap on failing-candidate probes per failing case, so a
+    /// pathological shrink space cannot hang a test run.
+    const MAX_SHRINK_ATTEMPTS: usize = 256;
+
+    thread_local! {
+        static SILENCE_PANICS: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Installs (once, process-wide) a panic hook that suppresses the
+    /// default report while this thread probes candidates — expected
+    /// failures during shrinking would otherwise spam stderr. Panics on
+    /// other threads, and the final report, still print normally.
+    fn install_silencer() {
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            let previous = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                if !SILENCE_PANICS.with(|silence| silence.get()) {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    fn run_quiet<V, F: Fn(V)>(body: &F, value: V) -> Result<(), Box<dyn Any + Send>> {
+        install_silencer();
+        SILENCE_PANICS.with(|silence| silence.set(true));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(value)));
+        SILENCE_PANICS.with(|silence| silence.set(false));
+        outcome
+    }
+
+    fn payload_message(payload: &(dyn Any + Send)) -> String {
+        if let Some(message) = payload.downcast_ref::<&'static str>() {
+            (*message).to_string()
+        } else if let Some(message) = payload.downcast_ref::<String>() {
+            message.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// The driver the [`proptest!`](crate::proptest) macro expands to:
+    /// runs `config.cases` deterministic cases; on the first failure,
+    /// greedily shrinks the input ([`Strategy::shrink`]) and re-panics
+    /// with the minimal failing input found.
+    pub fn check<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value),
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::deterministic(test_name, case);
+            let value = strategy.generate(&mut rng);
+            let Err(first_payload) = run_quiet(&body, value.clone()) else {
+                continue;
+            };
+
+            // Greedy minimisation: adopt the first candidate that still
+            // fails and restart from it; stop when a full candidate pass
+            // succeeds everywhere (a local minimum) or the budget is out.
+            let mut failing = value;
+            let mut payload = first_payload;
+            let mut attempts = 0usize;
+            let mut improved = true;
+            while improved && attempts < MAX_SHRINK_ATTEMPTS {
+                improved = false;
+                for candidate in strategy.shrink(&failing) {
+                    if attempts >= MAX_SHRINK_ATTEMPTS {
+                        break;
+                    }
+                    attempts += 1;
+                    if let Err(candidate_payload) = run_quiet(&body, candidate.clone()) {
+                        failing = candidate;
+                        payload = candidate_payload;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+
+            panic!(
+                "proptest '{test_name}' failed at case {case}; minimal failing input \
+                 after {attempts} shrink attempt(s): {failing:?}\ncaused by: {}",
+                payload_message(payload.as_ref())
+            );
+        }
+    }
 }
 
 pub mod strategy {
@@ -92,27 +199,44 @@ pub mod strategy {
 
     use crate::test_runner::TestRng;
 
-    /// A recipe for generating random values of an associated type.
+    /// A recipe for generating random values of an associated type, with
+    /// optional simplification of failing values.
     ///
     /// Unlike real proptest there is no value tree: strategies generate
-    /// plain values and failures are not shrunk.
+    /// plain values, and [`shrink`](Strategy::shrink) proposes simpler
+    /// *candidates* for a failing value (simplest first). The default
+    /// proposes nothing, which is always sound.
     pub trait Strategy {
-        /// The type of value this strategy generates.
-        type Value;
+        /// The type of value this strategy generates. `Clone + Debug` so
+        /// the runner can probe shrink candidates and report the minimal
+        /// failing input.
+        type Value: Clone + std::fmt::Debug;
 
         /// Draws one value from `rng`.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
-        /// Transforms every generated value with `map`.
+        /// Simpler candidates for a failing `value`, simplest first.
+        /// Every candidate must itself be a value this strategy could
+        /// have generated (shrinking never escapes the input domain).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+
+        /// Transforms every generated value with `map`. The output does
+        /// not shrink (there is no inverse to pull candidates back
+        /// through the closure).
         fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
         where
             Self: Sized,
+            T: Clone + std::fmt::Debug,
         {
             Map { base: self, map }
         }
 
         /// Generates a value, then generates from the strategy `flat_map`
-        /// builds out of it (dependent generation).
+        /// builds out of it (dependent generation). The output does not
+        /// shrink.
         fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
             self,
             flat_map: F,
@@ -138,6 +262,7 @@ pub mod strategy {
     where
         S: Strategy,
         F: Fn(S::Value) -> T,
+        T: Clone + std::fmt::Debug,
     {
         type Value = T;
 
@@ -166,6 +291,28 @@ pub mod strategy {
         }
     }
 
+    /// Range-clamped scalar candidates: the range's lower bound, the
+    /// halfway point toward it, and the decrement — deduplicated,
+    /// simplest first, never equal to `value` and never below `lo`.
+    macro_rules! int_candidates {
+        ($lo:expr, $value:expr) => {{
+            let (lo, value) = ($lo, $value);
+            let mut out = Vec::new();
+            if value > lo {
+                out.push(lo);
+                let mid = lo + (value - lo) / 2;
+                if mid != lo && mid != value {
+                    out.push(mid);
+                }
+                let dec = value - 1;
+                if dec != lo && dec != mid {
+                    out.push(dec);
+                }
+            }
+            out
+        }};
+    }
+
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -173,6 +320,10 @@ pub mod strategy {
 
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.rng().random_range(self.clone())
+                }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_candidates!(self.start, *value)
                 }
             }
 
@@ -182,11 +333,27 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.rng().random_range(self.clone())
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_candidates!(*self.start(), *value)
+                }
             }
         )*};
     }
 
     impl_int_range_strategy!(usize, u32, u64);
+
+    fn f64_candidates(lo: f64, value: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if value > lo {
+            out.push(lo);
+            let mid = lo + (value - lo) / 2.0;
+            if mid != lo && mid != value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 
     impl Strategy for Range<f64> {
         type Value = f64;
@@ -195,6 +362,10 @@ pub mod strategy {
             assert!(self.start < self.end, "cannot sample from empty range");
             let unit: f64 = rng.rng().random();
             self.start + unit * (self.end - self.start)
+        }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            f64_candidates(self.start, *value)
         }
     }
 
@@ -207,10 +378,14 @@ pub mod strategy {
             let unit: f64 = rng.rng().random();
             lo + unit * (hi - lo)
         }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            f64_candidates(*self.start(), *value)
+        }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
+        ($($idx:tt $name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
                 type Value = ($($name::Value,)+);
 
@@ -219,16 +394,31 @@ pub mod strategy {
                     let ($($name,)+) = self;
                     ($($name.generate(rng),)+)
                 }
+
+                /// One component at a time, in tuple order: each
+                /// candidate replaces a single component and keeps the
+                /// rest of the failing value.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
+                }
             }
         };
     }
 
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!(0 A);
+    impl_tuple_strategy!(0 A, 1 B);
+    impl_tuple_strategy!(0 A, 1 B, 2 C);
+    impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D);
+    impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E);
+    impl_tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 G);
 }
 
 pub mod collection {
@@ -261,6 +451,36 @@ pub mod collection {
             let len = rng.rng().random_range(self.size.clone());
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+
+        /// Truncations toward the minimum length (all at once, halfway,
+        /// one element), then per-element simplification using each
+        /// element's own first candidate.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = *self.size.start();
+            let mut out = Vec::new();
+            if value.len() > min {
+                let mut lens = vec![min];
+                let half = value.len() / 2;
+                if half > min && half < value.len() {
+                    lens.push(half);
+                }
+                let dec = value.len() - 1;
+                if dec > min && dec != half {
+                    lens.push(dec);
+                }
+                for len in lens {
+                    out.push(value[..len].to_vec());
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                if let Some(candidate) = self.element.shrink(element).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
@@ -276,7 +496,9 @@ pub mod prelude {
 ///
 /// Supports the `#![proptest_config(...)]` header and one or more
 /// `fn name(pattern in strategy, ...) { body }` items. Each test runs
-/// `config.cases` deterministic cases; there is no shrinking.
+/// `config.cases` deterministic cases; a failing case is greedily shrunk
+/// and reported as the minimal failing input found (see
+/// [`test_runner::check`]).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -301,13 +523,12 @@ macro_rules! __proptest_tests {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
             let strategy = ($($strategy,)+);
-            for case in 0..config.cases {
-                let mut rng =
-                    $crate::test_runner::TestRng::deterministic(stringify!($name), case);
-                let ($($pat,)+) =
-                    $crate::strategy::Strategy::generate(&strategy, &mut rng);
-                $body
-            }
+            $crate::test_runner::check(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($pat,)+)| $body,
+            );
         }
     )*};
 }
@@ -382,5 +603,109 @@ mod tests {
             prop_assert!(x < 50);
             prop_assert_eq!(x + y, y + x);
         }
+    }
+
+    // --- the shrinker itself ---
+
+    #[test]
+    fn integer_candidates_are_clamped_simplest_first() {
+        let strategy = 5usize..100;
+        assert_eq!(strategy.shrink(&40), vec![5, 22, 39]);
+        assert_eq!(strategy.shrink(&6), vec![5], "mid and dec collapse onto lo");
+        assert_eq!(strategy.shrink(&7), vec![5, 6], "mid collapses onto dec");
+        assert_eq!(strategy.shrink(&5), Vec::<usize>::new(), "lo is minimal");
+        let inclusive = 3u64..=9;
+        assert_eq!(inclusive.shrink(&9), vec![3, 6, 8]);
+    }
+
+    #[test]
+    fn float_candidates_move_toward_the_lower_bound() {
+        let strategy = 1.0f64..9.0;
+        assert_eq!(strategy.shrink(&5.0), vec![1.0, 3.0]);
+        assert!(strategy.shrink(&1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_candidates_truncate_toward_min_then_shrink_elements() {
+        let strategy = crate::collection::vec(0u32..100, 1..=10);
+        let candidates = strategy.shrink(&vec![50, 60, 70, 80]);
+        // Truncations first: to min (1), to half (2), by one (3)…
+        assert_eq!(candidates[0], vec![50]);
+        assert_eq!(candidates[1], vec![50, 60]);
+        assert_eq!(candidates[2], vec![50, 60, 70]);
+        // …then one element simplified at a time (first candidate = lo).
+        assert_eq!(candidates[3], vec![0, 60, 70, 80]);
+        assert_eq!(candidates[4], vec![50, 0, 70, 80]);
+        // A vec at minimum length only shrinks elements.
+        let at_min = strategy.shrink(&vec![9]);
+        assert_eq!(at_min, vec![vec![0]]);
+    }
+
+    #[test]
+    fn tuple_candidates_shrink_one_component_at_a_time() {
+        let strategy = (0u32..10, 0u32..10);
+        let candidates = strategy.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+        assert!(
+            candidates.iter().all(|&(a, b)| a == 4 || b == 6),
+            "never both components at once"
+        );
+    }
+
+    #[test]
+    fn mapped_strategies_do_not_shrink() {
+        let mapped = (0u32..100).prop_map(|v| v * 2);
+        assert!(mapped.shrink(&50).is_empty());
+        let flat = (1usize..=3).prop_flat_map(|n| crate::collection::vec(0u32..10, n..=n));
+        assert!(flat.shrink(&vec![5]).is_empty());
+    }
+
+    /// End to end: a property failing for all `x >= 10` must be reported
+    /// with exactly `10` after shrinking, not the raw failing draw.
+    #[test]
+    fn failing_cases_are_reported_at_the_shrunk_minimum() {
+        let outcome = std::panic::catch_unwind(|| {
+            crate::test_runner::check(
+                "shrinks_to_ten",
+                &ProptestConfig::with_cases(64),
+                &(0u32..1000,),
+                |(x,)| assert!(x < 10, "too big: {x}"),
+            );
+        });
+        let payload = outcome.expect_err("the property is falsifiable");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("check panics with a formatted report");
+        assert!(
+            message.contains("minimal failing input") && message.contains("(10,)"),
+            "report must name the minimum, got: {message}"
+        );
+        assert!(
+            message.contains("too big: 10"),
+            "…and the original assertion"
+        );
+    }
+
+    /// Shrinking never proposes values outside the strategy's domain.
+    #[test]
+    fn shrinking_respects_range_lower_bounds() {
+        let outcome = std::panic::catch_unwind(|| {
+            crate::test_runner::check(
+                "respects_bounds",
+                &ProptestConfig::with_cases(32),
+                &(5usize..50,),
+                |(x,)| {
+                    assert!((5..50).contains(&x), "escaped the domain: {x}");
+                    panic!("always fails, forcing a full shrink to the bound");
+                },
+            );
+        });
+        let message_payload = outcome.expect_err("the property always fails");
+        let message = message_payload.downcast_ref::<String>().unwrap();
+        assert!(
+            message.contains("(5,)"),
+            "the minimum of 5..50 is 5, got: {message}"
+        );
     }
 }
