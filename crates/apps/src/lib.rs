@@ -51,7 +51,7 @@ pub mod relational;
 
 pub use documents::InvertedIndex;
 pub use interner::KeyInterner;
-pub use monitoring::{MonitoringDeployment, MonitoringSystem};
+pub use monitoring::{IngestReport, MonitoringDeployment, MonitoringSystem, StandingTelemetry};
 pub use relational::Table;
 
 use topk_core::{AlgorithmKind, RunStats, TopKError};
@@ -91,6 +91,11 @@ pub enum AppError {
         /// Number of values supplied.
         found: usize,
     },
+    /// A standing-query operation was issued before
+    /// [`MonitoringSystem::enable_standing_queries`] was called.
+    StandingDisabled,
+    /// A standing-query handle did not name a registered query.
+    UnknownHandle(usize),
     /// An error bubbled up from query execution.
     Query(TopKError),
 }
@@ -102,6 +107,12 @@ impl std::fmt::Display for AppError {
             AppError::UnknownKey(key) => write!(f, "unknown column or term: {key}"),
             AppError::ArityMismatch { expected, found } => {
                 write!(f, "expected {expected} values, got {found}")
+            }
+            AppError::StandingDisabled => {
+                write!(f, "standing queries have not been enabled on this system")
+            }
+            AppError::UnknownHandle(handle) => {
+                write!(f, "no standing query is registered under handle {handle}")
             }
             AppError::Query(err) => write!(f, "query execution failed: {err}"),
         }

@@ -7,13 +7,15 @@
 //! network administrator is: what are the top-k popular URLs?" (Section 8)
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use topk_core::batch::QueryBatch;
 use topk_core::planner::{plan_and_run, Plan};
+use topk_core::standing::{IngestOutcome, StandingQuery, UpdateEvent};
 use topk_core::{AlgorithmKind, DatabaseStats, Sum, TopKQuery};
 use topk_distributed::{ClusterRuntime, LatencyModel, NetworkStats};
 use topk_lists::sharded::ShardedDatabase;
-use topk_lists::{Database, ItemId, SortedList, TrackerKind};
+use topk_lists::{Database, ItemId, Score, SortedList, TrackerKind};
 use topk_pool::ThreadPool;
 
 use crate::interner::KeyInterner;
@@ -32,6 +34,55 @@ pub struct MonitoringSystem {
     locations: Vec<String>,
     /// location index -> (url id -> access count)
     counts: Vec<HashMap<u64, u64>>,
+    standing: Option<StandingState>,
+}
+
+/// The long-lived serving state behind standing queries: one sharded copy
+/// of the counts living on the shared pool (mutated in place as updates
+/// arrive), a plain mirror for statistics sampling, and the registered
+/// queries with their cached answers.
+#[derive(Debug, Clone)]
+struct StandingState {
+    sharded: ShardedDatabase,
+    mirror: Database,
+    pool: Arc<ThreadPool>,
+    stats: DatabaseStats,
+    queries: Vec<StandingQuery>,
+}
+
+impl StandingState {
+    /// Re-samples statistics when they no longer match the live epochs.
+    /// The mirror mutates in lockstep with the sharded copy, so sampling
+    /// it observes exactly the live data (and the matching epochs).
+    fn ensure_stats_fresh(&mut self) {
+        if self.stats.staleness(&self.sharded.epochs()).is_some() {
+            self.stats = DatabaseStats::collect(&self.mirror);
+        }
+    }
+}
+
+/// How the registered standing queries classified one ingested update —
+/// returned by [`MonitoringSystem::ingest_update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Queries that absorbed the update: their cached answer provably
+    /// still holds and was revalidated without executing anything.
+    pub absorbed: usize,
+    /// Queries whose cached answer may have changed: their next read
+    /// re-executes the planner-chosen algorithm.
+    pub pending_refresh: usize,
+}
+
+/// Serving telemetry for one standing query — returned by
+/// [`MonitoringSystem::standing_telemetry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StandingTelemetry {
+    /// Reads served straight from the cache (zero list accesses).
+    pub cache_hits: u64,
+    /// Updates absorbed without any execution.
+    pub absorbed_updates: u64,
+    /// Full re-executions performed.
+    pub refreshes: u64,
 }
 
 impl MonitoringSystem {
@@ -41,25 +92,32 @@ impl MonitoringSystem {
     }
 
     /// Registers a monitored location and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if standing queries are enabled: the per-location lists are
+    /// already deployed, and a new list would invalidate every
+    /// certificate. Register all locations first.
     pub fn add_location(&mut self, name: &str) -> usize {
+        assert!(
+            self.standing.is_none(),
+            "register all locations before enabling standing queries"
+        );
         self.locations.push(name.to_owned());
         self.counts.push(HashMap::new());
         self.locations.len() - 1
     }
 
     /// Records `hits` accesses to `url` observed at the location with the
-    /// given index.
+    /// given index. With standing queries enabled this is
+    /// [`ingest_update`](MonitoringSystem::ingest_update) (the report is
+    /// discarded), so the deployed lists never drift from the counts.
     ///
     /// # Panics
     ///
     /// Panics if `location` has not been registered.
     pub fn record(&mut self, location: usize, url: &str, hits: u64) {
-        assert!(
-            location < self.locations.len(),
-            "location index {location} has not been registered"
-        );
-        let id = self.urls.intern(url);
-        *self.counts[location].entry(id.0).or_insert(0) += hits;
+        self.ingest_update(location, url, hits);
     }
 
     /// Number of registered locations.
@@ -145,6 +203,199 @@ impl MonitoringSystem {
                 (self.to_app_result(result, choice), plan)
             })
             .collect())
+    }
+
+    /// Deploys the current counts as a **live, updatable** sharded
+    /// database on the shared pool and starts serving standing queries
+    /// from it. Unlike the snapshot entry points
+    /// ([`top_k_urls`](MonitoringSystem::top_k_urls) and friends, which
+    /// rebuild the lists per call), this copy is mutated in place by
+    /// every subsequent [`ingest_update`](MonitoringSystem::ingest_update)
+    /// / [`record`](MonitoringSystem::record), and registered queries
+    /// ([`register_standing_query`](MonitoringSystem::register_standing_query))
+    /// keep serving cached answers from it for as long as the updates
+    /// provably cannot change them.
+    ///
+    /// Calling it again redeploys from the current counts and drops any
+    /// registered queries.
+    pub fn enable_standing_queries(
+        &mut self,
+        shards_per_list: usize,
+        pool: Arc<ThreadPool>,
+    ) -> Result<(), AppError> {
+        let mirror = self.database()?;
+        let sharded = ShardedDatabase::new(&mirror, shards_per_list);
+        let stats = DatabaseStats::collect(&mirror);
+        self.standing = Some(StandingState {
+            sharded,
+            mirror,
+            pool,
+            stats,
+            queries: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Whether
+    /// [`enable_standing_queries`](MonitoringSystem::enable_standing_queries)
+    /// has been called.
+    pub fn standing_enabled(&self) -> bool {
+        self.standing.is_some()
+    }
+
+    /// Registers a standing top-k-URLs query and returns its handle. The
+    /// query is answered eagerly (planner-chosen algorithm), so the first
+    /// [`standing_answer`](MonitoringSystem::standing_answer) is already
+    /// a cache hit.
+    pub fn register_standing_query(&mut self, k: usize) -> Result<usize, AppError> {
+        let state = self.standing.as_mut().ok_or(AppError::StandingDisabled)?;
+        state.ensure_stats_fresh();
+        let mut query = StandingQuery::new(TopKQuery::new(k, Sum));
+        let mut sources = state.sharded.sources(&state.pool);
+        query.refresh(&mut sources, &state.stats)?;
+        state.queries.push(query);
+        Ok(state.queries.len() - 1)
+    }
+
+    /// Records `hits` accesses to `url` at a location and pushes the
+    /// mutation through the live sharded lists and every registered
+    /// standing query. A never-seen URL becomes an insert (frequency 0 at
+    /// the other locations); a known one becomes a score update in the
+    /// location's list. The report says how many queries absorbed the
+    /// update and how many will refresh on their next read.
+    ///
+    /// Without standing queries enabled this only bumps the counts (an
+    /// empty report).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `location` has not been registered.
+    pub fn ingest_update(&mut self, location: usize, url: &str, hits: u64) -> IngestReport {
+        assert!(
+            location < self.locations.len(),
+            "location index {location} has not been registered"
+        );
+        let id = self.urls.intern(url);
+        let count = self.counts[location].entry(id.0).or_insert(0);
+        *count += hits;
+        let new_total = *count as f64;
+
+        let Some(state) = self.standing.as_mut() else {
+            return IngestReport::default();
+        };
+        let item = ItemId(id.0);
+        let event = if state.mirror.local_scores(item).is_none() {
+            let scores: Vec<f64> = (0..state.mirror.num_lists())
+                .map(|l| if l == location { new_total } else { 0.0 })
+                .collect();
+            state
+                .sharded
+                .insert_item(item, &scores)
+                .expect("counts are finite and the URL id is new");
+            state
+                .mirror
+                .insert_item(item, &scores)
+                .expect("counts are finite and the URL id is new");
+            UpdateEvent::Insert {
+                item,
+                scores: scores.iter().map(|&s| Score::from_f64(s)).collect(),
+                epochs: state.sharded.epochs(),
+            }
+        } else {
+            let update = state
+                .sharded
+                .update_score(location, item, new_total)
+                .expect("counts are finite and the URL is present");
+            let mirrored = state
+                .mirror
+                .update_score(location, item, new_total)
+                .expect("counts are finite and the URL is present");
+            debug_assert_eq!(update, mirrored);
+            UpdateEvent::Score {
+                list: location,
+                update,
+            }
+        };
+        debug_assert_eq!(state.mirror.epochs(), state.sharded.epochs());
+
+        let mut report = IngestReport::default();
+        for query in &mut state.queries {
+            match query.ingest(&event) {
+                IngestOutcome::Absorbed => report.absorbed += 1,
+                IngestOutcome::NeedsRefresh(_) => report.pending_refresh += 1,
+            }
+        }
+        report
+    }
+
+    /// The current answer of a registered standing query: straight from
+    /// its cache when the absorbed updates left it provably valid (zero
+    /// list accesses), via a fresh planner-chosen execution on the live
+    /// sharded lists otherwise.
+    pub fn standing_answer(&mut self, handle: usize) -> Result<AppResult<String>, AppError> {
+        let (result, algorithm) = {
+            let state = self.standing.as_mut().ok_or(AppError::StandingDisabled)?;
+            let epochs = state.sharded.epochs();
+            let needs_refresh = state
+                .queries
+                .get(handle)
+                .ok_or(AppError::UnknownHandle(handle))?
+                .needs_refresh(&epochs);
+            if needs_refresh {
+                state.ensure_stats_fresh();
+            }
+            let mut sources = state.sharded.sources(&state.pool);
+            let query = &mut state.queries[handle];
+            let result = query.serve(&mut sources, &state.stats)?.clone();
+            let algorithm = query.algorithm().expect("the query was just served");
+            (result, algorithm)
+        };
+        Ok(self.to_app_result(result, algorithm))
+    }
+
+    /// The top `k'` (`1 ≤ k' ≤ k`) of a standing query, read from its
+    /// cache without any execution — the top-`k'` answer is exactly the
+    /// first `k'` entries of the cached top-k. `Ok(None)` when the cache
+    /// is pending a refresh (call
+    /// [`standing_answer`](MonitoringSystem::standing_answer)) or `k'` is
+    /// out of range.
+    pub fn standing_prefix(
+        &self,
+        handle: usize,
+        k: usize,
+    ) -> Result<Option<Vec<RankedAnswer<String>>>, AppError> {
+        let state = self.standing.as_ref().ok_or(AppError::StandingDisabled)?;
+        let query = state
+            .queries
+            .get(handle)
+            .ok_or(AppError::UnknownHandle(handle))?;
+        Ok(query.prefix(k).map(|items| {
+            items
+                .iter()
+                .map(|r| RankedAnswer {
+                    key: self
+                        .urls
+                        .resolve(r.item)
+                        .expect("result items come from the interned URL set")
+                        .to_owned(),
+                    score: r.score.value(),
+                })
+                .collect()
+        }))
+    }
+
+    /// Serving telemetry for one standing query.
+    pub fn standing_telemetry(&self, handle: usize) -> Result<StandingTelemetry, AppError> {
+        let state = self.standing.as_ref().ok_or(AppError::StandingDisabled)?;
+        let query = state
+            .queries
+            .get(handle)
+            .ok_or(AppError::UnknownHandle(handle))?;
+        Ok(StandingTelemetry {
+            cache_hits: query.cache_hits(),
+            absorbed_updates: query.absorbed_updates(),
+            refreshes: query.refreshes(),
+        })
     }
 
     /// Deploys the per-location lists onto the async message-passing
@@ -320,6 +571,136 @@ mod tests {
             empty.deploy(LatencyModel::zero(0)),
             Err(AppError::Empty)
         ));
+    }
+
+    #[test]
+    fn standing_queries_absorb_updates_and_serve_cached_answers() {
+        let mut sys = system();
+        let pool = Arc::new(ThreadPool::new(2));
+        sys.enable_standing_queries(2, pool).unwrap();
+        let handle = sys.register_standing_query(2).unwrap();
+
+        // The eager refresh at registration makes the first read a hit.
+        let first = sys.standing_answer(handle).unwrap();
+        assert_eq!(first.answers[0].key, "example.org/docs");
+        assert_eq!(first.answers[0].score, 280.0);
+        let t = sys.standing_telemetry(handle).unwrap();
+        assert_eq!((t.refreshes, t.cache_hits), (1, 1));
+
+        // A small bump to a cold URL (blog: 80 -> 85) cannot reach the
+        // top-2 bar of 260: absorbed, next read still costs nothing.
+        let report = sys.ingest_update(0, "example.org/blog", 5);
+        assert_eq!(
+            report,
+            IngestReport {
+                absorbed: 1,
+                pending_refresh: 0
+            }
+        );
+        let cached = sys.standing_answer(handle).unwrap();
+        assert_eq!(cached.answers, first.answers);
+        let t = sys.standing_telemetry(handle).unwrap();
+        assert_eq!((t.refreshes, t.cache_hits, t.absorbed_updates), (1, 2, 1));
+        let (fresh, _) = sys.top_k_urls_planned(2).unwrap();
+        assert_eq!(cached.answers, fresh.answers);
+
+        // A burst that flips the ranking (blog: 85 -> 485) refreshes.
+        let report = sys.ingest_update(2, "example.org/blog", 400);
+        assert_eq!(report.pending_refresh, 1);
+        let refreshed = sys.standing_answer(handle).unwrap();
+        assert_eq!(refreshed.answers[0].key, "example.org/blog");
+        assert_eq!(refreshed.answers[0].score, 485.0);
+        let (fresh, _) = sys.top_k_urls_planned(2).unwrap();
+        assert_eq!(refreshed.answers, fresh.answers);
+        assert_eq!(sys.standing_telemetry(handle).unwrap().refreshes, 2);
+    }
+
+    #[test]
+    fn new_urls_enter_the_standing_state_as_inserts() {
+        let mut sys = system();
+        let pool = Arc::new(ThreadPool::new(2));
+        sys.enable_standing_queries(3, pool).unwrap();
+        let handle = sys.register_standing_query(2).unwrap();
+
+        // A never-seen URL with a tiny count absorbs as an insert...
+        let report = sys.ingest_update(1, "example.org/new", 3);
+        assert_eq!(
+            report,
+            IngestReport {
+                absorbed: 1,
+                pending_refresh: 0
+            }
+        );
+        let served = sys.standing_answer(handle).unwrap();
+        let (fresh, _) = sys.top_k_urls_planned(2).unwrap();
+        assert_eq!(served.answers, fresh.answers);
+
+        // ...and a hot one forces a refresh and tops the chart.
+        let report = sys.ingest_update(1, "example.org/viral", 1000);
+        assert_eq!(report.pending_refresh, 1);
+        let served = sys.standing_answer(handle).unwrap();
+        assert_eq!(served.answers[0].key, "example.org/viral");
+        assert_eq!(served.answers[0].score, 1000.0);
+        let (fresh, _) = sys.top_k_urls_planned(2).unwrap();
+        assert_eq!(served.answers, fresh.answers);
+    }
+
+    #[test]
+    fn standing_prefix_reads_come_from_the_cache() {
+        let mut sys = system();
+        sys.enable_standing_queries(2, Arc::new(ThreadPool::new(1)))
+            .unwrap();
+        let handle = sys.register_standing_query(3).unwrap();
+
+        let top1 = sys.standing_prefix(handle, 1).unwrap().unwrap();
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].key, "example.org/docs");
+        assert!(sys.standing_prefix(handle, 0).unwrap().is_none());
+        assert!(sys.standing_prefix(handle, 4).unwrap().is_none());
+        assert!(matches!(
+            sys.standing_prefix(7, 1),
+            Err(AppError::UnknownHandle(7))
+        ));
+
+        // A dirty cache serves no prefix until the next full read.
+        sys.record(0, "example.org/docs", 1000);
+        assert!(sys.standing_prefix(handle, 1).unwrap().is_none());
+        sys.standing_answer(handle).unwrap();
+        let top1 = sys.standing_prefix(handle, 1).unwrap().unwrap();
+        assert_eq!(top1[0].score, 1280.0);
+    }
+
+    #[test]
+    fn standing_queries_require_enabling_first() {
+        let mut sys = system();
+        assert!(!sys.standing_enabled());
+        assert!(matches!(
+            sys.register_standing_query(1),
+            Err(AppError::StandingDisabled)
+        ));
+        assert!(matches!(
+            sys.standing_answer(0),
+            Err(AppError::StandingDisabled)
+        ));
+        assert!(matches!(
+            sys.standing_telemetry(0),
+            Err(AppError::StandingDisabled)
+        ));
+        let empty = MonitoringSystem::new();
+        assert!(matches!(
+            MonitoringSystem::clone(&empty)
+                .enable_standing_queries(2, Arc::new(ThreadPool::new(1))),
+            Err(AppError::Empty)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "before enabling standing queries")]
+    fn adding_a_location_after_enabling_standing_queries_panics() {
+        let mut sys = system();
+        sys.enable_standing_queries(2, Arc::new(ThreadPool::new(1)))
+            .unwrap();
+        sys.add_location("lyon");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! accounting ever stops paying off where it must.
 
 use topk_bench::config::BENCH_SEED;
-use topk_bench::BenchScale;
+use topk_bench::{BenchReport, BenchScale};
 use topk_core::{AlgorithmKind, TopKQuery};
 use topk_datagen::{DatabaseKind, DatabaseSpec};
 use topk_distributed::{format_nanos, AsyncClusterSources, ClusterRuntime, LatencyModel};
@@ -31,6 +31,7 @@ struct Row {
     profile: &'static str,
     m: usize,
     algorithm: String,
+    messages: u64,
     serialized: u64,
     makespan: u64,
 }
@@ -104,6 +105,7 @@ fn main() {
                     profile,
                     m,
                     algorithm: label,
+                    messages: network.messages,
                     serialized: network.serialized_nanos(),
                     makespan: network.makespan_nanos(),
                 });
@@ -136,6 +138,29 @@ fn main() {
             failures += 1;
         }
     }
+    // Machine-readable summary: message counts and modelled (simulated)
+    // schedule times, all deterministic functions of the latency model.
+    let mut summary = BenchReport::new("network_latency", scale.label());
+    summary.push(
+        "total_messages",
+        rows.iter().map(|row| row.messages).sum::<u64>() as f64,
+    );
+    for (profile, _) in profiles {
+        let serialized: u64 = rows
+            .iter()
+            .filter(|row| row.profile == profile)
+            .map(|row| row.serialized)
+            .sum();
+        let makespan: u64 = rows
+            .iter()
+            .filter(|row| row.profile == profile)
+            .map(|row| row.makespan)
+            .sum();
+        summary.push(&format!("serialized_nanos.{profile}"), serialized as f64);
+        summary.push(&format!("makespan_nanos.{profile}"), makespan as f64);
+    }
+    summary.emit().expect("writing the bench JSON report");
+
     if failures > 0 {
         eprintln!("{failures} configuration(s) failed the overlap gate");
         std::process::exit(1);

@@ -13,7 +13,7 @@
 //! planner regressions fail CI.
 
 use topk_bench::report::algorithm_label;
-use topk_bench::{print_header, validate_planner, BenchScale};
+use topk_bench::{print_header, validate_planner, BenchReport, BenchScale};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -56,6 +56,12 @@ fn main() {
          (acceptance: <= 2.00x)",
         report.worst_ratio(),
     );
+
+    let mut summary = BenchReport::new("planner_validation", scale.label());
+    summary.push("grid_points", report.outcomes.len() as f64);
+    summary.push("match_rate", report.match_rate());
+    summary.push("worst_ratio", report.worst_ratio());
+    summary.emit().expect("writing the bench JSON report");
 
     if !report.meets_acceptance() {
         eprintln!("planner validation FAILED the acceptance bar");

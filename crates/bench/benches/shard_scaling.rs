@@ -39,7 +39,7 @@
 use std::time::{Duration, Instant};
 
 use topk_bench::config::BENCH_SEED;
-use topk_bench::{print_header, BenchScale};
+use topk_bench::{print_header, BenchReport, BenchScale};
 use topk_core::batch::QueryBatch;
 use topk_core::{plan_and_run_on, AlgorithmKind, DatabaseStats, TopKQuery, TopKResult};
 use topk_datagen::{DatabaseKind, DatabaseSpec};
@@ -124,6 +124,7 @@ fn main() {
 
     let mut rows: Vec<ConfigRow> = Vec::new();
     let mut baselines: Vec<(usize, Duration)> = Vec::new();
+    let mut access_totals: Vec<(usize, u64)> = Vec::new();
 
     for &batch_size in &batch_sizes {
         let batch_queries = queries(batch_size);
@@ -145,6 +146,11 @@ fn main() {
             .collect();
         let baseline_elapsed = started.elapsed();
         baselines.push((batch_size, baseline_elapsed));
+        let batch_accesses: u64 = reference
+            .iter()
+            .map(|(_, _, _, sorted, random, direct)| sorted + random + direct)
+            .sum();
+        access_totals.push((batch_size, batch_accesses));
 
         for &threads in &thread_counts {
             for &shards in &shard_counts {
@@ -291,6 +297,25 @@ fn main() {
             failed = true;
         }
     }
+
+    // Machine-readable summary: only the deterministic figures (modelled
+    // speedups, pool task counts, access totals) — never wall-clock.
+    let mut summary = BenchReport::new("shard_scaling", scale.label());
+    for (batch_size, accesses) in &access_totals {
+        summary.push(&format!("total_accesses.b{batch_size}"), *accesses as f64);
+    }
+    if let Some(row) = gate {
+        summary.push("gate_worst_model_speedup", row.modelled_speedup);
+    }
+    for row in rows
+        .iter()
+        .filter(|row| row.threads >= GATE_THREADS && row.shards >= GATE_SHARDS)
+    {
+        let key = format!("b{}.t{}.s{}", row.batch_size, row.threads, row.shards);
+        summary.push(&format!("model_x.{key}"), row.modelled_speedup);
+        summary.push(&format!("pool_tasks.{key}"), row.pool_tasks as f64);
+    }
+    summary.emit().expect("writing the bench JSON report");
 
     if failed {
         eprintln!("shard scaling FAILED the acceptance bar");

@@ -1,0 +1,198 @@
+//! Standing-query gate: incremental maintenance under a stream of score
+//! updates, against re-running the query from scratch after every one.
+//!
+//! ```sh
+//! cargo bench --bench standing_query                        # paper scale
+//! TOPK_BENCH_SCALE=smoke cargo bench --bench standing_query # CI smoke
+//! ```
+//!
+//! A [`StandingQuery`] is registered over a uniform database, then a
+//! deterministic update stream plays against it: mostly small
+//! re-scores (the monitoring steady state — scores that provably cannot
+//! enter the top k), with an occasional spike that beats the cached
+//! threshold and forces a refresh. After **every** update the standing
+//! answer is served and compared against a from-scratch planned run on
+//! the mutated database.
+//!
+//! The target **exits non-zero** when the acceptance bar is missed:
+//!
+//! * **zero re-execution on absorbed updates** — whenever `ingest`
+//!   classified the update as harmless, the following serve must touch
+//!   the lists **zero** times (the source access counters stay at 0);
+//! * **bit-identical answers** — at every step the served answer (cached
+//!   or refreshed) must equal the from-scratch run, item ids and exact
+//!   score bits;
+//! * **the incremental path pays off** — total list accesses across the
+//!   whole stream must be at least [`GATE_ADVANTAGE`]× lower than the
+//!   re-run-per-query baseline, and most updates must actually have been
+//!   absorbed (otherwise the first two gates measure nothing).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use topk_bench::config::BENCH_SEED;
+use topk_bench::{print_header, BenchReport, BenchScale};
+use topk_core::standing::{StandingQuery, UpdateEvent};
+use topk_core::{plan_and_run_on, DatabaseStats, TopKQuery};
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+use topk_lists::source::{SourceSet, Sources};
+use topk_lists::ItemId;
+
+/// Number of lists (`m`) of the benchmark database.
+const NUM_LISTS: usize = 4;
+
+/// Every `SPIKE_PERIOD`-th update is a spike far above the uniform score
+/// range — an update that must beat the cached threshold and refresh.
+const SPIKE_PERIOD: usize = 16;
+
+/// Acceptance: total accesses of the standing path must be at least this
+/// factor below the re-run-per-query baseline.
+const GATE_ADVANTAGE: f64 = 3.0;
+
+/// Acceptance: at least this fraction of the stream must be absorbed,
+/// so the zero-re-execution gate measures a real steady state.
+const GATE_ABSORB_RATE: f64 = 0.5;
+
+fn update_count(scale: BenchScale) -> usize {
+    match scale {
+        BenchScale::Paper => 800,
+        BenchScale::Small => 400,
+        BenchScale::Smoke => 200,
+    }
+}
+
+fn main() {
+    let scale = BenchScale::from_env();
+    print_header(
+        "Standing query",
+        "incremental top-k maintenance vs re-run-per-update",
+        scale.label(),
+    );
+
+    let n = scale.default_n();
+    let k = scale.default_k();
+    let updates = update_count(scale);
+    let mut db = DatabaseSpec::new(DatabaseKind::Uniform, NUM_LISTS, n).generate(BENCH_SEED);
+    let query = TopKQuery::top(k);
+    let mut standing = StandingQuery::new(query.clone());
+    println!(
+        "uniform database: m = {NUM_LISTS}, n = {n}, k = {k}; {updates} score updates, \
+         one spike above the score range every {SPIKE_PERIOD} (planner-selected algorithm)"
+    );
+
+    // Warm the cache: the first serve runs the planned query once.
+    let mut standing_accesses: u64 = 0;
+    {
+        let stats = DatabaseStats::collect(&db);
+        let mut sources = Sources::in_memory(&db);
+        standing
+            .serve(&mut sources, &stats)
+            .expect("initial standing run");
+        standing_accesses += sources.total_counters().total();
+    }
+
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x5ee0);
+    let mut baseline_accesses: u64 = 0;
+    let mut absorbed_with_accesses = 0usize;
+    let mut divergent_steps = 0usize;
+
+    for step in 0..updates {
+        let item = ItemId(rng.random_range(0..n as u64));
+        let list = rng.random_range(0..NUM_LISTS);
+        let score = if step % SPIKE_PERIOD == SPIKE_PERIOD - 1 {
+            1.5 + rng.random::<f64>() // above every uniform [0, 1) score
+        } else {
+            0.4 * rng.random::<f64>() // steady state: provably harmless
+        };
+
+        let update = db.update_score(list, item, score).expect("known item");
+        let outcome = standing.ingest(&UpdateEvent::Score { list, update });
+
+        // The from-scratch answer: plan and run on the mutated database,
+        // the cost a system without standing queries pays per update.
+        let stats = DatabaseStats::collect(&db);
+        let expected = {
+            let mut sources = Sources::in_memory(&db);
+            let (_, result) =
+                plan_and_run_on(&mut sources, &stats, &query).expect("from-scratch run");
+            baseline_accesses += sources.total_counters().total();
+            result
+        };
+
+        let mut sources = Sources::in_memory(&db);
+        let served = standing
+            .serve(&mut sources, &stats)
+            .expect("standing serve");
+        let serve_accesses = sources.total_counters().total();
+        standing_accesses += serve_accesses;
+
+        if outcome.is_absorbed() && serve_accesses > 0 {
+            eprintln!(
+                "FAILED: step {step} was absorbed but serving cost {serve_accesses} accesses"
+            );
+            absorbed_with_accesses += 1;
+        }
+        if served.item_ids() != expected.item_ids() || served.scores() != expected.scores() {
+            eprintln!("FAILED: step {step} served an answer differing from the from-scratch run");
+            divergent_steps += 1;
+        }
+    }
+
+    let absorbed = standing.absorbed_updates();
+    let refreshes = standing.refreshes();
+    let cache_hits = standing.cache_hits();
+    let advantage = baseline_accesses as f64 / (standing_accesses.max(1)) as f64;
+    let absorb_rate = absorbed as f64 / updates as f64;
+
+    println!();
+    println!("{:>24} {:>12}", "updates", updates);
+    println!("{:>24} {:>12}", "absorbed (zero-cost)", absorbed);
+    println!("{:>24} {:>12}", "refreshes", refreshes);
+    println!("{:>24} {:>12}", "cache-hit serves", cache_hits);
+    println!("{:>24} {:>12}", "standing accesses", standing_accesses);
+    println!("{:>24} {:>12}", "re-run accesses", baseline_accesses);
+    println!("{:>24} {:>11.1}x", "access advantage", advantage);
+
+    let mut summary = BenchReport::new("standing_query", scale.label());
+    summary.push("updates", updates as f64);
+    summary.push("absorbed", absorbed as f64);
+    summary.push("refreshes", refreshes as f64);
+    summary.push("standing_accesses", standing_accesses as f64);
+    summary.push("baseline_accesses", baseline_accesses as f64);
+    summary.push("access_advantage", advantage);
+    summary.emit().expect("writing the bench JSON report");
+
+    // Acceptance.
+    let mut failed = false;
+    if absorbed_with_accesses > 0 {
+        eprintln!("FAILED: {absorbed_with_accesses} absorbed update(s) still touched the lists");
+        failed = true;
+    }
+    if divergent_steps > 0 {
+        eprintln!("FAILED: {divergent_steps} step(s) served a non-identical answer");
+        failed = true;
+    }
+    println!();
+    println!(
+        "gate: access advantage {advantage:.1}x (acceptance: >= {GATE_ADVANTAGE}x), \
+         absorb rate {:.0}% (acceptance: >= {:.0}%)",
+        absorb_rate * 100.0,
+        GATE_ABSORB_RATE * 100.0
+    );
+    if advantage < GATE_ADVANTAGE {
+        eprintln!(
+            "FAILED: the standing path saved less than {GATE_ADVANTAGE}x over re-running \
+             per update"
+        );
+        failed = true;
+    }
+    if absorb_rate < GATE_ABSORB_RATE {
+        eprintln!("FAILED: too few updates were absorbed for the gate to mean anything");
+        failed = true;
+    }
+
+    if failed {
+        eprintln!("standing query FAILED the acceptance bar");
+        std::process::exit(1);
+    }
+    println!("standing query passed");
+}

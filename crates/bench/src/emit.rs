@@ -1,0 +1,380 @@
+//! Machine-readable bench results: `BENCH_<target>.json` emission and
+//! baseline comparison.
+//!
+//! Every CI-gated bench target ends by building a [`BenchReport`] of its
+//! **deterministic** summary metrics — access counts, message counts,
+//! modelled (not wall-clock) timings, match rates — and calling
+//! [`BenchReport::emit`]. When the `TOPK_BENCH_JSON_DIR` environment
+//! variable is set, the report is written there as
+//! `BENCH_<target>.json`; when it is unset (a developer running the
+//! bench by hand) emission is skipped silently.
+//!
+//! Committed smoke-scale baselines live in `crates/bench/baselines/`.
+//! The `bench_compare` binary parses both directories and **fails on any
+//! deviation**: every metric in a baseline must be reproduced exactly
+//! (tolerance 0 by default — the emitted metrics are deterministic by
+//! construction, so any drift is a behavioural change someone must
+//! either fix or justify by re-committing the baseline).
+//!
+//! The JSON is hand-rolled (the workspace builds offline, so there is no
+//! serde): the writer emits the one fixed shape below, and the parser
+//! accepts exactly that shape.
+//!
+//! ```json
+//! {
+//!   "target": "shard_scaling",
+//!   "scale": "smoke",
+//!   "metrics": {
+//!     "gate_modelled_speedup": 2.61,
+//!     "pool_tasks": 1184
+//!   }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the directory `BENCH_<target>.json` files
+/// are written to. Unset ⇒ no emission.
+pub const JSON_DIR_ENV: &str = "TOPK_BENCH_JSON_DIR";
+
+/// One bench target's machine-readable summary: named deterministic
+/// metrics, ordered as pushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Bench target name (`BENCH_<target>.json`).
+    pub target: String,
+    /// Scale label the run used (`smoke`, `small`, `paper`).
+    pub scale: String,
+    /// Named metric values, in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// An empty report for one target at one scale.
+    pub fn new(target: &str, scale: &str) -> Self {
+        BenchReport {
+            target: target.to_string(),
+            scale: scale.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric. Names must be stable across runs — they are
+    /// the comparison keys. Only push deterministic values (counts,
+    /// modelled times, rates); never wall-clock measurements.
+    pub fn push(&mut self, name: &str, value: f64) {
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.'),
+            "metric names are bare identifiers, got {name:?}"
+        );
+        self.metrics.push((name.to_string(), value));
+    }
+
+    /// The value of a metric, if present.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|&(_, value)| value)
+    }
+
+    /// Serializes the report (stable field order, one metric per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"target\": {},", quote(&self.target));
+        let _ = writeln!(out, "  \"scale\": {},", quote(&self.scale));
+        out.push_str("  \"metrics\": {");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}: {}", quote(name), format_number(*value));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let mut parser = Parser { rest: json };
+        let report = parser.report()?;
+        parser.skip_whitespace();
+        if !parser.rest.is_empty() {
+            return Err(format!("trailing content after report: {:?}", parser.rest));
+        }
+        Ok(report)
+    }
+
+    /// The file name this report is stored under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.target)
+    }
+
+    /// Writes `BENCH_<target>.json` into the directory named by the
+    /// `TOPK_BENCH_JSON_DIR` environment variable (created if missing).
+    /// Returns the path written, or `None` when the variable is unset
+    /// (emission is opt-in; by-hand runs skip it).
+    pub fn emit(&self) -> std::io::Result<Option<PathBuf>> {
+        let Ok(dir) = std::env::var(JSON_DIR_ENV) else {
+            return Ok(None);
+        };
+        let dir = Path::new(&dir);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(Some(path))
+    }
+
+    /// Compares `current` against a committed `baseline`: every baseline
+    /// metric must be present and within `tolerance` (relative, floored
+    /// at an absolute unit of `tolerance`); metrics only in `current`
+    /// are new and reported too, so baselines cannot silently rot.
+    /// Returns human-readable deviation messages — empty means equal.
+    pub fn compare(baseline: &Self, current: &Self, tolerance: f64) -> Vec<String> {
+        let mut deviations = Vec::new();
+        if baseline.target != current.target {
+            deviations.push(format!(
+                "target mismatch: baseline {:?} vs current {:?}",
+                baseline.target, current.target
+            ));
+        }
+        if baseline.scale != current.scale {
+            deviations.push(format!(
+                "scale mismatch: baseline {:?} vs current {:?} — \
+                 re-run at the baseline's scale",
+                baseline.scale, current.scale
+            ));
+        }
+        for (name, expected) in &baseline.metrics {
+            match current.get(name) {
+                None => deviations.push(format!("metric {name} missing from the current run")),
+                Some(actual) => {
+                    let budget = tolerance * expected.abs().max(1.0);
+                    if (actual - expected).abs() > budget {
+                        deviations.push(format!(
+                            "metric {name} deviates: baseline {expected} vs current {actual}"
+                        ));
+                    }
+                }
+            }
+        }
+        for (name, _) in &current.metrics {
+            if baseline.get(name).is_none() {
+                deviations.push(format!(
+                    "metric {name} is new (absent from the baseline) — re-commit the baseline"
+                ));
+            }
+        }
+        deviations
+    }
+}
+
+/// `f64` formatting that round-trips: integers print without a fraction,
+/// everything else via `{}` (shortest representation that parses back to
+/// the same bits for finite values).
+fn format_number(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+fn quote(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal recursive-descent parser for the exact shape `to_json` emits
+/// (whitespace-insensitive, order-sensitive fields).
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn report(&mut self) -> Result<BenchReport, String> {
+        self.expect('{')?;
+        self.key("target")?;
+        let target = self.string()?;
+        self.expect(',')?;
+        self.key("scale")?;
+        let scale = self.string()?;
+        self.expect(',')?;
+        self.key("metrics")?;
+        self.expect('{')?;
+        let mut metrics = Vec::new();
+        self.skip_whitespace();
+        if !self.rest.starts_with('}') {
+            loop {
+                let name = self.string()?;
+                self.expect(':')?;
+                metrics.push((name, self.number()?));
+                self.skip_whitespace();
+                if self.rest.starts_with(',') {
+                    self.expect(',')?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect('}')?;
+        self.expect('}')?;
+        Ok(BenchReport {
+            target,
+            scale,
+            metrics,
+        })
+    }
+
+    fn skip_whitespace(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_whitespace();
+        self.rest = self
+            .rest
+            .strip_prefix(c)
+            .ok_or_else(|| format!("expected {c:?} at {:?}", head(self.rest)))?;
+        Ok(())
+    }
+
+    fn key(&mut self, name: &str) -> Result<(), String> {
+        let found = self.string()?;
+        if found != name {
+            return Err(format!("expected key {name:?}, found {found:?}"));
+        }
+        self.expect(':')
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    other => return Err(format!("bad escape: {other:?}")),
+                },
+                _ => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_whitespace();
+        let end = self
+            .rest
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(self.rest.len());
+        let (text, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        text.parse::<f64>()
+            .map_err(|err| format!("bad number {text:?}: {err}"))
+    }
+}
+
+fn head(text: &str) -> &str {
+    &text[..text.len().min(24)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut report = BenchReport::new("shard_scaling", "smoke");
+        report.push("gate_modelled_speedup", 2.615);
+        report.push("pool_tasks", 1184.0);
+        report.push("total_accesses", 48_216.0);
+        report
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let parsed = BenchReport::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.get("pool_tasks"), Some(1184.0));
+        assert_eq!(report.file_name(), "BENCH_shard_scaling.json");
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        let mut report = BenchReport::new("t", "smoke");
+        report.push("frac", 0.8333333333333334);
+        report.push("tiny", 1e-9);
+        report.push("negative", -42.0);
+        report.push("big_count", 9_007_199_254_740_991.0);
+        let parsed = BenchReport::parse(&report.to_json()).unwrap();
+        for ((_, expected), (_, actual)) in report.metrics.iter().zip(&parsed.metrics) {
+            assert_eq!(expected.to_bits(), actual.to_bits());
+        }
+    }
+
+    #[test]
+    fn identical_reports_compare_clean() {
+        assert!(BenchReport::compare(&sample(), &sample(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn deviations_missing_and_new_metrics_are_reported() {
+        let baseline = sample();
+        let mut current = sample();
+        current.metrics[0].1 = 1.0; // drifted value
+        current.metrics.remove(1); // pool_tasks missing
+        current.push("brand_new", 7.0);
+        let deviations = BenchReport::compare(&baseline, &current, 0.0);
+        assert_eq!(deviations.len(), 3, "{deviations:?}");
+        assert!(deviations[0].contains("gate_modelled_speedup"));
+        assert!(deviations[1].contains("missing"));
+        assert!(deviations[2].contains("brand_new"));
+    }
+
+    #[test]
+    fn tolerance_is_relative_with_a_unit_floor() {
+        let baseline = sample();
+        let mut current = sample();
+        current.metrics[0].1 = 2.615 + 0.005; // within 1% of max(|2.615|, 1)
+        assert!(BenchReport::compare(&baseline, &current, 0.01).is_empty());
+        current.metrics[0].1 = 2.9;
+        assert!(!BenchReport::compare(&baseline, &current, 0.01).is_empty());
+    }
+
+    #[test]
+    fn scale_mismatches_are_called_out() {
+        let baseline = sample();
+        let mut current = sample();
+        current.scale = "paper".to_string();
+        let deviations = BenchReport::compare(&baseline, &current, 0.0);
+        assert!(deviations[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("").is_err());
+        let valid = sample().to_json();
+        assert!(BenchReport::parse(&valid[..valid.len() - 3]).is_err());
+        assert!(BenchReport::parse(&format!("{valid}x")).is_err());
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`report`] — aligned-table printing and the TA-relative gain factors
 //!   quoted in Section 6.2 ("BPA and BPA2 outperform TA by a factor of
 //!   approximately (m+6)/8 and (m+1)/2");
+//! * [`emit`] — machine-readable `BENCH_<target>.json` summaries of the
+//!   CI-gated targets' deterministic metrics, plus the baseline
+//!   comparison the `bench_compare` binary runs against the committed
+//!   smoke baselines in `baselines/`;
 //! * [`validation`] — the planner-validation sweep behind the
 //!   `planner_validation` bench target: the cost-based planner's choice is
 //!   checked against the measured-cost argmin over the m/n/k/correlation
@@ -35,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod emit;
 pub mod measure;
 pub mod report;
 pub mod sweeps;
 pub mod validation;
 
 pub use config::{BenchScale, PAPER_DEFAULT_K, PAPER_DEFAULT_M, PAPER_DEFAULT_N};
+pub use emit::BenchReport;
 pub use measure::{measure_database, measure_spec, AlgorithmMeasurement, ExperimentPoint};
 pub use report::{format_factor, print_header, print_metric_table, MetricKind};
 pub use sweeps::{sweep_k, sweep_m, sweep_n};

@@ -10,7 +10,7 @@ use topk_lists::{ItemId, Position, Score};
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
 use crate::query::TopKQuery;
-use crate::result::TopKResult;
+use crate::result::{RunCertificate, TopKResult};
 use crate::topk_buffer::TopKBuffer;
 
 /// The Best Position Algorithm — the paper's first contribution.
@@ -126,7 +126,17 @@ impl TopKAlgorithm for Bpa {
             resolved.len(),
             started,
         );
-        Ok(TopKResult::new(buffer.into_ranked(), stats))
+        // Every position up to bp_i holds a resolved item (it was seen
+        // under sorted access — resolved on the spot — or under a random
+        // access issued while resolving another item), so the scores at
+        // the final best positions bound every unresolved item's locals.
+        let bounds: Option<Vec<Score>> = trackers
+            .iter()
+            .zip(&seen_scores)
+            .map(|(tracker, scores)| tracker.best_position().map(|bp| scores[&bp]))
+            .collect();
+        let certificate = RunCertificate::new(bounds, resolved.into_iter().collect());
+        Ok(TopKResult::new(buffer.into_ranked(), stats).with_certificate(certificate))
     }
 }
 

@@ -10,7 +10,7 @@ use topk_lists::{ItemId, Score};
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
 use crate::query::TopKQuery;
-use crate::result::TopKResult;
+use crate::result::{RunCertificate, TopKResult};
 use crate::topk_buffer::TopKBuffer;
 
 /// BPA2 — the paper's second contribution.
@@ -146,7 +146,15 @@ impl TopKAlgorithm for Bpa2 {
             .map(|p| p.get())
             .max();
         let stats = collect_stats(sources, stop_position, rounds, resolved.len(), started);
-        Ok(TopKResult::new(buffer.into_ranked(), stats))
+        // Seen positions only ever hold resolved items (direct access
+        // resolves on the spot; tracked random accesses mark positions of
+        // the item being resolved), so the final best-position scores
+        // bound every unresolved item's locals. On the safety-net exit
+        // some list may lack a piggybacked score, but then every position
+        // was seen and `resolved` already covers all items.
+        let bounds: Option<Vec<Score>> = best_scores.iter().copied().collect();
+        let certificate = RunCertificate::new(bounds, resolved.into_iter().collect());
+        Ok(TopKResult::new(buffer.into_ranked(), stats).with_certificate(certificate))
     }
 }
 

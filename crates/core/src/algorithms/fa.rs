@@ -9,7 +9,7 @@ use topk_lists::{ItemId, Position, Score};
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
 use crate::query::TopKQuery;
-use crate::result::TopKResult;
+use crate::result::{RunCertificate, TopKResult};
 use crate::topk_buffer::TopKBuffer;
 
 /// Fagin's Algorithm: scan all lists in parallel under sorted access until
@@ -44,6 +44,7 @@ impl TopKAlgorithm for Fa {
         let mut seen: HashMap<ItemId, Vec<Option<Score>>> = HashMap::new();
         let mut fully_seen = 0usize;
         let mut stop_position = n;
+        let mut last_scores = vec![Score::ZERO; m];
         'scan: for pos in 1..=n {
             sources.begin_round();
             let position = Position::new(pos).expect("pos >= 1");
@@ -52,6 +53,7 @@ impl TopKAlgorithm for Fa {
                     .source(i)
                     .sorted_access(position, false)
                     .expect("position within list bounds");
+                last_scores[i] = entry.score;
                 let locals = seen.entry(entry.item).or_insert_with(|| vec![None; m]);
                 if locals[i].is_none() {
                     locals[i] = Some(entry.score);
@@ -71,6 +73,7 @@ impl TopKAlgorithm for Fa {
         sources.begin_round();
         let mut buffer = TopKBuffer::new(k);
         let items_scored = seen.len();
+        let mut all_resolved = Vec::with_capacity(items_scored);
         // Resolve in item-id order, not hash order: the *sequence* of
         // random accesses must be deterministic so that physical-layer
         // observers (the paged backend's cache hit/miss counters) see
@@ -91,7 +94,9 @@ impl TopKAlgorithm for Fa {
                 .into_iter()
                 .map(|s| s.expect("all local scores resolved"))
                 .collect();
-            buffer.offer(item, query.combine(&resolved));
+            let overall = query.combine(&resolved);
+            all_resolved.push((item, overall));
+            buffer.offer(item, overall);
         }
 
         let stats = collect_stats(
@@ -101,7 +106,11 @@ impl TopKAlgorithm for Fa {
             items_scored,
             started,
         );
-        Ok(TopKResult::new(buffer.into_ranked(), stats))
+        // An item FA never resolved was seen in *no* list, so it sits
+        // below the stopping position everywhere and `last_scores` bounds
+        // its local scores.
+        let certificate = RunCertificate::new(Some(last_scores), all_resolved);
+        Ok(TopKResult::new(buffer.into_ranked(), stats).with_certificate(certificate))
     }
 }
 

@@ -9,7 +9,7 @@ use topk_lists::{ItemId, Position, Score};
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
 use crate::query::TopKQuery;
-use crate::result::TopKResult;
+use crate::result::{RunCertificate, TopKResult};
 use crate::topk_buffer::TopKBuffer;
 
 /// Scans every list from beginning to end, computes every item's overall
@@ -42,7 +42,8 @@ impl TopKAlgorithm for NaiveScan {
         // scan with an ~m× overlapped speedup accordingly.
         sources.begin_round();
         let mut locals: HashMap<ItemId, Vec<Score>> = HashMap::with_capacity(n);
-        for i in 0..m {
+        let mut tail_scores = vec![Score::ZERO; m];
+        for (i, tail) in tail_scores.iter_mut().enumerate() {
             for pos in 1..=n {
                 let entry = sources
                     .source(i)
@@ -51,17 +52,24 @@ impl TopKAlgorithm for NaiveScan {
                 locals
                     .entry(entry.item)
                     .or_insert_with(|| vec![Score::ZERO; m])[i] = entry.score;
+                *tail = entry.score;
             }
         }
 
         let mut buffer = TopKBuffer::new(query.k());
+        let mut resolved = Vec::with_capacity(locals.len());
         for (item, scores) in &locals {
-            buffer.offer(*item, query.combine(scores));
+            let overall = query.combine(scores);
+            resolved.push((*item, overall));
+            buffer.offer(*item, overall);
         }
 
         let items_scored = locals.len();
         let stats = collect_stats(sources, None, 1, items_scored, started);
-        Ok(TopKResult::new(buffer.into_ranked(), stats))
+        // The scan resolves *every* item; the tail scores still make a
+        // valid (vacuous) bound for the certificate's consumers.
+        let certificate = RunCertificate::new(Some(tail_scores), resolved);
+        Ok(TopKResult::new(buffer.into_ranked(), stats).with_certificate(certificate))
     }
 }
 

@@ -9,7 +9,7 @@ use topk_lists::{ItemId, Position, Score};
 use crate::algorithms::{collect_stats, TopKAlgorithm};
 use crate::error::TopKError;
 use crate::query::TopKQuery;
-use crate::result::TopKResult;
+use crate::result::{RunCertificate, TopKResult};
 use crate::topk_buffer::TopKBuffer;
 
 /// The Threshold Algorithm of Fagin/Güntzer/Nepal — the baseline the paper
@@ -125,7 +125,11 @@ impl TopKAlgorithm for Ta {
             resolved.len(),
             started,
         );
-        Ok(TopKResult::new(buffer.into_ranked(), stats))
+        // Any unresolved item sits below the stopping position in every
+        // list, so `last_scores` bounds its local scores (the fact behind
+        // the δ stopping rule, recorded for standing queries).
+        let certificate = RunCertificate::new(Some(last_scores), resolved.into_iter().collect());
+        Ok(TopKResult::new(buffer.into_ranked(), stats).with_certificate(certificate))
     }
 }
 

@@ -23,6 +23,20 @@ pub enum TopKError {
         /// The name of the unsupported scoring function.
         scoring: String,
     },
+    /// The statistics handed to the planner were collected at an older
+    /// epoch than the sources being queried: lists are updatable, and
+    /// planning from stale statistics silently picks wrong algorithms.
+    /// Refresh with
+    /// [`DatabaseStats::ensure_fresh`](crate::stats::DatabaseStats::ensure_fresh)
+    /// (or re-collect) and retry.
+    StaleStats {
+        /// The first list whose epoch disagrees.
+        list: usize,
+        /// The epoch the statistics were collected at.
+        stats_epoch: u64,
+        /// The epoch the source currently reports.
+        source_epoch: u64,
+    },
     /// An error bubbled up from the sorted-list substrate.
     List(ListError),
     /// A backend list access failed (disk IO, corrupt page, truncated
@@ -45,6 +59,17 @@ impl fmt::Display for TopKError {
                     "{algorithm} does not support the '{scoring}' scoring function"
                 )
             }
+            TopKError::StaleStats {
+                list,
+                stats_epoch,
+                source_epoch,
+            } => {
+                write!(
+                    f,
+                    "statistics are stale: list {list} was collected at epoch {stats_epoch} but \
+                     the source reports epoch {source_epoch}"
+                )
+            }
             TopKError::List(err) => write!(f, "list error: {err}"),
             TopKError::Source(err) => write!(f, "backend error: {err}"),
         }
@@ -56,7 +81,9 @@ impl std::error::Error for TopKError {
         match self {
             TopKError::List(err) => Some(err),
             TopKError::Source(err) => Some(err),
-            TopKError::InvalidK { .. } | TopKError::UnsupportedScoring { .. } => None,
+            TopKError::InvalidK { .. }
+            | TopKError::UnsupportedScoring { .. }
+            | TopKError::StaleStats { .. } => None,
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod planner;
 pub mod query;
 pub mod result;
 pub mod scoring;
+pub mod standing;
 pub mod stats;
 pub mod topk_buffer;
 
@@ -63,8 +64,9 @@ pub use cost::CostModel;
 pub use error::TopKError;
 pub use planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
 pub use query::TopKQuery;
-pub use result::{RankedItem, TopKResult};
+pub use result::{RankedItem, RunCertificate, TopKResult};
 pub use scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
+pub use standing::{IngestOutcome, StandingQuery, UpdateEvent};
 pub use stats::{DatabaseStats, RunStats};
 pub use topk_buffer::TopKBuffer;
 
@@ -79,7 +81,8 @@ pub mod prelude {
     pub use crate::error::TopKError;
     pub use crate::planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
     pub use crate::query::TopKQuery;
-    pub use crate::result::{RankedItem, TopKResult};
+    pub use crate::result::{RankedItem, RunCertificate, TopKResult};
     pub use crate::scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
+    pub use crate::standing::{IngestOutcome, StandingQuery, UpdateEvent};
     pub use crate::stats::{DatabaseStats, RunStats};
 }

@@ -314,15 +314,30 @@ pub fn plan_and_run(
 /// the data lives and ship only the summary, exactly like a relational
 /// optimizer's statistics.
 ///
+/// Lists are updatable, so the statistics carry an epoch tag
+/// ([`DatabaseStats::staleness`]): if the sources report a different
+/// epoch for any list, planning is refused with
+/// [`TopKError::StaleStats`] — refresh the statistics
+/// ([`DatabaseStats::ensure_fresh`](crate::stats::DatabaseStats::ensure_fresh))
+/// and retry.
+///
 /// # Errors
 ///
-/// Propagates execution errors from the chosen algorithm (e.g.
-/// [`TopKError::InvalidK`] when `k` exceeds `n`).
+/// Returns [`TopKError::StaleStats`] for statistics older than the
+/// sources' observed epochs, and propagates execution errors from the
+/// chosen algorithm (e.g. [`TopKError::InvalidK`] when `k` exceeds `n`).
 pub fn plan_and_run_on(
     sources: &mut dyn SourceSet,
     stats: &DatabaseStats,
     query: &TopKQuery,
 ) -> Result<(Plan, TopKResult), TopKError> {
+    if let Some((list, stats_epoch, source_epoch)) = stats.staleness(&sources.epochs()) {
+        return Err(TopKError::StaleStats {
+            list,
+            stats_epoch,
+            source_epoch,
+        });
+    }
     let planner = Planner::paper_default(stats.num_items.max(1));
     let plan = planner.plan(stats, query);
     let result = plan.choice().create().run_on(sources, query)?;
@@ -475,6 +490,34 @@ mod tests {
         // …while very expensive random accesses hand the win to the scan.
         let dear_random = Planner::new(CostModel::new(1.0, 1e6, 1e6)).plan_database(&db, &query);
         assert_eq!(dear_random.choice(), AlgorithmKind::Naive);
+    }
+
+    #[test]
+    fn stale_statistics_are_refused_until_refreshed() {
+        use topk_lists::source::Sources;
+        use topk_lists::ItemId;
+
+        let mut db = figure1_database();
+        let mut stats = DatabaseStats::collect(&db);
+        db.update_score(0, ItemId(5), 29.5).unwrap();
+
+        let query = TopKQuery::top(3);
+        let mut sources = Sources::in_memory(&db);
+        let err = plan_and_run_on(&mut sources, &stats, &query).unwrap_err();
+        assert!(matches!(
+            err,
+            TopKError::StaleStats {
+                list: 0,
+                stats_epoch: 0,
+                source_epoch: 1,
+            }
+        ));
+
+        // The refresh hook re-collects and the query goes through.
+        assert!(stats.ensure_fresh(&db));
+        let (_, result) = plan_and_run_on(&mut sources, &stats, &query).unwrap();
+        let naive = NaiveScan.run(&db, &query).unwrap();
+        assert!(result.scores_match(&naive, 1e-9));
     }
 
     #[test]

@@ -14,6 +14,45 @@ pub struct RankedItem {
     pub score: Score,
 }
 
+/// What a run *proved* about the items it did not return — the evidence a
+/// standing query (`crate::standing`) needs to decide whether an update
+/// can change the answer without re-executing anything.
+///
+/// The stopping conditions of the threshold family all rest on the same
+/// two facts, which the certificate records:
+///
+/// * every item the run resolved has the recorded overall score, and
+/// * any item the run did **not** resolve sits, in every list `i`, at a
+///   position deeper than the deepest seen prefix — so its local score is
+///   at most `bounds[i]` (TA: the last scores seen under sorted access;
+///   BPA/BPA2: the scores at the final best positions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCertificate {
+    /// Per-list upper bounds on the local score of any unresolved item,
+    /// or `None` when the algorithm offers no such bound (e.g. TPUT's
+    /// phased thresholds do not map onto per-list prefixes).
+    pub bounds: Option<Vec<Score>>,
+    /// Every `(item, overall score)` pair the run resolved, sorted by
+    /// ascending item id (binary-searchable).
+    pub resolved: Vec<(ItemId, Score)>,
+}
+
+impl RunCertificate {
+    /// Assembles a certificate, sorting the resolved pairs by item id.
+    pub fn new(bounds: Option<Vec<Score>>, mut resolved: Vec<(ItemId, Score)>) -> Self {
+        resolved.sort_by_key(|&(item, _)| item);
+        RunCertificate { bounds, resolved }
+    }
+
+    /// The overall score the run resolved for `item`, if any.
+    pub fn resolved_score(&self, item: ItemId) -> Option<Score> {
+        self.resolved
+            .binary_search_by_key(&item, |&(i, _)| i)
+            .ok()
+            .map(|at| self.resolved[at].1)
+    }
+}
+
 /// The answer set `Y` of a top-k query together with the statistics of the
 /// run that produced it.
 ///
@@ -26,6 +65,7 @@ pub struct RankedItem {
 pub struct TopKResult {
     items: Vec<RankedItem>,
     stats: RunStats,
+    certificate: Option<RunCertificate>,
 }
 
 impl TopKResult {
@@ -33,7 +73,25 @@ impl TopKResult {
     /// ascending item id).
     pub fn new(mut items: Vec<RankedItem>, stats: RunStats) -> Self {
         items.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.item.cmp(&b.item)));
-        TopKResult { items, stats }
+        TopKResult {
+            items,
+            stats,
+            certificate: None,
+        }
+    }
+
+    /// Attaches the run's [`RunCertificate`] (builder style; algorithms
+    /// that can prove bounds on the unseen items call this before
+    /// returning).
+    pub fn with_certificate(mut self, certificate: RunCertificate) -> Self {
+        self.certificate = Some(certificate);
+        self
+    }
+
+    /// What the run proved about unreturned items, if the algorithm
+    /// recorded it.
+    pub fn certificate(&self) -> Option<&RunCertificate> {
+        self.certificate.as_ref()
     }
 
     /// The top-k items in descending score order.
@@ -137,6 +195,26 @@ mod tests {
         assert!(!a.scores_match(&c, 1e-9));
         let shorter = TopKResult::new(vec![ranked(1, 5.0)], dummy_stats());
         assert!(!a.scores_match(&shorter, 1e-9));
+    }
+
+    #[test]
+    fn certificates_attach_and_resolve_by_item() {
+        let bare = TopKResult::new(vec![ranked(1, 5.0)], dummy_stats());
+        assert!(bare.certificate().is_none());
+        let certificate = RunCertificate::new(
+            Some(vec![Score::from_f64(4.0)]),
+            vec![
+                (ItemId(9), Score::from_f64(2.0)),
+                (ItemId(1), Score::from_f64(5.0)),
+            ],
+        );
+        let with = bare.with_certificate(certificate);
+        let cert = with.certificate().unwrap();
+        // Sorted by item id regardless of insertion order.
+        assert_eq!(cert.resolved[0].0, ItemId(1));
+        assert_eq!(cert.resolved_score(ItemId(9)), Some(Score::from_f64(2.0)));
+        assert_eq!(cert.resolved_score(ItemId(3)), None);
+        assert_eq!(cert.bounds.as_ref().unwrap()[0].value(), 4.0);
     }
 
     #[test]

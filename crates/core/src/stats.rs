@@ -100,6 +100,12 @@ pub struct DatabaseStats {
     pub head_overlap: f64,
     /// Local-score vectors (one score per list) of the sampled items.
     pub sample_locals: Vec<Vec<Score>>,
+    /// Per-list epochs of the database at collection time. Lists are
+    /// updatable, so statistics go stale: [`DatabaseStats::staleness`]
+    /// compares this tag against a source set's observed epochs, and
+    /// [`plan_and_run_on`](crate::planner::plan_and_run_on) refuses to
+    /// plan from stale statistics.
+    pub epochs: Vec<u64>,
 }
 
 impl DatabaseStats {
@@ -148,7 +154,47 @@ impl DatabaseStats {
             head_skew,
             head_overlap,
             sample_locals,
+            epochs: database.epochs(),
         }
+    }
+
+    /// Re-tags the statistics with explicit epochs — for callers that
+    /// sample a materialized snapshot of a mutable backend (e.g. a
+    /// sharded database) whose epoch counters live outside the snapshot.
+    pub fn with_epochs(mut self, epochs: Vec<u64>) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Whether these statistics are stale against the observed per-list
+    /// epochs of a source set: returns the first offending
+    /// `(list, stats_epoch, observed_epoch)`, or `None` when fresh.
+    ///
+    /// A source reporting epoch 0 never flags staleness — 0 is what
+    /// immutable backends (cluster, paged) report for any content, so it
+    /// carries no mutation information.
+    pub fn staleness(&self, observed: &[u64]) -> Option<(usize, u64, u64)> {
+        if self.epochs.len() != observed.len() {
+            return Some((0, self.epochs.first().copied().unwrap_or(0), 0));
+        }
+        self.epochs
+            .iter()
+            .zip(observed)
+            .enumerate()
+            .find(|&(_, (&have, &seen))| seen != 0 && seen != have)
+            .map(|(list, (&have, &seen))| (list, have, seen))
+    }
+
+    /// The invalidation/refresh hook for the in-memory backend: if the
+    /// database has been mutated since collection, re-collects with the
+    /// default budgets and returns `true`; otherwise leaves the
+    /// statistics untouched and returns `false`.
+    pub fn ensure_fresh(&mut self, database: &Database) -> bool {
+        if self.staleness(&database.epochs()).is_none() {
+            return false;
+        }
+        *self = DatabaseStats::collect(database);
+        true
     }
 
     /// Mean head skew over all lists.
@@ -407,6 +453,30 @@ mod tests {
             let stats = DatabaseStats::collect_with(&db, 8, 0, 1);
             assert!(stats.sample_locals.is_empty());
             assert_eq!(stats.estimated_kth_score(&Sum, 3), f64::NEG_INFINITY);
+        }
+
+        #[test]
+        fn epoch_tags_flag_staleness_and_refresh_on_mutation() {
+            let mut db = figure1_database();
+            let mut stats = DatabaseStats::collect(&db);
+            assert_eq!(stats.epochs, vec![0, 0, 0]);
+            assert_eq!(stats.staleness(&db.epochs()), None);
+            assert!(!stats.ensure_fresh(&db), "fresh stats are left untouched");
+
+            db.update_score(1, ItemId(3), 31.0).unwrap();
+            assert_eq!(stats.staleness(&db.epochs()), Some((1, 0, 1)));
+            assert!(stats.ensure_fresh(&db), "stale stats are re-collected");
+            assert_eq!(stats.epochs, vec![0, 1, 0]);
+            assert_eq!(stats.staleness(&db.epochs()), None);
+
+            // Zero observed epochs (immutable backends) never flag.
+            assert_eq!(stats.staleness(&[0, 0, 0]), None);
+            // A length mismatch always flags.
+            assert!(stats.staleness(&[0, 1]).is_some());
+            // Explicit re-tagging for materialized snapshots.
+            let tagged = stats.clone().with_epochs(vec![7, 8, 9]);
+            assert_eq!(tagged.staleness(&[7, 8, 9]), None);
+            assert_eq!(tagged.staleness(&[7, 8, 10]), Some((2, 9, 10)));
         }
 
         #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::ListError;
 use crate::item::{ItemId, Position, Score};
-use crate::sorted_list::SortedList;
+use crate::sorted_list::{ScoreUpdate, SortedList};
 
 /// SplitMix64 step: the deterministic pseudo-random stream behind
 /// [`Database::sample_items`]. Kept local so the crate stays free of
@@ -104,6 +104,84 @@ impl Database {
     /// Iterates over the lists in order.
     pub fn lists(&self) -> impl Iterator<Item = &SortedList> + '_ {
         self.lists.iter()
+    }
+
+    /// The per-list mutation epochs, in list order. Observers snapshot this
+    /// vector and compare it later to detect that any list changed.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.lists.iter().map(|l| l.epoch()).collect()
+    }
+
+    /// Changes one item's local score in one list, preserving the database
+    /// invariant (the item set is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list index is out of range, the item is
+    /// unknown or the score is NaN.
+    pub fn update_score(
+        &mut self,
+        list: usize,
+        item: ItemId,
+        score: f64,
+    ) -> Result<ScoreUpdate, ListError> {
+        let len = self.lists.len();
+        let target = self
+            .lists
+            .get_mut(list)
+            .ok_or(ListError::ListIndexOutOfRange { index: list, len })?;
+        target.update_score(item, score)
+    }
+
+    /// Inserts a new item into **every** list, one local score per list.
+    ///
+    /// Validation happens up front so a failed insert leaves the database
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the score count differs from `m`, any score is
+    /// NaN, or the item is already present.
+    pub fn insert_item(&mut self, item: ItemId, scores: &[f64]) -> Result<(), ListError> {
+        if scores.len() != self.lists.len() {
+            return Err(ListError::ScoreCountMismatch {
+                expected: self.lists.len(),
+                found: scores.len(),
+            });
+        }
+        for &raw in scores {
+            Score::new(raw)?;
+        }
+        if self.lists[0].contains(item) {
+            return Err(ListError::DuplicateItem(item));
+        }
+        for (list, &raw) in self.lists.iter_mut().zip(scores) {
+            list.insert(item, raw)
+                .expect("validated: score finite, item absent");
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Deletes an item from **every** list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the item is unknown, or if deleting it would
+    /// leave the lists empty.
+    pub fn delete_item(&mut self, item: ItemId) -> Result<(), ListError> {
+        if !self.lists[0].contains(item) {
+            return Err(ListError::UnknownItem(item));
+        }
+        if self.n == 1 {
+            return Err(ListError::EmptyList);
+        }
+        for list in &mut self.lists {
+            list.delete(item)
+                .expect("database invariant: item present everywhere, n > 1");
+        }
+        self.n -= 1;
+        Ok(())
     }
 
     /// Slice view of the lists.
@@ -318,6 +396,83 @@ mod tests {
             a, other_seed,
             "different seeds pick different strata members"
         );
+    }
+
+    #[test]
+    fn epochs_track_per_list_mutations() {
+        let mut db = db();
+        assert_eq!(db.epochs(), vec![0, 0]);
+        db.update_score(1, ItemId(3), 29.0).unwrap();
+        assert_eq!(db.epochs(), vec![0, 1]);
+        db.insert_item(ItemId(4), &[5.0, 6.0]).unwrap();
+        assert_eq!(db.epochs(), vec![1, 2]);
+        db.delete_item(ItemId(4)).unwrap();
+        assert_eq!(db.epochs(), vec![2, 3]);
+    }
+
+    #[test]
+    fn update_score_moves_the_entry_in_one_list() {
+        let mut db = db();
+        let update = db.update_score(1, ItemId(3), 29.0).unwrap();
+        assert_eq!(update.old_position.get(), 3);
+        assert_eq!(update.new_position.get(), 1);
+        assert_eq!(
+            db.local_scores(ItemId(3))
+                .unwrap()
+                .iter()
+                .map(|s| s.value())
+                .collect::<Vec<_>>(),
+            vec![26.0, 29.0]
+        );
+        assert!(matches!(
+            db.update_score(5, ItemId(3), 1.0).unwrap_err(),
+            ListError::ListIndexOutOfRange { .. }
+        ));
+        assert_eq!(
+            db.update_score(0, ItemId(42), 1.0).unwrap_err(),
+            ListError::UnknownItem(ItemId(42))
+        );
+    }
+
+    #[test]
+    fn insert_item_validates_before_mutating() {
+        let mut db = db();
+        assert_eq!(
+            db.insert_item(ItemId(4), &[1.0]).unwrap_err(),
+            ListError::ScoreCountMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(
+            db.insert_item(ItemId(4), &[1.0, f64::NAN]).unwrap_err(),
+            ListError::NanScore
+        );
+        assert_eq!(
+            db.insert_item(ItemId(1), &[1.0, 2.0]).unwrap_err(),
+            ListError::DuplicateItem(ItemId(1))
+        );
+        // Failed inserts left the database untouched.
+        assert_eq!(db.epochs(), vec![0, 0]);
+        assert_eq!(db.num_items(), 3);
+        db.insert_item(ItemId(4), &[27.0, 1.0]).unwrap();
+        assert_eq!(db.num_items(), 4);
+        assert_eq!(db.list(0).unwrap().position_of(ItemId(4)), Position::new(2));
+        assert_eq!(db.list(1).unwrap().position_of(ItemId(4)), Position::new(4));
+    }
+
+    #[test]
+    fn delete_item_removes_everywhere() {
+        let mut db = db();
+        db.delete_item(ItemId(2)).unwrap();
+        assert_eq!(db.num_items(), 2);
+        assert!(db.local_scores(ItemId(2)).is_none());
+        assert_eq!(
+            db.delete_item(ItemId(2)).unwrap_err(),
+            ListError::UnknownItem(ItemId(2))
+        );
+        db.delete_item(ItemId(1)).unwrap();
+        assert_eq!(db.delete_item(ItemId(3)).unwrap_err(), ListError::EmptyList);
     }
 
     #[test]

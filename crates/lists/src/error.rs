@@ -44,6 +44,15 @@ pub enum ListError {
         /// Number of lists in the database.
         len: usize,
     },
+    /// A mutation referenced an item that is not in the list.
+    UnknownItem(ItemId),
+    /// A database insert supplied the wrong number of local scores.
+    ScoreCountMismatch {
+        /// Number of lists in the database.
+        expected: usize,
+        /// Number of scores supplied.
+        found: usize,
+    },
 }
 
 impl fmt::Display for ListError {
@@ -77,6 +86,15 @@ impl fmt::Display for ListError {
                     "list index {index} out of range for database with {len} lists"
                 )
             }
+            ListError::UnknownItem(item) => {
+                write!(f, "item {item} is not in the list")
+            }
+            ListError::ScoreCountMismatch { expected, found } => {
+                write!(
+                    f,
+                    "insert supplied {found} local scores but the database has {expected} lists"
+                )
+            }
         }
     }
 }
@@ -108,6 +126,12 @@ mod tests {
         assert!(e.to_string().contains("missing"));
         let e = ListError::ListIndexOutOfRange { index: 9, len: 3 };
         assert!(e.to_string().contains("out of range"));
+        assert!(ListError::UnknownItem(ItemId(7)).to_string().contains("d7"));
+        let e = ListError::ScoreCountMismatch {
+            expected: 3,
+            found: 2,
+        };
+        assert!(e.to_string().contains("3 lists"));
     }
 
     #[test]

@@ -57,13 +57,13 @@ pub use database::Database;
 pub use error::ListError;
 pub use item::{ItemId, Position, Score};
 pub use sharded::{ShardedDatabase, ShardedList, ShardedSource};
-pub use sorted_list::{ListEntry, PositionedScore, SortedList};
+pub use sorted_list::{ListDelta, ListEntry, PositionedScore, ScoreUpdate, SortedList};
 pub use source::{
     BatchingSource, CacheCounters, InMemorySource, ListSource, SourceEntry, SourceError,
     SourceScore, SourceSet, Sources,
 };
 pub use tracker::{
-    BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionTracker, TrackerKind,
+    BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionShift, PositionTracker, TrackerKind,
 };
 
 /// Commonly used types, re-exported for convenient glob import.
@@ -73,12 +73,13 @@ pub mod prelude {
     pub use crate::error::ListError;
     pub use crate::item::{ItemId, Position, Score};
     pub use crate::sharded::{ShardedDatabase, ShardedList, ShardedSource};
-    pub use crate::sorted_list::{ListEntry, PositionedScore, SortedList};
+    pub use crate::sorted_list::{ListDelta, ListEntry, PositionedScore, ScoreUpdate, SortedList};
     pub use crate::source::{
         BatchingSource, CacheCounters, InMemorySource, ListSource, SourceEntry, SourceError,
         SourceScore, SourceSet, Sources,
     };
     pub use crate::tracker::{
-        BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionTracker, TrackerKind,
+        BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionShift, PositionTracker,
+        TrackerKind,
     };
 }

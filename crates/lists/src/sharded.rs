@@ -58,14 +58,15 @@ use topk_pool::ThreadPool;
 
 use crate::access::AccessCounters;
 use crate::database::Database;
+use crate::error::ListError;
 use crate::item::{ItemId, Position, Score};
-use crate::sorted_list::SortedList;
+use crate::sorted_list::{ScoreUpdate, SortedList};
 use crate::source::{ListSource, SourceEntry, SourceScore, Sources};
 use crate::tracker::{PositionTracker, TrackerKind};
 
 /// One contiguous position range of a sharded list, physically owning its
 /// entries.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ShardSpan {
     /// 1-based position of the shard's first entry in the whole list.
     start: usize,
@@ -82,15 +83,25 @@ impl ShardSpan {
 
 /// A sorted list split into contiguous position-range shards.
 ///
-/// Immutable once built: all per-query state (trackers, counters) lives in
-/// [`ShardedSource`], so one `Arc<ShardedList>` serves any number of
-/// concurrent queries.
-#[derive(Debug)]
+/// All per-query state (trackers, counters) lives in [`ShardedSource`], so
+/// one `Arc<ShardedList>` serves any number of concurrent queries. The
+/// list itself is updatable — [`ShardedList::update_score`],
+/// [`ShardedList::insert`], [`ShardedList::delete`] route each mutation to
+/// the owning shard and repair the cached merged position index in place —
+/// but mutation requires `&mut`, so live query views are **snapshot
+/// isolated**: `ShardedDatabase` mutates through `Arc::make_mut`, which
+/// clones the list if any open view still shares it, and open views keep
+/// serving their pre-mutation snapshot until reopened. The monotone
+/// [`ShardedList::epoch`] tells observers which snapshot they hold.
+#[derive(Debug, Clone)]
 pub struct ShardedList {
     shards: Vec<ShardSpan>,
-    /// Item → 1-based global position (random access stays O(1)).
+    /// Item → 1-based global position: the cached merge of the per-shard
+    /// spans (random access stays O(1)). Repaired in place on mutation.
     index: HashMap<ItemId, usize>,
     n: usize,
+    /// Monotone mutation counter: 0 at construction, +1 per mutation.
+    epoch: u64,
 }
 
 impl ShardedList {
@@ -126,7 +137,14 @@ impl ShardedList {
             shards: spans,
             index,
             n,
+            epoch: 0,
         }
+    }
+
+    /// Monotone mutation counter (see `SortedList::epoch`).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of entries in the whole list (`n`).
@@ -180,6 +198,207 @@ impl ShardedList {
     fn tail_score(&self) -> Score {
         let last = self.shards.last().expect("a sharded list has >= 1 shard");
         last.entries.last().expect("every shard holds >= 1 entry").1
+    }
+
+    /// Changes an item's local score, moving its entry between shards if
+    /// needed: the mutation is routed to the owning shards and the cached
+    /// merged position index is repaired in place over the rotated range
+    /// only.
+    ///
+    /// Placement follows `SortedList::update_score` exactly — the same
+    /// input sequence leaves sharded and unsharded lists with identical
+    /// position-for-position content, which the cross-backend tests pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the item is not present or the score is NaN.
+    pub fn update_score(&mut self, item: ItemId, score: f64) -> Result<ScoreUpdate, ListError> {
+        let new_score = Score::new(score)?;
+        let p_old = *self.index.get(&item).ok_or(ListError::UnknownItem(item))?;
+        let (_, old_score) = self.remove_global(p_old);
+        let p_new = self.insertion_position(item, new_score);
+        self.insert_global(p_new, item, new_score);
+        self.index.insert(item, p_new);
+        self.repair_index_range(p_old.min(p_new), p_old.max(p_new));
+        self.epoch += 1;
+        self.debug_assert_consistent();
+        Ok(ScoreUpdate {
+            item,
+            old_score,
+            new_score,
+            old_position: Position::from_index(p_old - 1),
+            new_position: Position::from_index(p_new - 1),
+            epoch: self.epoch,
+        })
+    }
+
+    /// Inserts a new item at the position its score sorts to (same
+    /// placement rule as `SortedList::insert`), growing the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the score is NaN or the item is already present.
+    pub fn insert(&mut self, item: ItemId, score: f64) -> Result<(), ListError> {
+        let score = Score::new(score)?;
+        if self.index.contains_key(&item) {
+            return Err(ListError::DuplicateItem(item));
+        }
+        let p = self.insertion_position(item, score);
+        self.insert_global(p, item, score);
+        self.index.insert(item, p);
+        self.repair_index_range(p + 1, self.n);
+        self.epoch += 1;
+        self.debug_assert_consistent();
+        Ok(())
+    }
+
+    /// Deletes an item, shrinking the owning shard (an emptied shard is
+    /// dropped from the layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the item is not present or is the last entry.
+    pub fn delete(&mut self, item: ItemId) -> Result<(), ListError> {
+        let p = *self.index.get(&item).ok_or(ListError::UnknownItem(item))?;
+        if self.n == 1 {
+            return Err(ListError::EmptyList);
+        }
+        self.remove_global(p);
+        self.index.remove(&item);
+        self.repair_index_range(p, self.n);
+        self.epoch += 1;
+        self.debug_assert_consistent();
+        Ok(())
+    }
+
+    /// The 1-based position a fresh `(item, score)` entry sorts to,
+    /// mirroring `SortedList::insertion_index`: after all strictly greater
+    /// scores, then after equal scores with smaller item ids.
+    fn insertion_position(&self, item: ItemId, score: Score) -> usize {
+        // Transiently empty while `update_score` holds the removed entry.
+        if self.n == 0 {
+            return 1;
+        }
+        let mut p = self.n + 1;
+        for span in &self.shards {
+            let Some(tail) = span.entries.last() else {
+                continue; // transiently emptied single shard
+            };
+            if tail.1 > score {
+                continue; // the whole shard sorts before the new entry
+            }
+            let local = span.entries.partition_point(|&(_, s)| s > score);
+            p = span.start + local;
+            break;
+        }
+        while p <= self.n {
+            let (other, s) = self.entry(p).expect("p <= n");
+            if s == score && other < item {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        p
+    }
+
+    /// Removes the entry at global position `p` from its owning shard,
+    /// shifting the start of every later shard down by one. Does **not**
+    /// touch the item index; callers repair it range-wise.
+    fn remove_global(&mut self, p: usize) -> (ItemId, Score) {
+        let shard = self.shard_of(p);
+        let removed = {
+            let span = &mut self.shards[shard];
+            span.entries.remove(p - span.start)
+        };
+        if self.shards[shard].entries.is_empty() && self.shards.len() > 1 {
+            self.shards.remove(shard);
+        }
+        let from = if shard < self.shards.len()
+            && self.shards[shard].start <= p
+            && !self.shards[shard].entries.is_empty()
+        {
+            shard + 1
+        } else {
+            shard
+        };
+        let from = from.min(self.shards.len());
+        for span in &mut self.shards[from..] {
+            if span.start > p {
+                span.start -= 1;
+            }
+        }
+        self.n -= 1;
+        removed
+    }
+
+    /// Splices an entry in at global position `p` (`1..=n+1`), growing the
+    /// shard owning that position (the last shard for an append), and
+    /// shifting the start of every later shard up by one. Does **not**
+    /// touch the item index; callers repair it range-wise.
+    fn insert_global(&mut self, p: usize, item: ItemId, score: Score) {
+        if self.n == 0 {
+            // Transiently empty (`update_score` of the only entry): the one
+            // remaining shard takes the entry back.
+            debug_assert_eq!(p, 1);
+            self.shards[0].start = 1;
+            self.shards[0].entries.push((item, score));
+            self.n = 1;
+            return;
+        }
+        let shard = self.shard_of(p.min(self.n));
+        let span = &mut self.shards[shard];
+        span.entries.insert(p - span.start, (item, score));
+        for later in &mut self.shards[shard + 1..] {
+            later.start += 1;
+        }
+        self.n += 1;
+    }
+
+    /// Re-derives the item → position cache for global positions
+    /// `lo..=hi` (clamped; a no-op when the range is empty) by reading
+    /// the owning shards — the in-place merged-index repair.
+    fn repair_index_range(&mut self, lo: usize, hi: usize) {
+        let hi = hi.min(self.n);
+        let mut p = lo.max(1);
+        while p <= hi {
+            let shard = self.shard_of(p);
+            let span = &self.shards[shard];
+            let upper = hi.min(span.end());
+            for q in p..=upper {
+                self.index.insert(span.entries[q - span.start].0, q);
+            }
+            p = upper + 1;
+        }
+    }
+
+    /// Debug-only check that the in-place repairs match a rebuild from
+    /// scratch: spans contiguous from position 1, scores descending across
+    /// the whole list, index identical to a fresh scan.
+    fn debug_assert_consistent(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut expected_start = 1usize;
+            let mut previous: Option<Score> = None;
+            let mut rebuilt = HashMap::with_capacity(self.n);
+            for span in &self.shards {
+                debug_assert_eq!(
+                    span.start, expected_start,
+                    "shard spans must stay contiguous"
+                );
+                debug_assert!(!span.entries.is_empty(), "no shard may be empty");
+                for (j, &(item, score)) in span.entries.iter().enumerate() {
+                    if let Some(prev) = previous {
+                        debug_assert!(prev >= score, "descending-score invariant broken");
+                    }
+                    previous = Some(score);
+                    rebuilt.insert(item, span.start + j);
+                }
+                expected_start = span.end() + 1;
+            }
+            debug_assert_eq!(expected_start - 1, self.n, "span coverage must equal n");
+            debug_assert_eq!(rebuilt, self.index, "merged index diverged from rebuild");
+        }
     }
 }
 
@@ -468,6 +687,13 @@ impl ListSource for ShardedSource<'_> {
         self.list.tail_score()
     }
 
+    fn epoch(&self) -> u64 {
+        // The epoch of the snapshot this view holds — *not* the database's
+        // current epoch: mutations after the view was opened went through
+        // `Arc::make_mut` into a fresh copy.
+        self.list.epoch()
+    }
+
     fn counters(&self) -> AccessCounters {
         self.counters
     }
@@ -534,6 +760,87 @@ impl ShardedDatabase {
     /// the shard-parallel block fetches.
     pub fn sources<'p>(&self, pool: &'p ThreadPool) -> Sources<'p> {
         self.sources_with_tracker(pool, TrackerKind::BitArray)
+    }
+
+    /// Per-list epochs: each list's monotone mutation counter.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.lists.iter().map(|list| list.epoch()).collect()
+    }
+
+    /// Changes one item's local score in list `list`, routing the mutation
+    /// to the owning shards. Open query views are untouched (snapshot
+    /// isolation): if any view still shares the list, `Arc::make_mut`
+    /// clones it first and the mutation lands in the fresh copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list index is out of range, the item is not
+    /// present, or the score is NaN.
+    pub fn update_score(
+        &mut self,
+        list: usize,
+        item: ItemId,
+        score: f64,
+    ) -> Result<ScoreUpdate, ListError> {
+        let m = self.lists.len();
+        let entry = self
+            .lists
+            .get_mut(list)
+            .ok_or(ListError::ListIndexOutOfRange {
+                index: list,
+                len: m,
+            })?;
+        Arc::make_mut(entry).update_score(item, score)
+    }
+
+    /// Inserts a new item with one local score per list (validated up
+    /// front, so a failed insert leaves the database untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the score count mismatches, any score is NaN,
+    /// or the item is already present.
+    pub fn insert_item(&mut self, item: ItemId, scores: &[f64]) -> Result<(), ListError> {
+        if scores.len() != self.lists.len() {
+            return Err(ListError::ScoreCountMismatch {
+                expected: self.lists.len(),
+                found: scores.len(),
+            });
+        }
+        for &score in scores {
+            Score::new(score)?;
+        }
+        if self.lists.iter().any(|list| list.index.contains_key(&item)) {
+            return Err(ListError::DuplicateItem(item));
+        }
+        for (list, &score) in self.lists.iter_mut().zip(scores) {
+            Arc::make_mut(list)
+                .insert(item, score)
+                .expect("validated insert cannot fail");
+        }
+        self.n += 1;
+        Ok(())
+    }
+
+    /// Deletes an item from every list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the item is not present or is the last one.
+    pub fn delete_item(&mut self, item: ItemId) -> Result<(), ListError> {
+        if !self.lists.iter().all(|list| list.index.contains_key(&item)) {
+            return Err(ListError::UnknownItem(item));
+        }
+        if self.n == 1 {
+            return Err(ListError::EmptyList);
+        }
+        for list in &mut self.lists {
+            Arc::make_mut(list)
+                .delete(item)
+                .expect("validated delete cannot fail");
+        }
+        self.n -= 1;
+        Ok(())
     }
 
     /// Opens a per-query view with an explicit tracking strategy.
@@ -759,6 +1066,181 @@ mod tests {
         assert_eq!(sources.source_ref(1).best_position(), None);
         let entry = sources.source(0).direct_access_next().unwrap();
         assert_eq!(entry.position, Position::FIRST);
+    }
+
+    #[test]
+    fn mutations_route_to_the_owning_shard_and_repair_the_index() {
+        let database = db();
+        let mut list = ShardedList::from_list(database.list(0).unwrap(), 3);
+        assert_eq!(list.epoch(), 0);
+
+        // List 0 holds scores 30, 27, ..., 3 for items 1..=10. Move item 9
+        // (score 6.0, position 9) to the top.
+        let update = list.update_score(ItemId(9), 40.0).unwrap();
+        assert_eq!(update.old_position, Position::new(9).unwrap());
+        assert_eq!(update.new_position, Position::FIRST);
+        assert!(!update.is_decrease());
+        assert_eq!(list.entry(1), Some((ItemId(9), Score::new(40.0).unwrap())));
+        assert_eq!(list.lookup(ItemId(9)), Some((1, Score::new(40.0).unwrap())));
+        // Everything that was above position 9 shifted down by one.
+        assert_eq!(list.lookup(ItemId(1)).unwrap().0, 2);
+        assert_eq!(list.lookup(ItemId(8)).unwrap().0, 9);
+        assert_eq!(list.epoch(), 1);
+
+        // Insert between existing scores; delete from the middle.
+        list.insert(ItemId(42), 25.5).unwrap();
+        assert_eq!(list.len(), 11);
+        let (p, _) = list.lookup(ItemId(42)).unwrap();
+        assert_eq!(p, 4, "40, 30, 27, then 25.5");
+        list.delete(ItemId(42)).unwrap();
+        assert_eq!(list.len(), 10);
+        assert_eq!(list.lookup(ItemId(42)), None);
+        assert_eq!(list.epoch(), 3);
+
+        // Errors leave the epoch alone.
+        assert!(matches!(
+            list.update_score(ItemId(77), 1.0),
+            Err(ListError::UnknownItem(ItemId(77)))
+        ));
+        assert!(matches!(
+            list.insert(ItemId(9), 1.0),
+            Err(ListError::DuplicateItem(ItemId(9)))
+        ));
+        assert_eq!(list.epoch(), 3);
+    }
+
+    #[test]
+    fn deleting_a_whole_shard_drops_its_span() {
+        let database = db();
+        // 10 shards of one entry each.
+        let mut list = ShardedList::from_list(database.list(0).unwrap(), 10);
+        assert_eq!(list.shard_count(), 10);
+        list.delete(ItemId(5)).unwrap(); // position 5's singleton shard
+        assert_eq!(list.shard_count(), 9);
+        assert_eq!(list.len(), 9);
+        assert_eq!(list.lookup(ItemId(6)).unwrap().0, 5);
+
+        // Shrink all the way down to one entry; the last delete is refused.
+        for item in [1u64, 2, 3, 4, 6, 7, 8, 9] {
+            list.delete(ItemId(item)).unwrap();
+        }
+        assert_eq!(list.len(), 1);
+        assert!(matches!(list.delete(ItemId(10)), Err(ListError::EmptyList)));
+        // A single-entry list can still rotate its one item.
+        let update = list.update_score(ItemId(10), 99.0).unwrap();
+        assert_eq!(update.new_position, Position::FIRST);
+        assert_eq!(list.entry(1), Some((ItemId(10), Score::new(99.0).unwrap())));
+    }
+
+    #[test]
+    fn mutated_sharded_layout_matches_the_sorted_list() {
+        // The same mutation sequence must leave sharded and unsharded
+        // lists with identical position-for-position content — ties and
+        // cross-shard moves included — for every shard count.
+        let scored: Vec<(ItemId, f64)> = [
+            (1u64, 9.0),
+            (2, 7.0),
+            (3, 7.0),
+            (4, 7.0),
+            (5, 5.0),
+            (6, 3.0),
+            (7, 2.0),
+            (8, 1.0),
+        ]
+        .into_iter()
+        .map(|(item, score)| (ItemId(item), score))
+        .collect();
+        for shards in [1, 2, 3, 5, 8] {
+            let mut reference = SortedList::from_unsorted(scored.clone()).unwrap();
+            let mut sharded = ShardedList::from_list(&reference, shards);
+            let step = |reference: &mut SortedList, sharded: &mut ShardedList| {
+                for p in 1..=reference.len() {
+                    let entry = reference.entry_at(Position::new(p).unwrap()).unwrap();
+                    assert_eq!(
+                        sharded.entry(p),
+                        Some((entry.item, entry.score)),
+                        "{shards} shards, position {p}"
+                    );
+                }
+                assert_eq!(sharded.len(), reference.len());
+                assert_eq!(sharded.epoch(), reference.epoch());
+            };
+            // Tie insertion: lands after items 2 and 3 (smaller ids).
+            reference.insert(ItemId(20), 7.0).unwrap();
+            sharded.insert(ItemId(20), 7.0).unwrap();
+            step(&mut reference, &mut sharded);
+            // Update into an existing tie run.
+            let a = reference.update_score(ItemId(7), 7.0).unwrap();
+            let b = sharded.update_score(ItemId(7), 7.0).unwrap();
+            assert_eq!(
+                (a.old_position, a.new_position),
+                (b.old_position, b.new_position)
+            );
+            step(&mut reference, &mut sharded);
+            // Cross-list move down, then a delete, then an append-at-tail.
+            reference.update_score(ItemId(1), 0.5).unwrap();
+            sharded.update_score(ItemId(1), 0.5).unwrap();
+            reference.delete(ItemId(5)).unwrap();
+            sharded.delete(ItemId(5)).unwrap();
+            reference.insert(ItemId(30), 0.1).unwrap();
+            sharded.insert(ItemId(30), 0.1).unwrap();
+            step(&mut reference, &mut sharded);
+        }
+    }
+
+    #[test]
+    fn open_views_keep_their_pre_mutation_snapshot() {
+        let database = db();
+        let pool = ThreadPool::new(2);
+        let mut sharded = ShardedDatabase::new(&database, 3);
+        let mut before = sharded.sources(&pool);
+
+        sharded.update_score(0, ItemId(10), 50.0).unwrap();
+        sharded.insert_item(ItemId(11), &[1.5, 1.5]).unwrap();
+        assert_eq!(sharded.epochs(), vec![2, 1]);
+        assert_eq!(sharded.num_items(), 11);
+
+        // The view opened before the mutations still serves the original
+        // snapshot: old length, old ordering, epoch 0.
+        assert_eq!(before.source_ref(0).len(), 10);
+        assert_eq!(before.epochs(), vec![0, 0]);
+        let top = before
+            .source(0)
+            .sorted_access(Position::FIRST, false)
+            .unwrap();
+        assert_eq!(top.item, ItemId(1), "score 30.0 still leads the snapshot");
+        assert!(before
+            .source(0)
+            .random_access(ItemId(11), false, false)
+            .is_none());
+
+        // A fresh view sees the mutated state.
+        let mut after = sharded.sources(&pool);
+        assert_eq!(after.source_ref(0).len(), 11);
+        assert_eq!(after.epochs(), vec![2, 1]);
+        let top = after
+            .source(0)
+            .sorted_access(Position::FIRST, false)
+            .unwrap();
+        assert_eq!(top.item, ItemId(10), "updated to 50.0");
+
+        // Validation failures leave the database untouched.
+        assert!(matches!(
+            sharded.insert_item(ItemId(12), &[1.0]),
+            Err(ListError::ScoreCountMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+        assert!(matches!(
+            sharded.update_score(9, ItemId(1), 1.0),
+            Err(ListError::ListIndexOutOfRange { index: 9, len: 2 })
+        ));
+        assert_eq!(sharded.epochs(), vec![2, 1]);
+
+        sharded.delete_item(ItemId(11)).unwrap();
+        assert_eq!(sharded.num_items(), 10);
+        assert_eq!(sharded.epochs(), vec![3, 2]);
     }
 
     #[test]

@@ -31,18 +31,68 @@ pub struct PositionedScore {
     pub score: Score,
 }
 
+/// A record of one `insert` or `delete` applied to a [`SortedList`].
+///
+/// Standing-query layers use deltas to decide, without touching the list
+/// again, whether a cached answer can survive the mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListDelta {
+    /// The inserted or deleted item.
+    pub item: ItemId,
+    /// Where the entry landed (insert) or used to live (delete).
+    pub position: Position,
+    /// The entry's local score.
+    pub score: Score,
+    /// The list's epoch **after** the mutation.
+    pub epoch: u64,
+}
+
+/// A record of one `update_score` applied to a [`SortedList`]: the score
+/// change plus the positional move it caused.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreUpdate {
+    /// The updated item.
+    pub item: ItemId,
+    /// The item's local score before the update.
+    pub old_score: Score,
+    /// The item's local score after the update.
+    pub new_score: Score,
+    /// The item's position before the update.
+    pub old_position: Position,
+    /// The item's position after the update.
+    pub new_position: Position,
+    /// The list's epoch **after** the mutation.
+    pub epoch: u64,
+}
+
+impl ScoreUpdate {
+    /// Whether the update lowered (or kept) the item's local score.
+    #[inline]
+    pub fn is_decrease(&self) -> bool {
+        self.new_score <= self.old_score
+    }
+}
+
 /// A list of `n` data items sorted in descending order of their local
 /// scores, with an item → position index for O(1) random access.
 ///
 /// This is the paper's `Li`: "each list Li contains n pairs of the form
 /// (d, si(d)) … Each list Li is sorted in descending order of its local
 /// scores".
+///
+/// Lists are *updatable*: [`SortedList::insert`], [`SortedList::delete`]
+/// and [`SortedList::update_score`] mutate the list while repairing the
+/// position index in place, and bump a monotone [`SortedList::epoch`]
+/// that version observers (sources, cached standing-query answers) compare
+/// against.
 #[derive(Debug, Clone)]
 pub struct SortedList {
     /// Entries in descending score order. Index `i` holds position `i + 1`.
     entries: Vec<(ItemId, Score)>,
     /// Item → 0-based index into `entries`.
     index: HashMap<ItemId, usize>,
+    /// Monotone mutation counter: 0 at construction, +1 per mutation.
+    epoch: u64,
 }
 
 impl SortedList {
@@ -93,7 +143,145 @@ impl SortedList {
                 return Err(ListError::DuplicateItem(*item));
             }
         }
-        Ok(SortedList { entries, index })
+        Ok(SortedList {
+            entries,
+            index,
+            epoch: 0,
+        })
+    }
+
+    /// Monotone mutation counter: `0` at construction, incremented by one on
+    /// every [`SortedList::insert`], [`SortedList::delete`] or
+    /// [`SortedList::update_score`]. Observers (sources, cached
+    /// standing-query answers) compare epochs to detect staleness.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Inserts a new item, placing it after every entry with a strictly
+    /// greater score and, within a tie run, after equal-scored entries with a
+    /// smaller item id (the [`SortedList::from_unsorted`] tie order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the score is NaN or the item is already present.
+    pub fn insert(&mut self, item: ItemId, score: f64) -> Result<ListDelta, ListError> {
+        let score = Score::new(score)?;
+        if self.index.contains_key(&item) {
+            return Err(ListError::DuplicateItem(item));
+        }
+        let at = self.insertion_index(item, score);
+        self.insert_entry(at, item, score);
+        self.epoch += 1;
+        self.debug_assert_consistent();
+        Ok(ListDelta {
+            item,
+            position: Position::from_index(at),
+            score,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Removes an item from the list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the item is not present, or if removing it would
+    /// leave the list empty (lists are never empty; delete the whole list
+    /// instead).
+    pub fn delete(&mut self, item: ItemId) -> Result<ListDelta, ListError> {
+        let at = *self.index.get(&item).ok_or(ListError::UnknownItem(item))?;
+        if self.entries.len() == 1 {
+            return Err(ListError::EmptyList);
+        }
+        let score = self.entries[at].1;
+        self.remove_entry(at);
+        self.epoch += 1;
+        self.debug_assert_consistent();
+        Ok(ListDelta {
+            item,
+            position: Position::from_index(at),
+            score,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Changes an item's local score, moving its entry to the position the
+    /// new score sorts to (same tie order as [`SortedList::insert`]) and
+    /// repairing the position index in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the item is not present or the score is NaN.
+    pub fn update_score(&mut self, item: ItemId, score: f64) -> Result<ScoreUpdate, ListError> {
+        let new_score = Score::new(score)?;
+        let from = *self.index.get(&item).ok_or(ListError::UnknownItem(item))?;
+        let old_score = self.entries[from].1;
+        self.remove_entry(from);
+        let to = self.insertion_index(item, new_score);
+        self.insert_entry(to, item, new_score);
+        self.epoch += 1;
+        self.debug_assert_consistent();
+        Ok(ScoreUpdate {
+            item,
+            old_score,
+            new_score,
+            old_position: Position::from_index(from),
+            new_position: Position::from_index(to),
+            epoch: self.epoch,
+        })
+    }
+
+    /// The 0-based index a fresh `(item, score)` entry sorts to: after all
+    /// strictly greater scores, then (within the tie run, which is short in
+    /// practice) after equal scores with smaller item ids.
+    fn insertion_index(&self, item: ItemId, score: Score) -> usize {
+        let mut at = self.entries.partition_point(|&(_, s)| s > score);
+        while at < self.entries.len() && self.entries[at].1 == score && self.entries[at].0 < item {
+            at += 1;
+        }
+        at
+    }
+
+    /// Splices an entry in at index `at`, shifting the indexed positions of
+    /// every entry at or past `at` up by one — an O(n − at) in-place repair
+    /// instead of a full index rebuild.
+    fn insert_entry(&mut self, at: usize, item: ItemId, score: Score) {
+        self.entries.insert(at, (item, score));
+        for &(shifted, _) in &self.entries[at + 1..] {
+            *self.index.get_mut(&shifted).expect("indexed entry") += 1;
+        }
+        self.index.insert(item, at);
+    }
+
+    /// Removes the entry at index `at`, shifting the indexed positions of
+    /// every entry past `at` down by one.
+    fn remove_entry(&mut self, at: usize) {
+        let (item, _) = self.entries.remove(at);
+        self.index.remove(&item);
+        for &(shifted, _) in &self.entries[at..] {
+            *self.index.get_mut(&shifted).expect("indexed entry") -= 1;
+        }
+    }
+
+    /// Debug-only check that the in-place index repair matches a rebuild
+    /// from scratch and that the descending-score invariant still holds.
+    fn debug_assert_consistent(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let rebuilt: HashMap<ItemId, usize> = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(item, _))| (item, i))
+                .collect();
+            debug_assert_eq!(rebuilt, self.index, "position index diverged from rebuild");
+            debug_assert!(
+                self.entries.windows(2).all(|w| w[0].1 >= w[1].1),
+                "descending-score invariant broken by mutation"
+            );
+        }
     }
 
     /// Number of entries (`n`) in the list.
@@ -312,5 +500,104 @@ mod tests {
             assert_eq!(l.score_at(e.position), Some(e.score));
         }
         assert_eq!(l.score_at(Position::new(10).unwrap()), None);
+    }
+
+    #[test]
+    fn insert_places_and_bumps_epoch() {
+        let mut l = list();
+        assert_eq!(l.epoch(), 0);
+        let delta = l.insert(ItemId(7), 27.5).unwrap();
+        assert_eq!(delta.position.get(), 3);
+        assert_eq!(delta.epoch, 1);
+        assert_eq!(l.epoch(), 1);
+        let items: Vec<_> = l.items().collect();
+        assert_eq!(
+            items,
+            vec![ItemId(1), ItemId(4), ItemId(7), ItemId(9), ItemId(3)]
+        );
+        assert_eq!(l.position_of(ItemId(3)), Position::new(5));
+        assert_eq!(
+            l.insert(ItemId(7), 1.0).unwrap_err(),
+            ListError::DuplicateItem(ItemId(7))
+        );
+        assert!(l.insert(ItemId(8), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn insert_ties_follow_from_unsorted_order() {
+        let mut incremental = SortedList::from_unsorted(vec![(ItemId(9), 5.0)]).unwrap();
+        incremental.insert(ItemId(2), 5.0).unwrap();
+        incremental.insert(ItemId(4), 5.0).unwrap();
+        let rebuilt =
+            SortedList::from_unsorted(vec![(ItemId(9), 5.0), (ItemId(2), 5.0), (ItemId(4), 5.0)])
+                .unwrap();
+        let a: Vec<_> = incremental.items().collect();
+        let b: Vec<_> = rebuilt.items().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_shifts_index_and_bumps_epoch() {
+        let mut l = list();
+        let delta = l.delete(ItemId(4)).unwrap();
+        assert_eq!(delta.position.get(), 2);
+        assert_eq!(delta.score.value(), 28.0);
+        assert_eq!(l.epoch(), 1);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.position_of(ItemId(9)), Position::new(2));
+        assert_eq!(l.position_of(ItemId(3)), Position::new(3));
+        assert_eq!(
+            l.delete(ItemId(4)).unwrap_err(),
+            ListError::UnknownItem(ItemId(4))
+        );
+    }
+
+    #[test]
+    fn delete_refuses_to_empty_the_list() {
+        let mut l = SortedList::from_unsorted(vec![(ItemId(1), 1.0)]).unwrap();
+        assert_eq!(l.delete(ItemId(1)).unwrap_err(), ListError::EmptyList);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.epoch(), 0);
+    }
+
+    #[test]
+    fn update_score_moves_entry_both_directions() {
+        let mut l = list();
+        // 27.0 -> 31.0: item 9 moves from position 3 to position 1.
+        let up = l.update_score(ItemId(9), 31.0).unwrap();
+        assert_eq!(up.old_position.get(), 3);
+        assert_eq!(up.new_position.get(), 1);
+        assert!(!up.is_decrease());
+        // 31.0 -> 25.0: back down to the tail.
+        let down = l.update_score(ItemId(9), 25.0).unwrap();
+        assert_eq!(down.new_position.get(), 4);
+        assert!(down.is_decrease());
+        assert_eq!(l.epoch(), 2);
+        let items: Vec<_> = l.items().collect();
+        assert_eq!(items, vec![ItemId(1), ItemId(4), ItemId(3), ItemId(9)]);
+        assert_eq!(
+            l.update_score(ItemId(50), 1.0).unwrap_err(),
+            ListError::UnknownItem(ItemId(50))
+        );
+    }
+
+    #[test]
+    fn mutated_list_matches_rebuild_from_scratch() {
+        let mut l = list();
+        l.insert(ItemId(6), 29.0).unwrap();
+        l.update_score(ItemId(3), 30.5).unwrap();
+        l.delete(ItemId(9)).unwrap();
+        let rebuilt = SortedList::from_unsorted(vec![
+            (ItemId(1), 30.0),
+            (ItemId(4), 28.0),
+            (ItemId(3), 30.5),
+            (ItemId(6), 29.0),
+        ])
+        .unwrap();
+        let a: Vec<_> = l.iter().collect();
+        let b: Vec<_> = rebuilt.iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(l.epoch(), 3);
+        assert_eq!(rebuilt.epoch(), 0);
     }
 }

@@ -251,6 +251,16 @@ pub trait ListSource: std::fmt::Debug {
     /// introspection for statistics, not a list access.
     fn best_position(&self) -> Option<Position>;
 
+    /// The mutation epoch of the list behind this source (see
+    /// `SortedList::epoch`). Catalog metadata, not an access: standing
+    /// queries compare epochs to decide whether a cached answer is still
+    /// current, and coalescing decorators compare them to invalidate
+    /// prefetched blocks. Immutable backends (disk pages, remote owners
+    /// of frozen lists) keep the default constant `0`.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
     /// The score of the list's last entry. Catalog metadata (the minimum
     /// of a sorted list is known at registration time), not an access.
     fn tail_score(&self) -> Score;
@@ -342,6 +352,15 @@ pub trait SourceSet {
         (0..self.num_lists())
             .map(|i| self.source_ref(i).cache_counters())
             .fold(CacheCounters::default(), |acc, c| acc.combined(&c))
+    }
+
+    /// Per-list mutation epochs, in list order ([`ListSource::epoch`]).
+    /// A standing query snapshots this vector with its cached answer and
+    /// serves the cache only while a fresh observation matches.
+    fn epochs(&self) -> Vec<u64> {
+        (0..self.num_lists())
+            .map(|i| self.source_ref(i).epoch())
+            .collect()
     }
 }
 
@@ -481,6 +500,10 @@ impl ListSource for InMemorySource<'_> {
         self.tracker.best_position()
     }
 
+    fn epoch(&self) -> u64 {
+        self.accessor.raw().epoch()
+    }
+
     fn tail_score(&self) -> Score {
         self.accessor.raw().last_entry().score
     }
@@ -518,6 +541,9 @@ pub struct BatchingSource<'a> {
     /// position `buffer_start + j`.
     buffer: Vec<SourceEntry>,
     buffer_start: usize,
+    /// The inner source's epoch when the buffer was filled; a mismatch
+    /// means the list mutated under us and the block is stale.
+    buffer_epoch: u64,
 }
 
 impl<'a> BatchingSource<'a> {
@@ -529,11 +555,13 @@ impl<'a> BatchingSource<'a> {
     /// Panics if `block_len` is zero.
     pub fn new(inner: Box<dyn ListSource + 'a>, block_len: usize) -> Self {
         assert!(block_len > 0, "block_len must be at least 1");
+        let buffer_epoch = inner.epoch();
         BatchingSource {
             inner,
             block_len,
             buffer: Vec::new(),
             buffer_start: 0,
+            buffer_epoch,
         }
     }
 
@@ -543,6 +571,11 @@ impl<'a> BatchingSource<'a> {
     }
 
     fn buffered(&self, position: Position) -> Option<SourceEntry> {
+        if self.inner.epoch() != self.buffer_epoch {
+            // The list mutated since the block was prefetched; serving
+            // from it would return pre-mutation entries.
+            return None;
+        }
         let p = position.get();
         if p >= self.buffer_start && p < self.buffer_start + self.buffer.len() {
             Some(self.buffer[p - self.buffer_start])
@@ -570,6 +603,7 @@ impl ListSource for BatchingSource<'_> {
         let first = entries.first().copied();
         self.buffer = entries;
         self.buffer_start = position.get();
+        self.buffer_epoch = self.inner.epoch();
         first
     }
 
@@ -591,14 +625,18 @@ impl ListSource for BatchingSource<'_> {
     }
 
     fn begin_round(&mut self) {
-        // The prefetched block stays valid across rounds (list data is
-        // immutable within a query); only the inner source may have
-        // round-sensitive state to flush.
+        // The prefetched block stays valid across rounds as long as the
+        // inner epoch is unchanged (checked on every buffered read); only
+        // the inner source may have round-sensitive state to flush.
         self.inner.begin_round();
     }
 
     fn best_position(&self) -> Option<Position> {
         self.inner.best_position()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
     }
 
     fn tail_score(&self) -> Score {
@@ -616,6 +654,7 @@ impl ListSource for BatchingSource<'_> {
     fn reset(&mut self) {
         self.buffer.clear();
         self.buffer_start = 0;
+        self.buffer_epoch = self.inner.epoch();
         self.inner.reset();
     }
 }
@@ -1005,6 +1044,119 @@ mod tests {
                 random: 0,
                 direct: 0
             }
+        );
+    }
+
+    #[test]
+    fn epochs_pass_through_sources_and_decorators() {
+        let mut db = db();
+        db.update_score(1, ItemId(3), 29.0).unwrap();
+        {
+            let sources = Sources::in_memory(&db);
+            assert_eq!(sources.epochs(), vec![0, 1]);
+            assert_eq!(sources.source_ref(1).epoch(), 1);
+        }
+        let batched = Sources::in_memory(&db).batched(2);
+        assert_eq!(batched.epochs(), vec![0, 1]);
+    }
+
+    /// A source over interior-mutable data: lets tests mutate the list
+    /// *while a decorator holds it*, which the borrow-based in-memory
+    /// source cannot express. Only the paths the batching decorator
+    /// exercises are implemented.
+    #[derive(Debug)]
+    struct SharedListSource {
+        list: std::rc::Rc<std::cell::RefCell<SortedList>>,
+        counters: AccessCounters,
+    }
+
+    impl ListSource for SharedListSource {
+        fn len(&self) -> usize {
+            self.list.borrow().len()
+        }
+        fn sorted_access(&mut self, position: Position, _track: bool) -> Option<SourceEntry> {
+            self.counters.sorted += 1;
+            self.list.borrow().entry_at(position).map(|e| SourceEntry {
+                position: e.position,
+                item: e.item,
+                score: e.score,
+                best_position_score: None,
+            })
+        }
+        fn random_access(
+            &mut self,
+            item: ItemId,
+            with_position: bool,
+            _track: bool,
+        ) -> Option<SourceScore> {
+            self.counters.random += 1;
+            self.list.borrow().lookup(item).map(|ps| SourceScore {
+                score: ps.score,
+                position: with_position.then_some(ps.position),
+                best_position_score: None,
+            })
+        }
+        fn direct_access_next(&mut self) -> Option<SourceEntry> {
+            None
+        }
+        fn best_position(&self) -> Option<Position> {
+            None
+        }
+        fn epoch(&self) -> u64 {
+            self.list.borrow().epoch()
+        }
+        fn tail_score(&self) -> Score {
+            self.list.borrow().last_entry().score
+        }
+        fn counters(&self) -> AccessCounters {
+            self.counters
+        }
+        fn reset(&mut self) {
+            self.counters = AccessCounters::default();
+        }
+    }
+
+    #[test]
+    fn batching_invalidates_the_prefetched_block_on_epoch_change() {
+        let list = std::rc::Rc::new(std::cell::RefCell::new(
+            SortedList::from_unsorted(vec![
+                (ItemId(1), 30.0),
+                (ItemId(2), 20.0),
+                (ItemId(3), 10.0),
+            ])
+            .unwrap(),
+        ));
+        let inner = SharedListSource {
+            list: std::rc::Rc::clone(&list),
+            counters: AccessCounters::default(),
+        };
+        let mut batched = BatchingSource::new(Box::new(inner), 3);
+
+        // Prefetch positions 1..=3, then serve position 2 from the buffer.
+        assert_eq!(
+            batched.sorted_access(Position::FIRST, false).unwrap().item,
+            ItemId(1)
+        );
+        let stale_would_be = batched
+            .sorted_access(Position::new(2).unwrap(), false)
+            .unwrap();
+        assert_eq!(stale_would_be.item, ItemId(2));
+        assert_eq!(batched.counters().sorted, 3, "one block of 3 prefetched");
+
+        // Mutate under the decorator: item 3 jumps to the top.
+        list.borrow_mut().update_score(ItemId(3), 40.0).unwrap();
+        assert_eq!(batched.epoch(), 1);
+
+        // The buffered entry for position 2 is stale (it now holds item 1);
+        // the epoch check forces a re-fetch instead of serving it.
+        let fresh = batched
+            .sorted_access(Position::new(2).unwrap(), false)
+            .unwrap();
+        assert_eq!(fresh.item, ItemId(1));
+        assert_eq!(fresh.score.value(), 30.0);
+        assert!(
+            batched.counters().sorted > 3,
+            "the stale block was not served"
         );
     }
 

@@ -13,15 +13,22 @@
 //! test name and case index), so failures are reproducible run-to-run.
 //!
 //! Failing cases are **shrunk** with a greedy minimisation pass before
-//! being reported: scalar strategies propose their range's lower bound,
-//! the halfway point toward it and the decrement; vector strategies
-//! truncate toward their minimum length and simplify elements; tuples
-//! shrink one component at a time. Whenever a candidate still fails, it
-//! replaces the failing input and shrinking restarts from it, until no
-//! candidate fails or the attempt budget runs out — the report then
-//! names the *minimal* failing input found. Unlike real proptest there
-//! is no value tree: `prop_map`/`prop_flat_map` outputs do not shrink
-//! (there is no inverse to map a simplified output back through).
+//! being reported. Every strategy separates the raw material it draws
+//! from the RNG (its [`Seed`](strategy::Strategy::Seed)) from the value
+//! it hands to the test body
+//! ([`materialize`](strategy::Strategy::materialize)), and shrinking
+//! works entirely in seed space: scalar strategies propose their range's
+//! lower bound, the halfway point toward it and the decrement; vector
+//! strategies truncate toward their minimum length and simplify
+//! elements; tuples shrink one component at a time. Because `prop_map`
+//! simply maps a seed's materialisation, **mapped outputs shrink through
+//! their base strategy** — no inverse of the closure is needed;
+//! `prop_flat_map` shrinks the dependent (inner) part of its seed while
+//! holding the outer draw fixed, so candidates never escape the
+//! dependent domain. Whenever a candidate still fails, it replaces the
+//! failing seed and shrinking restarts from it, until no candidate fails
+//! or the attempt budget runs out — the report then names the *minimal*
+//! failing input found (materialised, as the test body saw it).
 //!
 //! ```
 //! use proptest::prelude::*;
@@ -144,8 +151,9 @@ pub mod test_runner {
 
     /// The driver the [`proptest!`](crate::proptest) macro expands to:
     /// runs `config.cases` deterministic cases; on the first failure,
-    /// greedily shrinks the input ([`Strategy::shrink`]) and re-panics
-    /// with the minimal failing input found.
+    /// greedily shrinks the failing **seed** ([`Strategy::shrink_seed`])
+    /// and re-panics with the minimal failing input found (materialised,
+    /// as the body saw it).
     pub fn check<S, F>(test_name: &str, config: &ProptestConfig, strategy: &S, body: F)
     where
         S: Strategy,
@@ -153,26 +161,29 @@ pub mod test_runner {
     {
         for case in 0..config.cases {
             let mut rng = TestRng::deterministic(test_name, case);
-            let value = strategy.generate(&mut rng);
-            let Err(first_payload) = run_quiet(&body, value.clone()) else {
+            let seed = strategy.generate_seed(&mut rng);
+            let Err(first_payload) = run_quiet(&body, strategy.materialize(&seed)) else {
                 continue;
             };
 
-            // Greedy minimisation: adopt the first candidate that still
-            // fails and restart from it; stop when a full candidate pass
-            // succeeds everywhere (a local minimum) or the budget is out.
-            let mut failing = value;
+            // Greedy minimisation in seed space: adopt the first
+            // candidate that still fails and restart from it; stop when a
+            // full candidate pass succeeds everywhere (a local minimum)
+            // or the budget is out.
+            let mut failing = seed;
             let mut payload = first_payload;
             let mut attempts = 0usize;
             let mut improved = true;
             while improved && attempts < MAX_SHRINK_ATTEMPTS {
                 improved = false;
-                for candidate in strategy.shrink(&failing) {
+                for candidate in strategy.shrink_seed(&failing) {
                     if attempts >= MAX_SHRINK_ATTEMPTS {
                         break;
                     }
                     attempts += 1;
-                    if let Err(candidate_payload) = run_quiet(&body, candidate.clone()) {
+                    if let Err(candidate_payload) =
+                        run_quiet(&body, strategy.materialize(&candidate))
+                    {
                         failing = candidate;
                         payload = candidate_payload;
                         improved = true;
@@ -183,7 +194,8 @@ pub mod test_runner {
 
             panic!(
                 "proptest '{test_name}' failed at case {case}; minimal failing input \
-                 after {attempts} shrink attempt(s): {failing:?}\ncaused by: {}",
+                 after {attempts} shrink attempt(s): {:?}\ncaused by: {}",
+                strategy.materialize(&failing),
                 payload_message(payload.as_ref())
             );
         }
@@ -200,32 +212,49 @@ pub mod strategy {
     use crate::test_runner::TestRng;
 
     /// A recipe for generating random values of an associated type, with
-    /// optional simplification of failing values.
+    /// simplification of failing values.
     ///
-    /// Unlike real proptest there is no value tree: strategies generate
-    /// plain values, and [`shrink`](Strategy::shrink) proposes simpler
-    /// *candidates* for a failing value (simplest first). The default
-    /// proposes nothing, which is always sound.
+    /// Unlike real proptest there is no value tree; instead every
+    /// strategy splits generation in two:
+    /// [`generate_seed`](Strategy::generate_seed) draws the raw material
+    /// from the RNG and [`materialize`](Strategy::materialize)
+    /// deterministically turns it into the test value. Shrinking
+    /// ([`shrink_seed`](Strategy::shrink_seed)) proposes simpler *seeds*
+    /// (simplest first), which combinators forward to their base strategy — this
+    /// is what lets [`prop_map`](Strategy::prop_map) outputs shrink
+    /// without an inverse of the mapping closure.
     pub trait Strategy {
+        /// The raw material drawn from the RNG, before any mapping.
+        /// `Clone + Debug` so the runner can probe shrink candidates.
+        type Seed: Clone + std::fmt::Debug;
+
         /// The type of value this strategy generates. `Clone + Debug` so
-        /// the runner can probe shrink candidates and report the minimal
-        /// failing input.
+        /// the runner can report the minimal failing input.
         type Value: Clone + std::fmt::Debug;
 
-        /// Draws one value from `rng`.
-        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+        /// Draws one seed from `rng`.
+        fn generate_seed(&self, rng: &mut TestRng) -> Self::Seed;
 
-        /// Simpler candidates for a failing `value`, simplest first.
-        /// Every candidate must itself be a value this strategy could
-        /// have generated (shrinking never escapes the input domain).
-        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-            let _ = value;
+        /// Deterministically turns a seed into the test value.
+        fn materialize(&self, seed: &Self::Seed) -> Self::Value;
+
+        /// Simpler candidate seeds for a failing `seed`, simplest first.
+        /// Every candidate must itself be a seed this strategy could have
+        /// drawn (shrinking never escapes the input domain). The default
+        /// proposes nothing, which is always sound.
+        fn shrink_seed(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
+            let _ = seed;
             Vec::new()
         }
 
-        /// Transforms every generated value with `map`. The output does
-        /// not shrink (there is no inverse to pull candidates back
-        /// through the closure).
+        /// Draws one value from `rng` (seed + materialisation).
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.materialize(&self.generate_seed(rng))
+        }
+
+        /// Transforms every generated value with `map`. The output
+        /// shrinks through the base strategy: candidates are simpler
+        /// base seeds, re-mapped.
         fn prop_map<T, F: Fn(Self::Value) -> T>(self, map: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -235,8 +264,9 @@ pub mod strategy {
         }
 
         /// Generates a value, then generates from the strategy `flat_map`
-        /// builds out of it (dependent generation). The output does not
-        /// shrink.
+        /// builds out of it (dependent generation). Shrinking simplifies
+        /// the dependent (inner) seed while holding the outer draw fixed,
+        /// so candidates stay inside the dependent domain.
         fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(
             self,
             flat_map: F,
@@ -264,10 +294,19 @@ pub mod strategy {
         F: Fn(S::Value) -> T,
         T: Clone + std::fmt::Debug,
     {
+        type Seed = S::Seed;
         type Value = T;
 
-        fn generate(&self, rng: &mut TestRng) -> T {
-            (self.map)(self.base.generate(rng))
+        fn generate_seed(&self, rng: &mut TestRng) -> S::Seed {
+            self.base.generate_seed(rng)
+        }
+
+        fn materialize(&self, seed: &S::Seed) -> T {
+            (self.map)(self.base.materialize(seed))
+        }
+
+        fn shrink_seed(&self, seed: &S::Seed) -> Vec<S::Seed> {
+            self.base.shrink_seed(seed)
         }
     }
 
@@ -284,10 +323,29 @@ pub mod strategy {
         S2: Strategy,
         F: Fn(S::Value) -> S2,
     {
+        type Seed = (S::Seed, S2::Seed);
         type Value = S2::Value;
 
-        fn generate(&self, rng: &mut TestRng) -> S2::Value {
-            (self.flat_map)(self.base.generate(rng)).generate(rng)
+        fn generate_seed(&self, rng: &mut TestRng) -> Self::Seed {
+            let outer = self.base.generate_seed(rng);
+            let inner = (self.flat_map)(self.base.materialize(&outer)).generate_seed(rng);
+            (outer, inner)
+        }
+
+        fn materialize(&self, (outer, inner): &Self::Seed) -> S2::Value {
+            (self.flat_map)(self.base.materialize(outer)).materialize(inner)
+        }
+
+        /// Only the inner seed shrinks: simplifying the outer draw would
+        /// rebuild a *different* dependent strategy, for which the inner
+        /// seed may be out of domain (e.g. a vector longer than the new
+        /// length range allows).
+        fn shrink_seed(&self, (outer, inner): &Self::Seed) -> Vec<Self::Seed> {
+            (self.flat_map)(self.base.materialize(outer))
+                .shrink_seed(inner)
+                .into_iter()
+                .map(|candidate| (outer.clone(), candidate))
+                .collect()
         }
     }
 
@@ -316,26 +374,36 @@ pub mod strategy {
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
+                type Seed = $t;
                 type Value = $t;
 
-                fn generate(&self, rng: &mut TestRng) -> $t {
+                fn generate_seed(&self, rng: &mut TestRng) -> $t {
                     rng.rng().random_range(self.clone())
                 }
 
-                fn shrink(&self, value: &$t) -> Vec<$t> {
-                    int_candidates!(self.start, *value)
+                fn materialize(&self, seed: &$t) -> $t {
+                    *seed
+                }
+
+                fn shrink_seed(&self, seed: &$t) -> Vec<$t> {
+                    int_candidates!(self.start, *seed)
                 }
             }
 
             impl Strategy for RangeInclusive<$t> {
+                type Seed = $t;
                 type Value = $t;
 
-                fn generate(&self, rng: &mut TestRng) -> $t {
+                fn generate_seed(&self, rng: &mut TestRng) -> $t {
                     rng.rng().random_range(self.clone())
                 }
 
-                fn shrink(&self, value: &$t) -> Vec<$t> {
-                    int_candidates!(*self.start(), *value)
+                fn materialize(&self, seed: &$t) -> $t {
+                    *seed
+                }
+
+                fn shrink_seed(&self, seed: &$t) -> Vec<$t> {
+                    int_candidates!(*self.start(), *seed)
                 }
             }
         )*};
@@ -356,53 +424,68 @@ pub mod strategy {
     }
 
     impl Strategy for Range<f64> {
+        type Seed = f64;
         type Value = f64;
 
-        fn generate(&self, rng: &mut TestRng) -> f64 {
+        fn generate_seed(&self, rng: &mut TestRng) -> f64 {
             assert!(self.start < self.end, "cannot sample from empty range");
             let unit: f64 = rng.rng().random();
             self.start + unit * (self.end - self.start)
         }
 
-        fn shrink(&self, value: &f64) -> Vec<f64> {
-            f64_candidates(self.start, *value)
+        fn materialize(&self, seed: &f64) -> f64 {
+            *seed
+        }
+
+        fn shrink_seed(&self, seed: &f64) -> Vec<f64> {
+            f64_candidates(self.start, *seed)
         }
     }
 
     impl Strategy for RangeInclusive<f64> {
+        type Seed = f64;
         type Value = f64;
 
-        fn generate(&self, rng: &mut TestRng) -> f64 {
+        fn generate_seed(&self, rng: &mut TestRng) -> f64 {
             let (lo, hi) = (*self.start(), *self.end());
             assert!(lo <= hi, "cannot sample from empty range");
             let unit: f64 = rng.rng().random();
             lo + unit * (hi - lo)
         }
 
-        fn shrink(&self, value: &f64) -> Vec<f64> {
-            f64_candidates(*self.start(), *value)
+        fn materialize(&self, seed: &f64) -> f64 {
+            *seed
+        }
+
+        fn shrink_seed(&self, seed: &f64) -> Vec<f64> {
+            f64_candidates(*self.start(), *seed)
         }
     }
 
     macro_rules! impl_tuple_strategy {
         ($($idx:tt $name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Seed = ($($name::Seed,)+);
                 type Value = ($($name::Value,)+);
 
                 #[allow(non_snake_case)]
-                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                fn generate_seed(&self, rng: &mut TestRng) -> Self::Seed {
                     let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    ($($name.generate_seed(rng),)+)
+                }
+
+                fn materialize(&self, seed: &Self::Seed) -> Self::Value {
+                    ($(self.$idx.materialize(&seed.$idx),)+)
                 }
 
                 /// One component at a time, in tuple order: each
                 /// candidate replaces a single component and keeps the
-                /// rest of the failing value.
-                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                /// rest of the failing seed.
+                fn shrink_seed(&self, seed: &Self::Seed) -> Vec<Self::Seed> {
                     let mut out = Vec::new();
                     $(
-                        for candidate in self.$idx.shrink(&value.$idx) {
-                            let mut next = value.clone();
+                        for candidate in self.$idx.shrink_seed(&seed.$idx) {
+                            let mut next = seed.clone();
                             next.$idx = candidate;
                             out.push(next);
                         }
@@ -445,36 +528,43 @@ pub mod collection {
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Seed = Vec<S::Seed>;
         type Value = Vec<S::Value>;
 
-        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        fn generate_seed(&self, rng: &mut TestRng) -> Vec<S::Seed> {
             let len = rng.rng().random_range(self.size.clone());
-            (0..len).map(|_| self.element.generate(rng)).collect()
+            (0..len).map(|_| self.element.generate_seed(rng)).collect()
+        }
+
+        fn materialize(&self, seed: &Vec<S::Seed>) -> Vec<S::Value> {
+            seed.iter()
+                .map(|element| self.element.materialize(element))
+                .collect()
         }
 
         /// Truncations toward the minimum length (all at once, halfway,
         /// one element), then per-element simplification using each
-        /// element's own first candidate.
-        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        /// element's own first candidate seed.
+        fn shrink_seed(&self, seed: &Vec<S::Seed>) -> Vec<Vec<S::Seed>> {
             let min = *self.size.start();
             let mut out = Vec::new();
-            if value.len() > min {
+            if seed.len() > min {
                 let mut lens = vec![min];
-                let half = value.len() / 2;
-                if half > min && half < value.len() {
+                let half = seed.len() / 2;
+                if half > min && half < seed.len() {
                     lens.push(half);
                 }
-                let dec = value.len() - 1;
+                let dec = seed.len() - 1;
                 if dec > min && dec != half {
                     lens.push(dec);
                 }
                 for len in lens {
-                    out.push(value[..len].to_vec());
+                    out.push(seed[..len].to_vec());
                 }
             }
-            for (i, element) in value.iter().enumerate() {
-                if let Some(candidate) = self.element.shrink(element).into_iter().next() {
-                    let mut next = value.clone();
+            for (i, element) in seed.iter().enumerate() {
+                if let Some(candidate) = self.element.shrink_seed(element).into_iter().next() {
+                    let mut next = seed.clone();
                     next[i] = candidate;
                     out.push(next);
                 }
@@ -610,25 +700,37 @@ mod tests {
     #[test]
     fn integer_candidates_are_clamped_simplest_first() {
         let strategy = 5usize..100;
-        assert_eq!(strategy.shrink(&40), vec![5, 22, 39]);
-        assert_eq!(strategy.shrink(&6), vec![5], "mid and dec collapse onto lo");
-        assert_eq!(strategy.shrink(&7), vec![5, 6], "mid collapses onto dec");
-        assert_eq!(strategy.shrink(&5), Vec::<usize>::new(), "lo is minimal");
+        assert_eq!(strategy.shrink_seed(&40), vec![5, 22, 39]);
+        assert_eq!(
+            strategy.shrink_seed(&6),
+            vec![5],
+            "mid and dec collapse onto lo"
+        );
+        assert_eq!(
+            strategy.shrink_seed(&7),
+            vec![5, 6],
+            "mid collapses onto dec"
+        );
+        assert_eq!(
+            strategy.shrink_seed(&5),
+            Vec::<usize>::new(),
+            "lo is minimal"
+        );
         let inclusive = 3u64..=9;
-        assert_eq!(inclusive.shrink(&9), vec![3, 6, 8]);
+        assert_eq!(inclusive.shrink_seed(&9), vec![3, 6, 8]);
     }
 
     #[test]
     fn float_candidates_move_toward_the_lower_bound() {
         let strategy = 1.0f64..9.0;
-        assert_eq!(strategy.shrink(&5.0), vec![1.0, 3.0]);
-        assert!(strategy.shrink(&1.0).is_empty());
+        assert_eq!(strategy.shrink_seed(&5.0), vec![1.0, 3.0]);
+        assert!(strategy.shrink_seed(&1.0).is_empty());
     }
 
     #[test]
     fn vec_candidates_truncate_toward_min_then_shrink_elements() {
         let strategy = crate::collection::vec(0u32..100, 1..=10);
-        let candidates = strategy.shrink(&vec![50, 60, 70, 80]);
+        let candidates = strategy.shrink_seed(&vec![50, 60, 70, 80]);
         // Truncations first: to min (1), to half (2), by one (3)…
         assert_eq!(candidates[0], vec![50]);
         assert_eq!(candidates[1], vec![50, 60]);
@@ -637,14 +739,14 @@ mod tests {
         assert_eq!(candidates[3], vec![0, 60, 70, 80]);
         assert_eq!(candidates[4], vec![50, 0, 70, 80]);
         // A vec at minimum length only shrinks elements.
-        let at_min = strategy.shrink(&vec![9]);
+        let at_min = strategy.shrink_seed(&vec![9]);
         assert_eq!(at_min, vec![vec![0]]);
     }
 
     #[test]
     fn tuple_candidates_shrink_one_component_at_a_time() {
         let strategy = (0u32..10, 0u32..10);
-        let candidates = strategy.shrink(&(4, 6));
+        let candidates = strategy.shrink_seed(&(4, 6));
         assert!(candidates.contains(&(0, 6)));
         assert!(candidates.contains(&(4, 0)));
         assert!(
@@ -654,11 +756,22 @@ mod tests {
     }
 
     #[test]
-    fn mapped_strategies_do_not_shrink() {
+    fn mapped_strategies_shrink_through_their_base() {
         let mapped = (0u32..100).prop_map(|v| v * 2);
-        assert!(mapped.shrink(&50).is_empty());
+        // Seeds are base values; candidates come from the base range…
+        assert_eq!(mapped.shrink_seed(&50), vec![0, 25, 49]);
+        // …and materialise through the map.
+        assert_eq!(mapped.materialize(&25), 50);
+    }
+
+    #[test]
+    fn flat_mapped_strategies_shrink_the_dependent_part() {
         let flat = (1usize..=3).prop_flat_map(|n| crate::collection::vec(0u32..10, n..=n));
-        assert!(flat.shrink(&vec![5]).is_empty());
+        // The inner vec is pinned to length 2 by the outer draw, so only
+        // its elements shrink; the outer draw is held fixed.
+        let candidates = flat.shrink_seed(&(2, vec![5, 7]));
+        assert_eq!(candidates, vec![(2, vec![0, 7]), (2, vec![5, 0])]);
+        assert_eq!(flat.materialize(&(2, vec![0, 7])), vec![0, 7]);
     }
 
     /// End to end: a property failing for all `x >= 10` must be reported
@@ -684,6 +797,29 @@ mod tests {
         assert!(
             message.contains("too big: 10"),
             "…and the original assertion"
+        );
+    }
+
+    /// End to end through `prop_map`: the property sees only mapped
+    /// (doubled) values, fails for all outputs `>= 20`, and must be
+    /// reported at exactly `20` — shrinking happened on the base seeds.
+    #[test]
+    fn mapped_failing_cases_shrink_to_the_minimal_output() {
+        let outcome = std::panic::catch_unwind(|| {
+            crate::test_runner::check(
+                "mapped_shrinks_to_twenty",
+                &ProptestConfig::with_cases(64),
+                &((0u32..1000).prop_map(|v| v * 2),),
+                |(x,)| assert!(x < 20, "too big: {x}"),
+            );
+        });
+        let payload = outcome.expect_err("the property is falsifiable");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("check panics with a formatted report");
+        assert!(
+            message.contains("minimal failing input") && message.contains("(20,)"),
+            "report must name the minimal mapped output, got: {message}"
         );
     }
 
