@@ -42,6 +42,7 @@
 //! assert_eq!(best.answers[0].key, 1); // row 1: 0.5 + 0.8 = 1.3
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod documents;

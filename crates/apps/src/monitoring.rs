@@ -5,6 +5,11 @@
 //! application maintains a list of the accessed URLs ranked by their
 //! frequency of access. In this application, an interesting query for the
 //! network administrator is: what are the top-k popular URLs?" (Section 8)
+//!
+//! Every mutation this module applies is announced to the standing
+//! queries through `ingest`/`ingest_update` in **epoch order** with no
+//! gaps — epoch continuity is the contract that keeps the incremental
+//! top-k caches equal to a from-scratch recomputation.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! A [`StandingQuery`] is registered over a uniform database, then a
-//! deterministic update stream plays against it: mostly small
+//! deterministic update stream plays against it (each batch ingested in
+//! **epoch order**, upholding the epoch-continuity contract): mostly small
 //! re-scores (the monitoring steady state — scores that provably cannot
 //! enter the top k), with an occasional spike that beats the cached
 //! threshold and forces a refresh. After **every** update the standing

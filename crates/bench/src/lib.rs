@@ -36,6 +36,7 @@
 //! assert!(runs[2].accesses <= runs[1].accesses);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

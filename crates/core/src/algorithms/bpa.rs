@@ -1,7 +1,6 @@
 //! The Best Position Algorithm (Section 4).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use topk_lists::source::SourceSet;
 use topk_lists::tracker::{PositionTracker, TrackerKind};
@@ -60,7 +59,6 @@ impl TopKAlgorithm for Bpa {
         sources: &mut dyn SourceSet,
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
-        let started = Instant::now();
         let m = sources.num_lists();
         let n = sources.num_items();
 
@@ -124,7 +122,6 @@ impl TopKAlgorithm for Bpa {
             Some(stop_position),
             stop_position as u64,
             resolved.len(),
-            started,
         );
         // Every position up to bp_i holds a resolved item (it was seen
         // under sorted access — resolved on the spot — or under a random

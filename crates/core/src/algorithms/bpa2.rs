@@ -1,7 +1,6 @@
 //! BPA2 (Section 5).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use topk_lists::source::SourceSet;
 use topk_lists::tracker::TrackerKind;
@@ -68,7 +67,6 @@ impl TopKAlgorithm for Bpa2 {
         sources: &mut dyn SourceSet,
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
-        let started = Instant::now();
         let m = sources.num_lists();
 
         let mut resolved: HashMap<ItemId, Score> = HashMap::new();
@@ -145,7 +143,7 @@ impl TopKAlgorithm for Bpa2 {
             .filter_map(|i| sources.source_ref(i).best_position())
             .map(|p| p.get())
             .max();
-        let stats = collect_stats(sources, stop_position, rounds, resolved.len(), started);
+        let stats = collect_stats(sources, stop_position, rounds, resolved.len());
         // Seen positions only ever hold resolved items (direct access
         // resolves on the spot; tracked random accesses mark positions of
         // the item being resolved), so the final best-position scores

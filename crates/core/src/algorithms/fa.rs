@@ -1,7 +1,6 @@
 //! Fagin's Algorithm (Section 3.1).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use topk_lists::source::SourceSet;
 use topk_lists::{ItemId, Position, Score};
@@ -33,7 +32,6 @@ impl TopKAlgorithm for Fa {
         sources: &mut dyn SourceSet,
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
-        let started = Instant::now();
         let m = sources.num_lists();
         let n = sources.num_items();
         let k = query.k();
@@ -104,7 +102,6 @@ impl TopKAlgorithm for Fa {
             Some(stop_position),
             stop_position as u64,
             items_scored,
-            started,
         );
         // An item FA never resolved was seen in *no* list, so it sits
         // below the stopping position everywhere and `last_scores` bounds

@@ -1,7 +1,6 @@
 //! The naive full-scan baseline.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use topk_lists::source::SourceSet;
 use topk_lists::{ItemId, Position, Score};
@@ -31,7 +30,6 @@ impl TopKAlgorithm for NaiveScan {
         sources: &mut dyn SourceSet,
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
-        let started = Instant::now();
         let m = sources.num_lists();
         let n = sources.num_items();
 
@@ -56,16 +54,22 @@ impl TopKAlgorithm for NaiveScan {
             }
         }
 
+        // Score in item-id order, not hash order: the buffer's tie-break
+        // between equal overall scores is offer order, so iterating the
+        // HashMap directly would let the per-map hash seed pick the
+        // answer set among tied items.
+        let mut locals: Vec<(ItemId, Vec<Score>)> = locals.into_iter().collect();
+        locals.sort_unstable_by_key(|(item, _)| *item);
+
+        let items_scored = locals.len();
         let mut buffer = TopKBuffer::new(query.k());
-        let mut resolved = Vec::with_capacity(locals.len());
+        let mut resolved = Vec::with_capacity(items_scored);
         for (item, scores) in &locals {
             let overall = query.combine(scores);
             resolved.push((*item, overall));
             buffer.offer(*item, overall);
         }
-
-        let items_scored = locals.len();
-        let stats = collect_stats(sources, None, 1, items_scored, started);
+        let stats = collect_stats(sources, None, 1, items_scored);
         // The scan resolves *every* item; the tail scores still make a
         // valid (vacuous) bound for the certificate's consumers.
         let certificate = RunCertificate::new(Some(tail_scores), resolved);

@@ -1,7 +1,6 @@
 //! The Threshold Algorithm (Section 3.2).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use topk_lists::source::SourceSet;
 use topk_lists::{ItemId, Position, Score};
@@ -74,7 +73,6 @@ impl TopKAlgorithm for Ta {
         sources: &mut dyn SourceSet,
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
-        let started = Instant::now();
         let m = sources.num_lists();
         let n = sources.num_items();
 
@@ -123,7 +121,6 @@ impl TopKAlgorithm for Ta {
             Some(stop_position),
             stop_position as u64,
             resolved.len(),
-            started,
         );
         // Any unresolved item sits below the stopping position in every
         // list, so `last_scores` bounds its local scores (the fact behind

@@ -26,7 +26,6 @@
 //! [`ScoringFunction::supports_partial_sums`]: crate::scoring::ScoringFunction::supports_partial_sums
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use topk_lists::source::SourceSet;
 use topk_lists::{ItemId, Position, Score};
@@ -109,7 +108,6 @@ impl TopKAlgorithm for Tput {
                 scoring: query.scoring().name().to_owned(),
             });
         }
-        let started = Instant::now();
         let m = sources.num_lists();
         let n = sources.num_items();
         let k = query.k();
@@ -142,6 +140,7 @@ impl TopKAlgorithm for Tput {
             }
         }
         let mut lower_bounds: Vec<f64> = candidates
+            // lint:allow(deterministic-iteration) -- folded to the k-th largest scalar; order unobservable
             .values()
             .map(|c| c.lower_bound(&floors))
             .collect();
@@ -173,6 +172,7 @@ impl TopKAlgorithm for Tput {
             }
         }
         let mut lower_bounds: Vec<f64> = candidates
+            // lint:allow(deterministic-iteration) -- folded to the k-th largest scalar; order unobservable
             .values()
             .map(|c| c.lower_bound(&floors))
             .collect();
@@ -214,7 +214,6 @@ impl TopKAlgorithm for Tput {
             Some(*depth.iter().max().expect("m >= 1")),
             3,
             items_scored,
-            started,
         );
         Ok(TopKResult::new(buffer.into_ranked(), stats))
     }

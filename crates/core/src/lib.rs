@@ -41,6 +41,7 @@
 //! assert_eq!(ta.stats().stop_position, Some(6));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithms;

@@ -131,6 +131,14 @@ impl TopKResult {
         &self.stats
     }
 
+    /// Stamps the wall-clock duration measured by
+    /// [`run_on`](crate::algorithms::TopKAlgorithm::run_on). Algorithm
+    /// bodies leave `elapsed` at zero; timing lives only at that single
+    /// entry point so the bodies stay free of wall-clock reads.
+    pub(crate) fn set_elapsed(&mut self, elapsed: std::time::Duration) {
+        self.stats.elapsed = elapsed;
+    }
+
     /// Compares two results by their score sequences within a tolerance,
     /// which is the right notion of agreement between algorithms when the
     /// database contains ties.

@@ -1,5 +1,10 @@
 //! Interleaved updates and queries versus rebuild-from-scratch.
 //!
+//! Batches are fed to `StandingQuery::ingest` in **epoch order** with no
+//! gaps (epoch continuity): the generators below advance the epoch by
+//! exactly one per applied batch, which is what makes the incremental
+//! maintenance comparable to the rebuilt reference.
+//!
 //! The refactor that made every layer updatable is only correct if a
 //! mutated-in-place structure is *indistinguishable* from one rebuilt
 //! from scratch over the same logical contents. This property test

@@ -25,6 +25,7 @@
 //!
 //! [Akbarinia et al., VLDB 2007]: https://hal.inria.fr/inria-00378836
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod correlated;

@@ -58,6 +58,7 @@
 //! assert_eq!(result.network.rounds(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

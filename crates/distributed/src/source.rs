@@ -212,6 +212,7 @@ impl ListSource for ClusterSource<'_> {
                     .into_iter()
                     .enumerate()
                     .map(|(j, (item, score))| SourceEntry {
+                        // lint:allow(fail-stop) -- start is a NonZero position and j >= 0, so the sum is >= 1
                         position: Position::new(start.get() + j).expect("pos >= 1"),
                         item,
                         score,

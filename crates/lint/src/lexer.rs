@@ -1,0 +1,455 @@
+//! A hand-rolled, error-tolerant token-level lexer for Rust source.
+//!
+//! The workspace builds fully offline, so `syn`/`proc-macro2` are not
+//! available; the lint rules only need token-level information anyway
+//! (identifiers, punctuation, comments, and — crucially — *not* the
+//! contents of string literals). The lexer therefore classifies:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, raw strings
+//!   (`r"…"`, `r#"…"#`, any number of `#`s) and raw byte strings,
+//! * character literals (including `'\''`) vs. lifetimes (`'static`),
+//! * raw identifiers (`r#match`),
+//! * identifiers/keywords, numbers and single-character punctuation.
+//!
+//! It is deliberately tolerant: malformed input never panics, it just
+//! degrades to punctuation tokens. Rules must treat the token stream as a
+//! best-effort view, not a parse tree.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// A numeric literal (value not interpreted).
+    Number,
+    /// A `"…"` or `b"…"` string literal (text excludes the quotes).
+    Str,
+    /// A raw string literal `r"…"` / `r#"…"#` / `br"…"`.
+    RawStr,
+    /// A character or byte literal `'x'` / `b'\n'`.
+    Char,
+    /// A `// …` comment (text includes the slashes).
+    LineComment,
+    /// A `/* … */` comment, possibly nested and spanning lines.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// The token's text (comments keep their markers; strings drop their
+    /// delimiters so rule patterns can never match inside quotes by
+    /// accident).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into a flat token stream. Never fails: unknown bytes
+/// become [`TokenKind::Punct`] tokens.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        at: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    at: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.at + ahead).copied()
+    }
+
+    /// Consumes one char, bumping the line counter on newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.at).copied();
+        if let Some(c) = c {
+            self.at += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, false),
+                'r' if matches!(self.peek(1), Some('"') | Some('#')) => self.raw_or_ident(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line, true);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal(line);
+                }
+                'b' if self.peek(1) == Some('r')
+                    && matches!(self.peek(2), Some('"') | Some('#')) =>
+                {
+                    self.bump();
+                    self.raw_or_ident(line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// A `"…"` string (the opening quote has not been consumed yet when
+    /// `byte` is false; for `b"…"` the `b` has been consumed).
+    fn string(&mut self, line: u32, _byte: bool) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // An escape: the next char can never close the literal.
+                    if let Some(escaped) = self.bump() {
+                        text.push('\\');
+                        text.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `r…` is either a raw string (`r"…"`, `r#"…"#`) or a raw identifier
+    /// (`r#match`). On entry the `r` has not been consumed.
+    fn raw_or_ident(&mut self, line: u32) {
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes) {
+            Some('"') => {
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.bump(); // opening quote
+                let mut text = String::new();
+                'scan: while let Some(c) = self.bump() {
+                    if c == '"' {
+                        // A closing quote must be followed by `hashes` #s.
+                        let mut seen = 0usize;
+                        while seen < hashes && self.peek(seen) == Some('#') {
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            for _ in 0..hashes {
+                                self.bump();
+                            }
+                            break 'scan;
+                        }
+                        text.push(c);
+                    } else {
+                        text.push(c);
+                    }
+                }
+                self.push(TokenKind::RawStr, text, line);
+            }
+            Some(c) if hashes == 1 && is_ident_start(c) => {
+                // Raw identifier: `r#match` lexes as the ident `match`.
+                self.bump(); // '#'
+                self.ident(line);
+            }
+            _ => {
+                // Bare `r` identifier (e.g. `r` as a variable), or `r#`
+                // nonsense: lex the `r` as an ident and move on.
+                self.push(TokenKind::Ident, "r".to_string(), line);
+            }
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump() {
+                        text.push('\\');
+                        text.push(escaped);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    /// `'` starts a char literal or a lifetime: `'a'` is a char, `'a` a
+    /// lifetime. Disambiguated by whether the second char after the quote
+    /// is a closing quote.
+    fn lifetime_or_char(&mut self, line: u32) {
+        match (self.peek(1), self.peek(2)) {
+            (Some(c), after) if is_ident_start(c) && after != Some('\'') => {
+                self.bump(); // quote
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokenKind::Lifetime, text, line);
+            }
+            _ => self.char_literal(line),
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// Numbers are consumed loosely (prefixes, suffixes and `1.5` floats);
+    /// their value is never interpreted, the rules only need them out of
+    /// the way. `1..=n` keeps its range dots as punctuation.
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let float_dot =
+                c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+            if is_ident_continue(c) || float_dot {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comment_markers_inside_string_literals_stay_strings() {
+        let toks = kinds(r#"let s = "// not a comment /* nor this */";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::LineComment));
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::BlockComment));
+    }
+
+    #[test]
+    fn string_delimiters_inside_comments_stay_comments() {
+        let toks = kinds("// a \"quote\" in a comment\nx");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_matching_terminator() {
+        let toks = kinds("/* outer /* inner */ still comment */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("still comment"));
+        assert_eq!(toks[1], (TokenKind::Ident, "after".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_respect_hash_counts() {
+        let toks = kinds(r##"let s = r#"a "quoted" \ backslash"#; x"##);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::RawStr).unwrap();
+        assert_eq!(raw.1, r#"a "quoted" \ backslash"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_a_string() {
+        let toks = kinds(r#"let s = "he said \"hi\""; done"#);
+        let s = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(s.1.contains("hi"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_are_distinguished() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, [&"x".to_string(), &"\\'".to_string()]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_are_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "bytes"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t == "raw"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let toks = lex("/* one\ntwo */\nlet x = 1;\n");
+        assert_eq!(toks[0].line, 1); // the block comment starts on line 1
+        let let_tok = toks.iter().find(|t| t.is_ident("let")).unwrap();
+        assert_eq!(let_tok.line, 3);
+    }
+
+    #[test]
+    fn range_expressions_keep_their_dots() {
+        let toks = kinds("for i in 1..=n {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Punct && t == ".")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn floats_and_exponents_do_not_swallow_ranges() {
+        let toks = kinds("let a = 1.5; let b = 0..10;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+    }
+}

@@ -1,0 +1,122 @@
+//! `topk-lint` CLI.
+//!
+//! ```text
+//! cargo run -q -p topk-lint -- --workspace          # lint every workspace .rs file
+//! cargo run -q -p topk-lint -- crates/core/src/algorithms/fa.rs
+//! cargo run -q -p topk-lint -- --workspace --json   # machine-readable (SCHEMA.md)
+//! cargo run -q -p topk-lint -- --verify-json report.json
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use topk_lint::report::verify_json;
+use topk_lint::rules::all_rules;
+use topk_lint::walk::{find_workspace_root, rel_path, workspace_rs_files};
+
+fn main() -> ExitCode {
+    match run(env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("topk-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut json = false;
+    let mut workspace = false;
+    let mut verify: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--verify-json" => {
+                verify = Some(it.next().ok_or("--verify-json needs a file argument")?);
+            }
+            "--help" | "-h" => {
+                print_help();
+                return Ok(true);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` (see --help)"));
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    if let Some(file) = verify {
+        let text =
+            std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        return match verify_json(&text) {
+            Ok(()) => {
+                println!("topk-lint: {file} conforms to schema");
+                Ok(true)
+            }
+            Err(e) => Err(format!("{file} does not conform to schema: {e}")),
+        };
+    }
+
+    let cwd = env::current_dir().map_err(|e| e.to_string())?;
+    let root = find_workspace_root(&cwd).map_err(|e| e.to_string())?;
+
+    let rel_paths: Vec<String> = if workspace || paths.is_empty() {
+        workspace_rs_files(&root)
+            .map_err(|e| format!("walking workspace: {e}"))?
+            .iter()
+            .map(|p| rel_path(&root, p))
+            .collect()
+    } else {
+        paths
+            .into_iter()
+            .map(|p| {
+                let abs = if PathBuf::from(&p).is_absolute() {
+                    PathBuf::from(&p)
+                } else {
+                    cwd.join(&p)
+                };
+                if !abs.is_file() {
+                    return Err(format!("no such file: {p}"));
+                }
+                Ok(rel_path(&root, &abs))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let report = topk_lint::lint_files(&root, &rel_paths).map_err(|e| format!("linting: {e}"))?;
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.findings.is_empty())
+}
+
+fn print_help() {
+    println!("topk-lint — first-party static analysis for the bpa-topk workspace");
+    println!();
+    println!("usage: topk-lint [--workspace | PATH...] [--json]");
+    println!("       topk-lint --verify-json FILE");
+    println!();
+    println!("rules:");
+    for rule in all_rules() {
+        println!("  {:24} {}", rule.name(), rule.description());
+    }
+    println!();
+    println!("suppress with: // lint:allow(<rule>[, <rule>]) -- <justification>");
+    println!("exit codes: 0 clean, 1 findings, 2 usage/io error");
+}

@@ -1,0 +1,602 @@
+//! Report assembly and rendering: human-readable text, a deterministic
+//! machine-readable JSON document (schema in `crates/lint/SCHEMA.md`),
+//! and a strict verifier for that document so CI fails on schema drift.
+//!
+//! The JSON writer and parser are hand-rolled (std-only — this workspace
+//! builds offline, see vendor/README.md). The verifier is deliberately
+//! rigid: it checks key *order* as well as presence and types, so any
+//! change to the emitted schema breaks `--verify-json` until SCHEMA.md
+//! and the version number are updated in the same commit.
+
+use crate::rules::{rule_names, MALFORMED_ALLOW};
+
+/// The JSON schema version emitted and accepted. Bump together with
+/// `SCHEMA.md` whenever the document shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One finding, tagged with the file it was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportFinding {
+    /// Rule name (or `malformed-allow`).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// One well-formed `lint:allow` directive, for audit trails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportAllow {
+    /// Rules the directive suppresses.
+    pub rules: Vec<String>,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A full lint run over a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived allow filtering.
+    pub findings: Vec<ReportFinding>,
+    /// Well-formed allow directives encountered (suppressing or not).
+    pub allows: Vec<ReportAllow>,
+}
+
+impl Report {
+    /// Sorts everything into the canonical (deterministic) order.
+    pub fn finish(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// Human-readable rendering, one `file:line: [rule] message` per
+    /// finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "topk-lint: {} file(s) scanned, {} finding(s), {} allow(s)\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.allows.len()
+        ));
+        out
+    }
+
+    /// Deterministic JSON rendering (see SCHEMA.md).
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"rules\": [");
+        for (i, r) in rule_names().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(r));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_string(&f.rule),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.message)
+            ));
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            let rules: Vec<String> = a.rules.iter().map(|r| json_string(r)).collect();
+            out.push_str(&format!(
+                "{{\"rules\": [{}], \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                rules.join(", "),
+                json_string(&a.file),
+                a.line,
+                json_string(&a.reason)
+            ));
+        }
+        out.push_str(if self.allows.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Strict verification of an emitted document.
+
+/// Parses `json` and checks it against the committed schema, including
+/// key order, value types, known rule names and canonical sort order.
+/// Returns a description of the first deviation found.
+pub fn verify_json(json: &str) -> Result<(), String> {
+    let value = Parser::new(json).parse()?;
+    let Json::Obj(top) = value else {
+        return Err("top level is not an object".to_string());
+    };
+    let expect_keys = [
+        "schema_version",
+        "rules",
+        "files_scanned",
+        "findings",
+        "allows",
+    ];
+    let got_keys: Vec<&str> = top.iter().map(|(k, _)| k.as_str()).collect();
+    if got_keys != expect_keys {
+        return Err(format!(
+            "top-level keys are {got_keys:?}, schema requires {expect_keys:?} in that order"
+        ));
+    }
+    let get = |k: &str| {
+        top.iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v)
+            .unwrap()
+    };
+
+    match get("schema_version") {
+        Json::Num(n) if *n == SCHEMA_VERSION as f64 => {}
+        other => {
+            return Err(format!(
+                "schema_version must be {SCHEMA_VERSION}, got {other:?}"
+            ))
+        }
+    }
+
+    let known = rule_names();
+    let Json::Arr(rules) = get("rules") else {
+        return Err("`rules` is not an array".to_string());
+    };
+    let listed: Vec<&str> = rules
+        .iter()
+        .map(|r| match r {
+            Json::Str(s) => Ok(s.as_str()),
+            other => Err(format!("`rules` entry is not a string: {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    if listed != known {
+        return Err(format!(
+            "`rules` is {listed:?}, this binary enforces {known:?}"
+        ));
+    }
+
+    match get("files_scanned") {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+        other => {
+            return Err(format!(
+                "files_scanned must be a non-negative integer, got {other:?}"
+            ))
+        }
+    }
+
+    let Json::Arr(findings) = get("findings") else {
+        return Err("`findings` is not an array".to_string());
+    };
+    let mut prev_key: Option<(String, u64, String)> = None;
+    for (i, f) in findings.iter().enumerate() {
+        let key = verify_finding(f, &known).map_err(|e| format!("findings[{i}]: {e}"))?;
+        if let Some(p) = &prev_key {
+            if *p > key {
+                return Err(format!(
+                    "findings[{i}] out of canonical (file, line, rule) order"
+                ));
+            }
+        }
+        prev_key = Some(key);
+    }
+
+    let Json::Arr(allows) = get("allows") else {
+        return Err("`allows` is not an array".to_string());
+    };
+    for (i, a) in allows.iter().enumerate() {
+        verify_allow(a, &known).map_err(|e| format!("allows[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+fn verify_finding(f: &Json, known: &[&str]) -> Result<(String, u64, String), String> {
+    let Json::Obj(obj) = f else {
+        return Err("not an object".to_string());
+    };
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    if keys != ["rule", "file", "line", "message"] {
+        return Err(format!(
+            "keys are {keys:?}, schema requires [rule, file, line, message]"
+        ));
+    }
+    let rule = expect_str(&obj[0].1, "rule")?;
+    if !known.contains(&rule.as_str()) && rule != MALFORMED_ALLOW {
+        return Err(format!("unknown rule `{rule}`"));
+    }
+    let file = expect_str(&obj[1].1, "file")?;
+    let line = expect_line(&obj[2].1)?;
+    expect_str(&obj[3].1, "message")?;
+    Ok((file, line, rule))
+}
+
+fn verify_allow(a: &Json, known: &[&str]) -> Result<(), String> {
+    let Json::Obj(obj) = a else {
+        return Err("not an object".to_string());
+    };
+    let keys: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    if keys != ["rules", "file", "line", "reason"] {
+        return Err(format!(
+            "keys are {keys:?}, schema requires [rules, file, line, reason]"
+        ));
+    }
+    let Json::Arr(rules) = &obj[0].1 else {
+        return Err("`rules` is not an array".to_string());
+    };
+    for r in rules {
+        let name = expect_str(r, "rules entry")?;
+        if !known.contains(&name.as_str()) {
+            return Err(format!("unknown rule `{name}` in allow"));
+        }
+    }
+    expect_str(&obj[1].1, "file")?;
+    expect_line(&obj[2].1)?;
+    expect_str(&obj[3].1, "reason")?;
+    Ok(())
+}
+
+fn expect_str(v: &Json, what: &str) -> Result<String, String> {
+    match v {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(format!("`{what}` is not a string: {other:?}")),
+    }
+}
+
+fn expect_line(v: &Json) -> Result<u64, String> {
+    match v {
+        Json::Num(n) if *n >= 1.0 && n.fract() == 0.0 => Ok(*n as u64),
+        other => Err(format!("`line` is not a positive integer: {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser (objects keep key order for strict verification).
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected byte `{}` at offset {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position to keep UTF-8 intact.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = self.pos - 1 + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => return Err(format!("expected `,` or `]`, got `{}`", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.value()?;
+            out.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                other => return Err(format!("expected `,` or `}}`, got `{}`", other as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            files_scanned: 2,
+            findings: vec![
+                ReportFinding {
+                    rule: "no-wall-clock".to_string(),
+                    file: "b.rs".to_string(),
+                    line: 3,
+                    message: "uses \"Instant\"".to_string(),
+                },
+                ReportFinding {
+                    rule: "fail-stop".to_string(),
+                    file: "a.rs".to_string(),
+                    line: 9,
+                    message: "unwrap".to_string(),
+                },
+            ],
+            allows: vec![ReportAllow {
+                rules: vec!["fail-stop".to_string()],
+                file: "a.rs".to_string(),
+                line: 1,
+                reason: "const-width slice".to_string(),
+            }],
+        };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn finish_orders_findings_by_file_line_rule() {
+        let r = sample();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[1].file, "b.rs");
+    }
+
+    #[test]
+    fn emitted_json_passes_strict_verification() {
+        let r = sample();
+        verify_json(&r.render_json()).expect("own output must verify");
+    }
+
+    #[test]
+    fn empty_report_json_passes_verification() {
+        let mut r = Report::default();
+        r.finish();
+        verify_json(&r.render_json()).expect("empty output must verify");
+    }
+
+    #[test]
+    fn verification_rejects_reordered_keys() {
+        let r = sample();
+        let drifted = r.render_json().replace(
+            "\"rule\": \"fail-stop\", \"file\": \"a.rs\"",
+            "\"file\": \"a.rs\", \"rule\": \"fail-stop\"",
+        );
+        assert!(verify_json(&drifted).is_err(), "key order drift must fail");
+    }
+
+    #[test]
+    fn verification_rejects_wrong_schema_version() {
+        let r = sample();
+        let drifted = r
+            .render_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(verify_json(&drifted).is_err());
+    }
+
+    #[test]
+    fn verification_rejects_unknown_rule_names() {
+        let r = sample();
+        let drifted = r.render_json().replace("fail-stop", "fail-sotp");
+        assert!(verify_json(&drifted).is_err());
+    }
+
+    #[test]
+    fn verification_rejects_out_of_order_findings() {
+        let r = sample();
+        let json = r.render_json();
+        // Swap the two finding objects textually.
+        let a =
+            "{\"rule\": \"fail-stop\", \"file\": \"a.rs\", \"line\": 9, \"message\": \"unwrap\"}";
+        let b = "{\"rule\": \"no-wall-clock\", \"file\": \"b.rs\", \"line\": 3, \"message\": \"uses \\\"Instant\\\"\"}";
+        let swapped = json.replace(a, "@@A@@").replace(b, a).replace("@@A@@", b);
+        assert_ne!(json, swapped, "test must actually swap the entries");
+        assert!(verify_json(&swapped).is_err());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,70 @@
+//! Rule 6, `epoch-order`: modules that feed mutations into standing
+//! queries must document the epoch-continuity contract.
+//!
+//! PR 7's incremental standing-query maintenance is only correct if
+//! every `UpdateBatch` is announced in epoch order with no gaps —
+//! `ingest`/`ingest_update` call sites are where that contract is either
+//! honoured or silently broken. This rule is a documentation anchor, not
+//! a dataflow analysis: any file containing a call to `ingest(` or
+//! `ingest_update(` must also contain prose mentioning "epoch order" or
+//! "epoch continuity" (case-insensitive), so the invariant is restated
+//! next to every site that could violate it and shows up in review diffs
+//! when new call sites appear in undocumented modules.
+
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Phrases (lowercased) that count as documenting the contract.
+const ANCHORS: &[&str] = &["epoch order", "epoch continuity"];
+
+/// Mutation entry points whose call sites need the anchor.
+const ENTRY_POINTS: &[&str] = &["ingest", "ingest_update"];
+
+pub struct EpochOrder;
+
+impl Rule for EpochOrder {
+    fn name(&self) -> &'static str {
+        "epoch-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "files calling ingest/ingest_update must document the epoch-continuity contract"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let lower = file.text.to_lowercase();
+        if ANCHORS.iter().any(|a| lower.contains(a)) {
+            return Vec::new();
+        }
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            let is_entry = ENTRY_POINTS.iter().any(|e| t.is_ident(e));
+            if !is_entry {
+                continue;
+            }
+            // A call site, not the definition.
+            if !file.sig_next(i).is_some_and(|n| toks[n].is_punct('(')) {
+                continue;
+            }
+            if file.sig_prev(i).is_some_and(|p| toks[p].is_ident("fn")) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: self.name(),
+                line: t.line,
+                message: format!(
+                    "`{}(…)` call in a file that never mentions the epoch-order contract; \
+                     add a doc sentence referencing epoch order/continuity (or \
+                     `// lint:allow(epoch-order) -- <why ordering is upheld elsewhere>`)",
+                    t.text
+                ),
+            });
+        }
+        findings
+    }
+}

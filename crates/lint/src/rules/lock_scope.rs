@@ -1,0 +1,151 @@
+//! Rule 5, `no-lock-across-scope`: never hold a mutex guard across a
+//! `scope_run` barrier.
+//!
+//! `Pool::scope_run` blocks the caller until every spawned task
+//! completes. A `MutexGuard` held across that call is a deadlock waiting
+//! for its schedule: any spawned task (or anything it transitively wakes)
+//! that takes the same lock parks forever, and the work-stealing pool's
+//! helping loop cannot save it because the guard lives on the blocked
+//! caller's stack. The pool's own internals are careful to drop guards
+//! before parking; this rule extends the discipline to callers.
+//!
+//! Conservative, function-local, lexical analysis: a `let` whose
+//! initialiser calls `.lock(` creates a live guard for its enclosing
+//! block; `drop(name)` releases it early; a `scope_run(` call site while
+//! any guard is live — or on a statement that itself calls `.lock(` —
+//! is a violation. False positives (e.g. a guard of an unrelated mutex)
+//! carry an allow naming the lock and why it cannot be contended.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+pub struct NoLockAcrossScope;
+
+impl Rule for NoLockAcrossScope {
+    fn name(&self) -> &'static str {
+        "no-lock-across-scope"
+    }
+
+    fn description(&self) -> &'static str {
+        "no live MutexGuard across a blocking scope_run(...) barrier"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        // Live guards: (binding name, depth of the block they live in).
+        let mut guards: Vec<(String, u32)> = Vec::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.is_comment() || file.is_test_line(t.line) {
+                continue;
+            }
+            // Block exit kills guards scoped inside it.
+            if t.is_punct('}') {
+                guards.retain(|(_, d)| *d <= file.depth[i]);
+                continue;
+            }
+            // `let [mut] name = … .lock( … ;` — a new guard.
+            if t.is_ident("let") {
+                if let Some((name, depth)) = guard_binding(file, i) {
+                    guards.push((name, depth));
+                }
+                continue;
+            }
+            // `drop(name)` — early release.
+            if t.is_ident("drop") {
+                if let Some(open) = file.sig_next(i) {
+                    if toks[open].is_punct('(') {
+                        if let Some(arg) = file.sig_next(open) {
+                            if toks[arg].kind == TokenKind::Ident {
+                                let name = toks[arg].text.clone();
+                                guards.retain(|(g, _)| *g != name);
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            // `scope_run(` call site (not the `fn scope_run(` definition).
+            if t.is_ident("scope_run")
+                && file.sig_next(i).is_some_and(|n| toks[n].is_punct('('))
+                && !file.sig_prev(i).is_some_and(|p| toks[p].is_ident("fn"))
+            {
+                let live_guard = guards.first().map(|(g, _)| g.clone());
+                let same_stmt_lock = {
+                    let start = file.statement_start(i);
+                    file.sig_range(start, i)
+                        .any(|t| t.kind == TokenKind::Ident && t.text.starts_with("lock"))
+                };
+                if let Some(g) = live_guard {
+                    findings.push(self.finding(
+                        t.line,
+                        format!("guard `{g}` is live across this blocking scope_run barrier"),
+                    ));
+                } else if same_stmt_lock {
+                    findings.push(
+                        self.finding(
+                            t.line,
+                            "this statement takes a lock and calls scope_run while holding it"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+        findings
+    }
+}
+
+impl NoLockAcrossScope {
+    fn finding(&self, line: u32, what: String) -> Finding {
+        Finding {
+            rule: self.name(),
+            line,
+            message: format!(
+                "{what}; drop the guard before the barrier, or add \
+                 `// lint:allow(no-lock-across-scope) -- <why no spawned task takes this lock>`"
+            ),
+        }
+    }
+}
+
+/// If the `let` at token `i` binds the result of a `.lock(` call, returns
+/// the binding name and the depth its scope lives at.
+fn guard_binding(file: &SourceFile, i: usize) -> Option<(String, u32)> {
+    let toks = &file.tokens;
+    let mut j = file.sig_next(i)?;
+    if toks[j].is_ident("mut") {
+        j = file.sig_next(j)?;
+    }
+    // Destructuring patterns (`let Ok(g) = …`, `let Some(g) = …`): take
+    // the ident inside the parentheses.
+    if toks[j].kind == TokenKind::Ident && file.sig_next(j).is_some_and(|n| toks[n].is_punct('(')) {
+        let open = file.sig_next(j)?;
+        j = file.sig_next(open)?;
+    }
+    if toks[j].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = toks[j].text.clone();
+    let end = file.statement_end(i);
+    // `.lock(` or the pool's `lock_ignore_poison(` helper.
+    let locks = file
+        .sig_range(i, end)
+        .any(|t| t.kind == TokenKind::Ident && t.text.starts_with("lock"));
+    if !locks {
+        return None;
+    }
+    // `if let` / `while let` guards live in the *body* block, one level
+    // deeper than the header tokens.
+    let header = file
+        .sig_prev(i)
+        .is_some_and(|p| toks[p].is_ident("if") || toks[p].is_ident("while"));
+    let depth = file.depth[i] + u32::from(header);
+    Some((name, depth))
+}

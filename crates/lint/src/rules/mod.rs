@@ -1,0 +1,117 @@
+//! The lint rules and the engine that runs them over a [`SourceFile`].
+//!
+//! Each rule is a pure function over the token stream; findings are
+//! filtered afterwards against the file's `lint:allow` directives, so
+//! suppression behaves identically for every rule. A directive without a
+//! ` -- justification` (or naming an unknown rule) is itself reported
+//! under the pseudo-rule [`MALFORMED_ALLOW`].
+
+mod determinism;
+mod epoch_order;
+mod fail_stop;
+mod lock_scope;
+mod unsafety;
+mod wall_clock;
+
+use crate::source::SourceFile;
+
+/// A rule violation at a source line (before allow filtering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Name of the violated rule.
+    pub rule: &'static str,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable description, including how to suppress.
+    pub message: String,
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// The rule's name, as used in reports and `lint:allow(...)`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help` and the README table.
+    fn description(&self) -> &'static str;
+    /// Whether the rule runs on this workspace-relative path.
+    fn applies(&self, rel_path: &str) -> bool;
+    /// Scans the file and returns raw findings.
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+}
+
+/// Pseudo-rule under which malformed `lint:allow` directives are reported.
+pub const MALFORMED_ALLOW: &str = "malformed-allow";
+
+/// All rules, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::DeterministicIteration),
+        Box::new(wall_clock::NoWallClock),
+        Box::new(unsafety::ConfinedUnsafe),
+        Box::new(fail_stop::FailStop),
+        Box::new(lock_scope::NoLockAcrossScope),
+        Box::new(epoch_order::EpochOrder),
+    ]
+}
+
+/// The rule names, in report order (the `--json` schema's `rules` array).
+pub fn rule_names() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.name()).collect()
+}
+
+/// Runs every applicable rule on `file` and applies the allow directives.
+/// Returns `(surviving findings, used-or-not allow records)`.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let known: Vec<&'static str> = rule_names();
+    let mut findings: Vec<Finding> = Vec::new();
+    for rule in all_rules() {
+        if rule.applies(&file.rel_path) {
+            findings.extend(rule.check(file));
+        }
+    }
+
+    // Allow filtering: a well-formed directive suppresses matching
+    // findings on its target line (and on its own comment line, so a
+    // directive above a multi-line statement still catches the first
+    // line).
+    findings.retain(|f| {
+        !file.allows.iter().any(|a| {
+            a.reason.is_some()
+                && a.rules.iter().any(|r| r == f.rule)
+                && (a.file_scope || a.target_line == f.line || a.comment_line == f.line)
+        })
+    });
+
+    // Malformed directives are findings in their own right: no
+    // justification, or an unknown rule name (typos must not silently
+    // disable enforcement).
+    for a in &file.allows {
+        if a.reason.is_none() {
+            findings.push(Finding {
+                rule: MALFORMED_ALLOW,
+                line: a.comment_line,
+                message: format!(
+                    "lint:allow({}) has no ` -- <justification>`; allows must say why",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+        for r in &a.rules {
+            if !known.contains(&r.as_str()) {
+                findings.push(Finding {
+                    rule: MALFORMED_ALLOW,
+                    line: a.comment_line,
+                    message: format!("lint:allow names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Shared helper: whether `rel_path` starts with any of the given
+/// `/`-separated prefixes.
+pub(crate) fn under_any(rel_path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel_path.starts_with(p))
+}

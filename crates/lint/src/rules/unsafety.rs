@@ -1,0 +1,84 @@
+//! Rule 3, `confined-unsafe`: `unsafe` stays where it already is, and
+//! every block says why it is sound.
+//!
+//! The workspace has exactly two deliberate unsafe sites — the
+//! work-stealing pool's lifetime-erased task handoff and the B+-tree's
+//! node arena — and every other crate is expected to carry
+//! `#![forbid(unsafe_code)]`. This rule enforces the other half of that
+//! contract at the file level: an `unsafe` token outside the confinement
+//! list is a violation, and inside it every `unsafe` must be immediately
+//! preceded by a `// SAFETY:` comment (scanning back over the tokens of
+//! the same statement, so `let x: T = unsafe { … }` with the comment above
+//! the `let` still counts).
+
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// The only files allowed to contain `unsafe` at all.
+const ALLOWED_FILES: &[&str] = &["crates/pool/src/lib.rs", "crates/lists/src/bptree.rs"];
+
+pub struct ConfinedUnsafe;
+
+impl Rule for ConfinedUnsafe {
+    fn name(&self) -> &'static str {
+        "confined-unsafe"
+    }
+
+    fn description(&self) -> &'static str {
+        "unsafe only in the pool and B+-tree, each block preceded by a SAFETY: comment"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let confined = ALLOWED_FILES.contains(&file.rel_path.as_str());
+        let mut findings = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            if !confined {
+                findings.push(Finding {
+                    rule: self.name(),
+                    line: t.line,
+                    message: "`unsafe` outside the confinement list (pool, B+-tree); move the \
+                              unsafety behind one of those safe APIs"
+                        .to_string(),
+                });
+                continue;
+            }
+            if !has_preceding_safety_comment(file, i) {
+                findings.push(Finding {
+                    rule: self.name(),
+                    line: t.line,
+                    message: "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                              stating the proof obligation"
+                        .to_string(),
+                });
+            }
+        }
+        findings
+    }
+}
+
+/// Walks back from the `unsafe` at token `i` over the tokens of the same
+/// statement; true if a comment containing `SAFETY:` appears before the
+/// previous statement/block boundary.
+fn has_preceding_safety_comment(file: &SourceFile, i: usize) -> bool {
+    for j in (0..i).rev() {
+        let t = &file.tokens[j];
+        if t.is_comment() {
+            if t.text.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+    }
+    false
+}

@@ -1,0 +1,334 @@
+//! A lexed source file plus the derived structure the rules share:
+//! brace depth per token, statement spans, `#[cfg(test)]` regions and
+//! `// lint:allow(rule) -- reason` suppression directives.
+
+use crate::lexer::{lex, Token};
+
+/// A suppression directive parsed from a comment.
+///
+/// Syntax: a `//` or `/* */` comment whose text *starts with*
+/// `lint:allow(…) -- justification` (after the comment markers). A
+/// trailing comment suppresses findings on its own line; a comment on its
+/// own line suppresses findings on the next line that carries code. The
+/// justification after ` -- ` is mandatory — an allow without one is
+/// itself reported as a finding. Requiring the start-of-comment anchor
+/// keeps prose that merely *mentions* the syntax (like this paragraph)
+/// from being parsed as a directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// Justification text after ` -- `, if present and non-empty.
+    pub reason: Option<String>,
+    /// Line the comment itself sits on.
+    pub comment_line: u32,
+    /// Line whose findings this directive suppresses.
+    pub target_line: u32,
+    /// A `lint:allow-file(...)` directive: suppresses the named rules on
+    /// every line of the file. For code the per-file analysis cannot see
+    /// is test-gated (e.g. a `#[cfg(test)] mod x;` declaration living in
+    /// the parent file).
+    pub file_scope: bool,
+}
+
+/// A lexed file with everything the rules need precomputed.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Raw text (rules that anchor on documentation search this).
+    pub text: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Brace-nesting depth at each token (a `{` token carries the depth
+    /// *outside* the block it opens; its matching `}` carries the same).
+    pub depth: Vec<u32>,
+    /// Parsed `lint:allow` directives.
+    pub allows: Vec<AllowDirective>,
+    /// Per-line flag (1-based): the line is inside a `#[cfg(test)]` item
+    /// or a `#[test]` function.
+    test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives all shared structure.
+    pub fn new(rel_path: String, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let depth = compute_depth(&tokens);
+        let num_lines = text.lines().count() + 1;
+        let test_lines = compute_test_lines(&tokens, &depth, num_lines);
+        let allows = parse_allows(&tokens);
+        SourceFile {
+            rel_path,
+            text,
+            tokens,
+            depth,
+            allows,
+            test_lines,
+        }
+    }
+
+    /// Whether 1-based `line` is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Index of the previous significant (non-comment) token before `i`.
+    pub fn sig_prev(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.tokens[j].is_comment())
+    }
+
+    /// Index of the next significant (non-comment) token after `i`.
+    pub fn sig_next(&self, i: usize) -> Option<usize> {
+        (i + 1..self.tokens.len()).find(|&j| !self.tokens[j].is_comment())
+    }
+
+    /// Start of the statement containing token `i`: the index right after
+    /// the previous `;`, `{` or `}` (or 0).
+    pub fn statement_start(&self, i: usize) -> usize {
+        (0..i)
+            .rev()
+            .find(|&j| {
+                let t = &self.tokens[j];
+                t.is_punct(';') || t.is_punct('{') || t.is_punct('}')
+            })
+            .map(|j| j + 1)
+            .unwrap_or(0)
+    }
+
+    /// End of the statement containing token `i`: the index of the first
+    /// `;` at a depth no greater than token `i`'s. Inner blocks (closures,
+    /// `{ … }` initialisers) are skipped over, so a statement like
+    /// `let v = { …; … };` spans to its final semicolon. Capped at 600
+    /// tokens — rules treat the span as a best-effort window.
+    pub fn statement_end(&self, i: usize) -> usize {
+        let d = self.depth[i];
+        let cap = (i + 600).min(self.tokens.len());
+        (i + 1..cap)
+            .find(|&j| self.tokens[j].is_punct(';') && self.depth[j] <= d)
+            .unwrap_or(cap.saturating_sub(1))
+    }
+
+    /// Significant tokens of the inclusive index range, in order.
+    pub fn sig_range(&self, from: usize, to: usize) -> impl Iterator<Item = &Token> {
+        self.tokens[from..=to.min(self.tokens.len().saturating_sub(1))]
+            .iter()
+            .filter(|t| !t.is_comment())
+    }
+}
+
+fn compute_depth(tokens: &[Token]) -> Vec<u32> {
+    // A `{` carries the depth *outside* the block it opens (pushed before
+    // the increment) and its matching `}` carries that same depth (the
+    // decrement happens before the push).
+    let mut depth = Vec::with_capacity(tokens.len());
+    let mut d: u32 = 0;
+    for t in tokens {
+        if t.is_punct('}') {
+            d = d.saturating_sub(1);
+        }
+        depth.push(d);
+        if t.is_punct('{') {
+            d += 1;
+        }
+    }
+    depth
+}
+
+/// Marks every line covered by `#[cfg(test)]` items and `#[test]`
+/// functions. Token-level heuristic: after a test-gating attribute, the
+/// next `{` opens the gated item's body; everything to its matching `}` is
+/// test code.
+fn compute_test_lines(tokens: &[Token], depth: &[u32], num_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; num_lines + 2];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && is_test_attribute(tokens, i) {
+            // Find the body: first `{` after the attribute's closing `]`.
+            if let Some(open) = (i + 1..tokens.len()).find(|&j| tokens[j].is_punct('{')) {
+                let d = depth[open];
+                let close = (open + 1..tokens.len())
+                    .find(|&j| tokens[j].is_punct('}') && depth[j] <= d)
+                    .unwrap_or(tokens.len() - 1);
+                let first = tokens[i].line as usize;
+                let last = tokens[close].line as usize;
+                for line in test.iter_mut().take(last + 1).skip(first) {
+                    *line = true;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    test
+}
+
+/// Whether the `#` at token `i` opens `#[test]`, `#[cfg(test)]` or any
+/// `#[cfg(...)]` attribute that mentions `test`.
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    let sig: Vec<&Token> = tokens[i..]
+        .iter()
+        .filter(|t| !t.is_comment())
+        .take(12)
+        .collect();
+    if sig.len() < 3 || !sig[1].is_punct('[') {
+        return false;
+    }
+    if sig[2].is_ident("test") {
+        return true;
+    }
+    if sig[2].is_ident("cfg") {
+        // Scan the attribute's tokens (to the closing `]`) for `test`.
+        return sig
+            .iter()
+            .skip(3)
+            .take_while(|t| !t.is_punct(']'))
+            .any(|t| t.is_ident("test"));
+    }
+    false
+}
+
+/// Extracts every `lint:allow(...)` directive from the comment tokens.
+/// Only comments that *start* with the directive (after the `//`, `/*`,
+/// doc markers and whitespace) count — prose mentioning the syntax
+/// mid-comment is not a directive.
+fn parse_allows(tokens: &[Token]) -> Vec<AllowDirective> {
+    let mut allows = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        let body = tok.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let (file_scope, after) = if let Some(rest) = body.strip_prefix("lint:allow(") {
+            (false, rest)
+        } else if let Some(rest) = body.strip_prefix("lint:allow-file(") {
+            (true, rest)
+        } else {
+            continue;
+        };
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = after[close + 1..]
+            .split_once("--")
+            .map(|(_, r)| r.trim().to_string())
+            .filter(|r| !r.is_empty());
+
+        // Trailing comment → suppresses its own line. Whole-line comment →
+        // suppresses the next line carrying a significant token.
+        let own_line_has_code = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| !t.is_comment());
+        let target_line = if own_line_has_code {
+            tok.line
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|t| !t.is_comment())
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        };
+        allows.push(AllowDirective {
+            rules,
+            reason,
+            comment_line: tok.line,
+            target_line,
+            file_scope,
+        });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("test.rs".to_string(), src.to_string())
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let f = file("let x = m.iter(); // lint:allow(deterministic-iteration) -- sorted later\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].target_line, 1);
+        assert_eq!(f.allows[0].rules, ["deterministic-iteration"]);
+        assert_eq!(f.allows[0].reason.as_deref(), Some("sorted later"));
+    }
+
+    #[test]
+    fn whole_line_allow_targets_the_next_code_line() {
+        let f = file("// lint:allow(no-wall-clock) -- bench-only\n// more prose\nlet t = 1;\n");
+        assert_eq!(f.allows[0].comment_line, 1);
+        assert_eq!(f.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn allow_without_justification_has_no_reason() {
+        let f = file("let x = 1; // lint:allow(fail-stop)\n");
+        assert_eq!(f.allows[0].reason, None);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked_as_test_lines() {
+        let f =
+            file("fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n");
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn statement_spans_skip_closure_bodies() {
+        // The `;` inside the closure body is at a greater depth, so the
+        // statement runs to the final `collect();` semicolon.
+        let f = file("let v: Vec<u8> = m.iter().map(|x| { let y = x; y }).collect();\nnext();\n");
+        let iter_at = f.tokens.iter().position(|t| t.is_ident("iter")).unwrap();
+        let end = f.statement_end(iter_at);
+        let has_collect = f.sig_range(iter_at, end).any(|t| t.is_ident("collect"));
+        assert!(has_collect);
+        let past_end = f
+            .sig_range(end, f.tokens.len() - 1)
+            .any(|t| t.is_ident("next"));
+        assert!(past_end, "the span must stop before the next statement");
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_not_a_directive() {
+        let f = file("let s = \"lint:allow(fail-stop) -- not real\";\n");
+        assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn allow_mentioned_mid_comment_is_not_a_directive() {
+        let f = file("// suppress with `lint:allow(fail-stop) -- why` as needed\nlet x = 1;\n");
+        assert!(f.allows.is_empty());
+        let g = file("/// Docs for `lint:allow(rule-a, rule-b)` syntax.\nfn f() {}\n");
+        assert!(g.allows.is_empty());
+    }
+
+    #[test]
+    fn file_scope_directive_is_flagged_as_such() {
+        let f =
+            file("//! lint:allow-file(fail-stop) -- whole module is cfg(test)-gated\nfn f() {}\n");
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].file_scope);
+        let g = file("// lint:allow(fail-stop) -- one line\nfn f() {}\n");
+        assert!(!g.allows[0].file_scope);
+    }
+
+    #[test]
+    fn doc_comment_directive_still_parses() {
+        let f = file("//! lint:allow(fail-stop) -- module-header directive\nlet x = 1;\n");
+        assert_eq!(f.allows.len(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Workspace discovery: find the workspace root and enumerate the `.rs`
+//! files to lint, in a deterministic (sorted) order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Ascends from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no ancestor directory with a [workspace] Cargo.toml",
+            ));
+        }
+    }
+}
+
+/// Collects every workspace `.rs` file under `root`, sorted by relative
+/// path. Skips build output (`target/`), VCS metadata (`.git/`) and the
+/// lint crate's own deliberate-violation fixtures (`tests/fixtures/`).
+pub fn workspace_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            if name == "fixtures" && dir.file_name().is_some_and(|d| d == "tests") {
+                continue;
+            }
+            collect(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path.clone());
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,5 @@
+// lint-fixture-path: crates/pool/src/lib.rs
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+// Outside the confinement list even a SAFETY comment does not help:
+// the unsafety must move behind the pool's or the B+-tree's safe API.
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: in bounds — but this file may not contain unsafe at all.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: crates/pool/src/lib.rs
+// Inside the confinement list, a SAFETY comment immediately before the
+// block (even with the binding's own tokens in between) satisfies the
+// rule.
+
+pub fn peek(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    let first: u8 = unsafe { *v.get_unchecked(0) };
+    first
+}

@@ -1,0 +1,14 @@
+// lint-fixture-path: crates/core/src/algorithms/fixture.rs
+// The PR 6 bug shape: a `for` loop straight over a HashMap on the
+// access path. No chain can restore order here, so this is always a
+// violation.
+
+use std::collections::HashMap;
+
+pub fn resolve(candidates: HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    let mut resolved = Vec::new();
+    for (item, score) in &candidates {
+        resolved.push((*item, *score));
+    }
+    resolved
+}

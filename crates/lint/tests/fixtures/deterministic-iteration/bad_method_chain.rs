@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/core/src/algorithms/fixture.rs
+
+use std::collections::HashMap;
+
+pub fn order(seen: HashMap<u64, f64>) -> Vec<u64> {
+    seen.keys().copied().collect()
+}

@@ -1,0 +1,11 @@
+// lint-fixture-path: crates/core/src/algorithms/fixture.rs
+// The idiomatic repair: rebind through a Vec and sort it on the very
+// next statement.
+
+use std::collections::HashMap;
+
+pub fn resolve(candidates: HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    let mut resolved: Vec<(u64, f64)> = candidates.into_iter().collect();
+    resolved.sort_unstable_by_key(|(item, _)| *item);
+    resolved
+}

@@ -1,0 +1,20 @@
+// lint-fixture-path: crates/core/src/algorithms/fixture.rs
+// Order-insensitive reductions and sorted-on-the-chain uses are clean;
+// a genuinely order-dependent pick carries a justified allow.
+
+use std::collections::HashMap;
+
+pub fn total(seen: HashMap<u64, f64>) -> f64 {
+    seen.values().sum()
+}
+
+pub fn ranked(seen: HashMap<u64, f64>) -> Vec<u64> {
+    let mut ids: Vec<u64> = seen.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+pub fn any_key(seen: &HashMap<u64, f64>) -> Option<u64> {
+    // lint:allow(deterministic-iteration) -- fixture: the caller tolerates an arbitrary representative
+    seen.keys().next().copied()
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+// This file feeds batches into a standing query but never states the
+// ordering contract those calls must uphold.
+
+pub fn apply(query: &mut StandingQuery, batch: UpdateBatch, update: ScoreUpdate) {
+    query.ingest(batch);
+    query.ingest_update(update);
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+//! Batches are announced in epoch order with no gaps (epoch
+//! continuity), which is what keeps the incremental caches equal to a
+//! from-scratch recomputation.
+
+pub fn apply(query: &mut StandingQuery, batch: UpdateBatch) {
+    query.ingest(batch);
+}

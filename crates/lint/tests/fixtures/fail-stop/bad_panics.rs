@@ -1,0 +1,13 @@
+// lint-fixture-path: crates/storage/src/fixture.rs
+
+pub fn read(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+pub fn header(v: &[u8]) -> u8 {
+    v.first().copied().expect("non-empty header")
+}
+
+pub fn explode() {
+    panic!("storage must fail through SourceError, not panics");
+}

@@ -1,0 +1,21 @@
+// lint-fixture-path: crates/storage/src/fixture.rs
+// Production code routes failures; unwraps inside #[cfg(test)] code are
+// exempt, and an invariant-backed expect carries a justified allow.
+
+pub fn read(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn checked(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // lint:allow(fail-stop) -- fixture: the assert above makes first() infallible
+    v.first().copied().expect("non-empty checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::read(&[7]).unwrap(), 7);
+    }
+}

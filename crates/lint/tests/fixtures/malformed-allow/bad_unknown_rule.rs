@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+// A typo'd rule name must not silently disable enforcement.
+
+pub fn f() -> u64 {
+    // lint:allow(fail-sotp) -- justified, but the rule name is wrong
+    1
+}

@@ -1,0 +1,6 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+
+pub fn f() -> u64 {
+    // lint:allow(fail-stop) -- well-formed: names a real rule and says why
+    1
+}

@@ -1,0 +1,17 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+
+use std::sync::Mutex;
+
+pub fn broken(pool: &Pool, m: &Mutex<u64>) {
+    let guard = m.lock().unwrap();
+    pool.scope_run(|scope| {
+        scope.spawn(|| {});
+    });
+    drop(guard);
+}
+
+pub fn broken_same_statement(pool: &Pool, m: &Mutex<Pool>) {
+    m.lock().unwrap().scope_run(|scope| {
+        scope.spawn(|| {});
+    });
+}

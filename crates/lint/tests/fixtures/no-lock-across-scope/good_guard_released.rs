@@ -1,0 +1,26 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+// Both release shapes are clean: an explicit drop before the barrier,
+// and a guard confined to an inner block.
+
+use std::sync::Mutex;
+
+pub fn dropped_first(pool: &Pool, m: &Mutex<u64>) {
+    let guard = m.lock().unwrap();
+    let snapshot = *guard;
+    drop(guard);
+    pool.scope_run(move |scope| {
+        scope.spawn(move || {
+            let _ = snapshot;
+        });
+    });
+}
+
+pub fn scoped(pool: &Pool, m: &Mutex<u64>) {
+    {
+        let guard = m.lock().unwrap();
+        let _ = *guard;
+    }
+    pool.scope_run(|scope| {
+        scope.spawn(|| {});
+    });
+}

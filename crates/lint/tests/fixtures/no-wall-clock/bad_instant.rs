@@ -1,0 +1,6 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+
+pub fn measure() -> std::time::Duration {
+    let started = std::time::Instant::now();
+    started.elapsed()
+}

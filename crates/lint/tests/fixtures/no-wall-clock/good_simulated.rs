@@ -1,0 +1,21 @@
+// lint-fixture-path: crates/core/src/fixture.rs
+// Costs are simulated; the one sanctioned wall-time read carries an
+// allow. A field or method *named* elapsed is fine — only `.elapsed()`
+// calls are wall-clock reads.
+
+pub struct Stats {
+    pub elapsed: std::time::Duration,
+}
+
+pub fn cost(sorted: u64, random: u64) -> f64 {
+    sorted as f64 + 2.0 * random as f64
+}
+
+pub fn stamped() -> Stats {
+    // lint:allow(no-wall-clock) -- fixture: stands in for the run_on elapsed plumbing
+    let started = std::time::Instant::now();
+    Stats {
+        // lint:allow(no-wall-clock) -- fixture: stands in for the run_on elapsed plumbing
+        elapsed: started.elapsed(),
+    }
+}

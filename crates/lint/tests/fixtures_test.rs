@@ -1,0 +1,123 @@
+//! Fixture-driven rule tests: every rule has at least one known-bad and
+//! one known-good fixture under `tests/fixtures/<rule>/`.
+//!
+//! Each fixture's first line is a `// lint-fixture-path: <rel_path>`
+//! pragma naming the workspace-relative path the file should be linted
+//! *as* (rule scoping is path-based, and the confinement rules need to
+//! see specific files). `bad_*` fixtures must produce at least one
+//! finding of their directory's rule; `good_*` fixtures must lint
+//! completely clean.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use topk_lint::lint_source;
+use topk_lint::rules::{rule_names, MALFORMED_ALLOW};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_rel_path(text: &str, at: &Path) -> String {
+    let first = text.lines().next().unwrap_or("");
+    first
+        .strip_prefix("// lint-fixture-path: ")
+        .unwrap_or_else(|| {
+            panic!(
+                "{} must start with a lint-fixture-path pragma",
+                at.display()
+            )
+        })
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn every_rule_has_bad_and_good_fixtures_and_they_behave() {
+    let mut expected_dirs: Vec<String> = rule_names().iter().map(|r| r.to_string()).collect();
+    expected_dirs.push(MALFORMED_ALLOW.to_string());
+    expected_dirs.sort();
+
+    let mut seen_dirs = Vec::new();
+    let mut dirs: Vec<PathBuf> = fs::read_dir(fixtures_root())
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    dirs.sort();
+
+    for dir in dirs {
+        let rule = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 dir name")
+            .to_string();
+        seen_dirs.push(rule.clone());
+
+        let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+            .expect("readable rule dir")
+            .map(|e| e.expect("readable entry").path())
+            .collect();
+        files.sort();
+        let mut bad = 0usize;
+        let mut good = 0usize;
+
+        for file in files {
+            let name = file
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("utf-8 file name")
+                .to_string();
+            let text = fs::read_to_string(&file).expect("readable fixture");
+            let rel = fixture_rel_path(&text, &file);
+            let findings = lint_source(&rel, &text);
+
+            if name.starts_with("bad_") {
+                bad += 1;
+                assert!(
+                    findings.iter().any(|f| f.rule == rule),
+                    "{}: expected a `{rule}` finding, got {findings:?}",
+                    file.display()
+                );
+            } else if name.starts_with("good_") {
+                good += 1;
+                assert!(
+                    findings.is_empty(),
+                    "{}: expected a clean bill, got {findings:?}",
+                    file.display()
+                );
+            } else {
+                panic!(
+                    "{}: fixture names must start with bad_ or good_",
+                    file.display()
+                );
+            }
+        }
+        assert!(bad >= 1, "rule `{rule}` needs at least one bad_ fixture");
+        assert!(good >= 1, "rule `{rule}` needs at least one good_ fixture");
+    }
+
+    seen_dirs.sort();
+    assert_eq!(
+        seen_dirs, expected_dirs,
+        "fixtures/ must have exactly one directory per rule (plus malformed-allow)"
+    );
+}
+
+#[test]
+fn bad_fixture_findings_name_their_line() {
+    let path = fixtures_root().join("deterministic-iteration/bad_for_loop.rs");
+    let text = fs::read_to_string(&path).expect("readable fixture");
+    let rel = fixture_rel_path(&text, &path);
+    let findings = lint_source(&rel, &text);
+    let f = findings
+        .iter()
+        .find(|f| f.rule == "deterministic-iteration")
+        .expect("the for-loop fixture fires rule 1");
+    // The `for … in &candidates {` header sits on this line.
+    let header_line = text
+        .lines()
+        .position(|l| l.contains("for (item, score) in &candidates"))
+        .expect("fixture contains the for header")
+        + 1;
+    assert_eq!(f.line as usize, header_line);
+}

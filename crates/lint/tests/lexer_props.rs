@@ -1,0 +1,129 @@
+//! Property test: the hand-rolled lexer never mis-classifies a
+//! string/comment boundary.
+//!
+//! A vocabulary of adversarial atoms — strings containing comment
+//! markers, comments containing quotes, raw strings with hashes, nested
+//! block comments, chars vs lifetimes — is composed into random
+//! sequences. Lexing the rendered source must reproduce exactly the
+//! expected `(kind, text)` sequence, whatever the neighbours are. If a
+//! string ever "leaked" into a comment (or vice versa) the token stream
+//! would shift and the comparison would fail.
+
+use proptest::prelude::*;
+
+use topk_lint::lexer::{lex, TokenKind};
+
+/// `(source text, expected kind, expected token text)`.
+/// Each atom must lex to exactly one token in isolation *and* in any
+/// sequence (atoms are joined by spaces; line comments get a newline).
+const ATOMS: &[(&str, TokenKind, &str)] = &[
+    ("foo", TokenKind::Ident, "foo"),
+    ("r#match", TokenKind::Ident, "match"),
+    ("unsafe", TokenKind::Ident, "unsafe"),
+    ("42", TokenKind::Number, "42"),
+    ("1.5e3", TokenKind::Number, "1.5e3"),
+    ("0xff", TokenKind::Number, "0xff"),
+    // Strings that look like comments or directives.
+    ("\"hi\"", TokenKind::Str, "hi"),
+    ("\"no // comment\"", TokenKind::Str, "no // comment"),
+    ("\"/* not a comment\"", TokenKind::Str, "/* not a comment"),
+    ("\"esc \\\" quote\"", TokenKind::Str, "esc \\\" quote"),
+    (
+        "\"lint:allow(fail-stop) -- nope\"",
+        TokenKind::Str,
+        "lint:allow(fail-stop) -- nope",
+    ),
+    // Raw strings, with and without hashes, containing quotes.
+    ("r\"raw\"", TokenKind::RawStr, "raw"),
+    (
+        "r#\"has \"quotes\" inside\"#",
+        TokenKind::RawStr,
+        "has \"quotes\" inside",
+    ),
+    (
+        "r##\"ends with \"# almost\"##",
+        TokenKind::RawStr,
+        "ends with \"# almost",
+    ),
+    ("b\"bytes\"", TokenKind::Str, "bytes"),
+    // Chars vs lifetimes. Like strings, char literals drop their quote
+    // delimiters in the token text.
+    ("'a'", TokenKind::Char, "a"),
+    ("'\\n'", TokenKind::Char, "\\n"),
+    ("'\"'", TokenKind::Char, "\""),
+    ("'static", TokenKind::Lifetime, "static"),
+    // Comments that look like strings or code.
+    (
+        "// it's \"quoted\" here\n",
+        TokenKind::LineComment,
+        "// it's \"quoted\" here",
+    ),
+    (
+        "// unsafe { panic!() }\n",
+        TokenKind::LineComment,
+        "// unsafe { panic!() }",
+    ),
+    (
+        "/* block \"str\" */",
+        TokenKind::BlockComment,
+        "/* block \"str\" */",
+    ),
+    (
+        "/* outer /* nested */ tail */",
+        TokenKind::BlockComment,
+        "/* outer /* nested */ tail */",
+    ),
+    // Punctuation that borders on other token classes.
+    (";", TokenKind::Punct, ";"),
+    ("{", TokenKind::Punct, "{"),
+    ("}", TokenKind::Punct, "}"),
+    (".", TokenKind::Punct, "."),
+    ("#", TokenKind::Punct, "#"),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn any_atom_sequence_roundtrips(
+        seq in proptest::collection::vec(0usize..ATOMS.len(), 0..=40)
+    ) {
+        let mut source = String::new();
+        for &i in &seq {
+            source.push_str(ATOMS[i].0);
+            // A space separator keeps adjacent atoms from gluing into a
+            // different token (e.g. two `.` making a range).
+            source.push(' ');
+        }
+        let tokens = lex(&source);
+        prop_assert_eq!(
+            tokens.len(),
+            seq.len(),
+            "token count mismatch for source: {:?}",
+            source
+        );
+        for (tok, &i) in tokens.iter().zip(seq.iter()) {
+            let (_, kind, text) = ATOMS[i];
+            prop_assert_eq!(tok.kind, kind, "kind mismatch in {:?}", source);
+            prop_assert_eq!(&tok.text, text, "text mismatch in {:?}", source);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_monotonic_and_match_newlines(
+        seq in proptest::collection::vec(0usize..ATOMS.len(), 0..=40)
+    ) {
+        let mut source = String::new();
+        for &i in &seq {
+            source.push_str(ATOMS[i].0);
+            source.push('\n');
+        }
+        let tokens = lex(&source);
+        prop_assert_eq!(tokens.len(), seq.len());
+        let mut prev = 0u32;
+        for tok in &tokens {
+            prop_assert!(tok.line >= prev.max(1), "lines must not go backwards");
+            prev = tok.line;
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! The lint's reason for existing, as a test: the real FA implementation
+//! lints clean today, and *textually reintroducing the PR 6 hash-order
+//! bug* (resolving candidates straight out of the HashMap instead of
+//! collect-and-sort) makes `deterministic-iteration` fire.
+//!
+//! The markers are asserted before mutation, so if the FA resolution
+//! loop is ever refactored this test fails loudly and must be updated
+//! alongside it — it cannot silently degrade into testing nothing.
+
+use std::fs;
+use std::path::Path;
+
+use topk_lint::lint_source;
+
+const FA_REL: &str = "crates/core/src/algorithms/fa.rs";
+
+const MARKER_COLLECT: &str =
+    "let mut seen: Vec<(ItemId, Vec<Option<Score>>)> = seen.into_iter().collect();";
+const MARKER_SORT: &str = "seen.sort_unstable_by_key(|(item, _)| *item);";
+
+fn fa_source() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(FA_REL);
+    fs::read_to_string(path).expect("fa.rs is readable from the workspace")
+}
+
+#[test]
+fn real_fa_lints_clean() {
+    let findings = lint_source(FA_REL, &fa_source());
+    assert!(
+        findings.is_empty(),
+        "fa.rs must lint clean, got {findings:?}"
+    );
+}
+
+#[test]
+fn reintroducing_the_hash_order_bug_fails_the_lint() {
+    let src = fa_source();
+    assert!(
+        src.contains(MARKER_COLLECT) && src.contains(MARKER_SORT),
+        "fa.rs's resolution loop changed; update this regression guard's markers"
+    );
+    // Drop the collect-and-sort pair: `for (item, mut locals) in seen`
+    // now iterates the HashMap in per-run hash order — exactly the PR 6
+    // incident (stable totals, nondeterministic access *sequence*).
+    let buggy = src.replace(MARKER_COLLECT, "").replace(MARKER_SORT, "");
+    assert_ne!(src, buggy, "the mutation must actually change the source");
+
+    let findings = lint_source(FA_REL, &buggy);
+    assert!(
+        findings.iter().any(|f| f.rule == "deterministic-iteration"),
+        "the reintroduced bug must trip deterministic-iteration, got {findings:?}"
+    );
+}

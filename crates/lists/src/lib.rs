@@ -39,6 +39,7 @@
 //!
 //! [Akbarinia et al., VLDB 2007]: https://hal.inria.fr/inria-00378836
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod access;

@@ -38,6 +38,7 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25, 36, 49, 64]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod model;

@@ -82,6 +82,7 @@ impl PageCache {
         let stamp = self.clock;
         if self.slots.contains_key(&page) {
             self.counters.hits += 1;
+            // lint:allow(fail-stop) -- contains_key on this exact page id succeeded two lines up
             let slot = self.slots.get_mut(&page).expect("membership just checked");
             slot.last_used = stamp;
             return Ok(&slot.bytes);
@@ -97,6 +98,7 @@ impl PageCache {
                     .iter()
                     .map(|(&id, slot)| (slot.last_used, id))
                     .min()
+                    // lint:allow(fail-stop) -- the while condition guarantees slots.len() >= pages >= 1
                     .expect("cache is non-empty")
                     .1;
                 self.slots.remove(&victim);

@@ -87,6 +87,7 @@ impl PagedDatabase {
         }
         Ok(PagedDatabase {
             files,
+            // lint:allow(fail-stop) -- files.is_empty() returned Err above, so the loop ran at least once
             num_items: num_items.expect("at least one list"),
         })
     }

@@ -10,6 +10,8 @@
 //! the fail-stop contract at every reachable failure point, for all 7
 //! algorithms.
 
+// lint:allow-file(fail-stop) -- this whole module is #[cfg(test)]-gated in lib.rs: its unwraps and panics are test assertions, invisible to per-file test detection
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

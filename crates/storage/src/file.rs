@@ -17,6 +17,7 @@ pub(crate) struct PagedListFile {
 }
 
 fn le_u64(bytes: &[u8]) -> u64 {
+    // lint:allow(fail-stop) -- callers pass compile-time-constant 8-byte ranges; the conversion cannot fail
     u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
 }
 
@@ -89,6 +90,7 @@ impl PagedListFile {
             }
             previous = Some(tail);
         }
+        // lint:allow(fail-stop) -- Header::decode rejects entry_count == 0, so the geometry has at least one data page
         let last_tail = previous.expect("at least one data page");
         if last_tail.value().to_bits() != header.tail_score.to_bits() {
             return Err(StorageError::corrupt(format!(

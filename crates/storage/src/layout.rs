@@ -180,6 +180,18 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Little-endian `u32` from a const-width 4-byte subslice.
+fn le_u32(bytes: &[u8]) -> u32 {
+    // lint:allow(fail-stop) -- callers pass compile-time-constant 4-byte ranges; the conversion cannot fail
+    u32::from_le_bytes(bytes.try_into().expect("4-byte slice"))
+}
+
+/// Little-endian `u64` from a const-width 8-byte subslice.
+fn le_u64(bytes: &[u8]) -> u64 {
+    // lint:allow(fail-stop) -- callers pass compile-time-constant 8-byte ranges; the conversion cannot fail
+    u64::from_le_bytes(bytes.try_into().expect("8-byte slice"))
+}
+
 impl Header {
     pub fn encode(&self) -> [u8; HEADER_LEN] {
         let mut bytes = [0u8; HEADER_LEN];
@@ -200,32 +212,30 @@ impl Header {
         if bytes[0..8] != MAGIC {
             return Err(StorageError::corrupt("bad magic: not a paged list file"));
         }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let version = le_u32(&bytes[8..12]);
         if version != VERSION {
             return Err(StorageError::corrupt(format!(
                 "unsupported format version {version} (expected {VERSION})"
             )));
         }
-        let stored = u64::from_le_bytes(bytes[56..64].try_into().expect("8 bytes"));
+        let stored = le_u64(&bytes[56..64]);
         let computed = fnv1a(&bytes[..56]);
         if stored != computed {
             return Err(StorageError::corrupt(format!(
                 "header checksum mismatch: stored {stored:#x}, computed {computed:#x}"
             )));
         }
-        let page_size = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        let page_size = le_u32(&bytes[12..16]) as usize;
         if page_size < MIN_PAGE_SIZE {
             return Err(StorageError::corrupt(format!(
                 "page size {page_size} below the {MIN_PAGE_SIZE}-byte minimum"
             )));
         }
-        let entry_count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let entry_count = le_u64(&bytes[16..24]);
         if entry_count == 0 {
             return Err(StorageError::corrupt("empty list"));
         }
-        let tail_score = f64::from_bits(u64::from_le_bytes(
-            bytes[24..32].try_into().expect("8 bytes"),
-        ));
+        let tail_score = f64::from_bits(le_u64(&bytes[24..32]));
         if tail_score.is_nan() {
             return Err(StorageError::corrupt("tail score is NaN"));
         }
@@ -233,8 +243,8 @@ impl Header {
             page_size,
             entry_count,
             tail_score,
-            page_index_page: u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes")),
-            item_index_page: u64::from_le_bytes(bytes[40..48].try_into().expect("8 bytes")),
+            page_index_page: le_u64(&bytes[32..40]),
+            item_index_page: le_u64(&bytes[40..48]),
         })
     }
 }

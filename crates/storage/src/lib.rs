@@ -63,6 +63,7 @@
 //! assert!(model.total_cost(&result.stats().accesses, &cache) > model.execution_cost(&result.stats().accesses));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -29,6 +29,7 @@ impl ScratchDir {
         if path.exists() {
             let _ = fs::remove_dir_all(&path);
         }
+        // lint:allow(fail-stop) -- documented `# Panics` precondition: scratch space is a test-environment requirement, not a runtime failure
         fs::create_dir_all(&path).expect("scratch directory must be creatable");
         ScratchDir { path }
     }

@@ -208,6 +208,7 @@ impl ListSource for PagedSource {
                 let piggyback = after.map(|bp| self.entry_at(bp.index(), "best-position read").1);
                 entries
                     .last_mut()
+                    // lint:allow(fail-stop) -- guarded by !entries.is_empty() at the top of this block
                     .expect("entries checked non-empty")
                     .best_position_score = piggyback;
             }

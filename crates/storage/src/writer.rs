@@ -37,6 +37,7 @@ pub(crate) fn encode_list(list: &SortedList, layout: PageLayout) -> Vec<u8> {
         let last_idx = ((data_page + 1) * geometry.entries_per_page).min(list.len()) - 1;
         let tail = list
             .score_at(Position::from_index(last_idx))
+            // lint:allow(fail-stop) -- last_idx is clamped to list.len() - 1 on the line above
             .expect("index within list bounds");
         let (page, offset) = geometry.tail_slot(data_page);
         let at = page as usize * geometry.page_size + offset;

@@ -27,6 +27,8 @@
 //! assert_eq!(result.items()[0].item, ItemId(0)); // 10 + 6 = 16
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use topk_apps as apps;
 pub use topk_core as core;
 pub use topk_datagen as datagen;
