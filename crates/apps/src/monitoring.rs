@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use topk_core::batch::QueryBatch;
 use topk_core::planner::{plan_and_run, Plan};
-use topk_core::standing::{IngestOutcome, StandingQuery, UpdateEvent};
+use topk_core::standing::{AbsorbedBreakdown, IngestOutcome, StandingQuery, UpdateEvent};
 use topk_core::{AlgorithmKind, DatabaseStats, Sum, TopKQuery};
 use topk_distributed::{ClusterRuntime, LatencyModel, NetworkStats};
 use topk_lists::sharded::ShardedDatabase;
@@ -84,8 +84,11 @@ pub struct IngestReport {
 pub struct StandingTelemetry {
     /// Reads served straight from the cache (zero list accesses).
     pub cache_hits: u64,
-    /// Updates absorbed without any execution.
+    /// Updates absorbed without any execution (all kinds combined,
+    /// `absorbed.total()`).
     pub absorbed_updates: u64,
+    /// The absorbed updates broken down by update kind.
+    pub absorbed: AbsorbedBreakdown,
     /// Full re-executions performed.
     pub refreshes: u64,
 }
@@ -399,6 +402,7 @@ impl MonitoringSystem {
         Ok(StandingTelemetry {
             cache_hits: query.cache_hits(),
             absorbed_updates: query.absorbed_updates(),
+            absorbed: query.absorbed_breakdown(),
             refreshes: query.refreshes(),
         })
     }

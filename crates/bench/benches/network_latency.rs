@@ -20,7 +20,7 @@
 //! accounting ever stops paying off where it must.
 
 use topk_bench::config::BENCH_SEED;
-use topk_bench::{BenchReport, BenchScale};
+use topk_bench::{BenchReport, BenchScale, TrendReport, WallClock};
 use topk_core::{AlgorithmKind, TopKQuery};
 use topk_datagen::{DatabaseKind, DatabaseSpec};
 use topk_distributed::{format_nanos, AsyncClusterSources, ClusterRuntime, LatencyModel};
@@ -65,6 +65,10 @@ fn main() {
         "profile", "m", "algorithm", "messages", "rounds", "serialized", "overlapped", "speedup"
     );
 
+    // Trace the sweep (session opens, owner exchanges) under the
+    // bench-only wall clock; counts go in the ungated trace section,
+    // wall nanos in TREND_network_latency.json.
+    let trace_session = topk_trace::TraceSession::begin_with_clock(Box::new(WallClock::new()));
     let mut rows = Vec::new();
     for m in [4, 8] {
         let database = DatabaseSpec::new(DatabaseKind::Uniform, m, n).generate(BENCH_SEED);
@@ -159,7 +163,13 @@ fn main() {
         summary.push(&format!("serialized_nanos.{profile}"), serialized as f64);
         summary.push(&format!("makespan_nanos.{profile}"), makespan as f64);
     }
+    let trace = trace_session.finish();
+    summary.attach_trace_summary(&trace);
     summary.emit().expect("writing the bench JSON report");
+
+    let mut trend = TrendReport::new("network_latency", scale.label());
+    trend.push("sweep_wall_nanos", trace.clock_nanos);
+    trend.emit().expect("writing the trend JSON report");
 
     if failures > 0 {
         eprintln!("{failures} configuration(s) failed the overlap gate");

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use topk_bench::config::BENCH_SEED;
-use topk_bench::{print_header, BenchReport, BenchScale};
+use topk_bench::{print_header, BenchReport, BenchScale, TrendReport, WallClock};
 use topk_core::{AlgorithmKind, CostModel, TopKQuery, TopKResult};
 use topk_datagen::{DatabaseKind, DatabaseSpec};
 use topk_lists::source::SourceSet;
@@ -91,6 +91,10 @@ fn main() {
     let query = TopKQuery::top(k);
     let model = CostModel::paper_default(n).with_page_miss_cost(PAGE_MISS_COST);
 
+    // Trace the sweep (cache hits/misses, page reads) under the
+    // bench-only wall clock; counts go in the ungated trace section,
+    // wall nanos in TREND_paged_scan.json.
+    let trace_session = topk_trace::TraceSession::begin_with_clock(Box::new(WallClock::new()));
     let dir = ScratchDir::new("paged-scan-bench");
     let started = Instant::now();
     let paged = PagedDatabase::create(dir.path(), &db, PageLayout::with_page_size(PAGE_SIZE))
@@ -219,7 +223,13 @@ fn main() {
     summary.push("total_hits", total_hits as f64);
     summary.push("total_misses", total_misses as f64);
     summary.push("total_io_cost", total_io);
+    let trace = trace_session.finish();
+    summary.attach_trace_summary(&trace);
     summary.emit().expect("writing the bench JSON report");
+
+    let mut trend = TrendReport::new("paged_scan", scale.label());
+    trend.push("sweep_wall_nanos", trace.clock_nanos);
+    trend.emit().expect("writing the trend JSON report");
 
     if failed {
         eprintln!("paged scan FAILED the acceptance bar");

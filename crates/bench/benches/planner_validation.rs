@@ -13,7 +13,7 @@
 //! planner regressions fail CI.
 
 use topk_bench::report::algorithm_label;
-use topk_bench::{print_header, validate_planner, BenchReport, BenchScale};
+use topk_bench::{print_header, validate_planner, BenchReport, BenchScale, TrendReport, WallClock};
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -23,7 +23,12 @@ fn main() {
         scale.label(),
     );
 
+    // Trace the sweep under the bench-only wall clock: event counts feed
+    // the (ungated) trace section of the BENCH report, elapsed wall
+    // nanos feed TREND_planner_validation.json.
+    let session = topk_trace::TraceSession::begin_with_clock(Box::new(WallClock::new()));
     let report = validate_planner(scale);
+    let trace = session.finish();
 
     println!();
     println!(
@@ -61,7 +66,12 @@ fn main() {
     summary.push("grid_points", report.outcomes.len() as f64);
     summary.push("match_rate", report.match_rate());
     summary.push("worst_ratio", report.worst_ratio());
+    summary.attach_trace_summary(&trace);
     summary.emit().expect("writing the bench JSON report");
+
+    let mut trend = TrendReport::new("planner_validation", scale.label());
+    trend.push("sweep_wall_nanos", trace.clock_nanos);
+    trend.emit().expect("writing the trend JSON report");
 
     if !report.meets_acceptance() {
         eprintln!("planner validation FAILED the acceptance bar");

@@ -39,7 +39,7 @@
 use std::time::{Duration, Instant};
 
 use topk_bench::config::BENCH_SEED;
-use topk_bench::{print_header, BenchReport, BenchScale};
+use topk_bench::{print_header, BenchReport, BenchScale, TrendReport, WallClock};
 use topk_core::batch::QueryBatch;
 use topk_core::{plan_and_run_on, AlgorithmKind, DatabaseStats, TopKQuery, TopKResult};
 use topk_datagen::{DatabaseKind, DatabaseSpec};
@@ -122,6 +122,10 @@ fn main() {
     let thread_counts = [1usize, 2, 4, 8];
     let shard_counts = [1usize, 4, 8];
 
+    // Trace the whole sweep (pool dispatches, per-job query spans) under
+    // the bench-only wall clock; counts go in the ungated trace section,
+    // wall nanos in TREND_shard_scaling.json.
+    let trace_session = topk_trace::TraceSession::begin_with_clock(Box::new(WallClock::new()));
     let mut rows: Vec<ConfigRow> = Vec::new();
     let mut baselines: Vec<(usize, Duration)> = Vec::new();
     let mut access_totals: Vec<(usize, u64)> = Vec::new();
@@ -315,7 +319,13 @@ fn main() {
         summary.push(&format!("model_x.{key}"), row.modelled_speedup);
         summary.push(&format!("pool_tasks.{key}"), row.pool_tasks as f64);
     }
+    let trace = trace_session.finish();
+    summary.attach_trace_summary(&trace);
     summary.emit().expect("writing the bench JSON report");
+
+    let mut trend = TrendReport::new("shard_scaling", scale.label());
+    trend.push("sweep_wall_nanos", trace.clock_nanos);
+    trend.emit().expect("writing the trend JSON report");
 
     if failed {
         eprintln!("shard scaling FAILED the acceptance bar");

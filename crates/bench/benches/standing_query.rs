@@ -31,7 +31,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use topk_bench::config::BENCH_SEED;
-use topk_bench::{print_header, BenchReport, BenchScale};
+use topk_bench::{print_header, BenchReport, BenchScale, TrendReport, WallClock};
 use topk_core::standing::{StandingQuery, UpdateEvent};
 use topk_core::{plan_and_run_on, DatabaseStats, TopKQuery};
 use topk_datagen::{DatabaseKind, DatabaseSpec};
@@ -80,6 +80,10 @@ fn main() {
          one spike above the score range every {SPIKE_PERIOD} (planner-selected algorithm)"
     );
 
+    // Trace the run (standing ingest/serve spans) under the bench-only
+    // wall clock; counts go in the ungated trace section, wall nanos in
+    // TREND_standing_query.json.
+    let trace_session = topk_trace::TraceSession::begin_with_clock(Box::new(WallClock::new()));
     // Warm the cache: the first serve runs the planned query once.
     let mut standing_accesses: u64 = 0;
     {
@@ -160,7 +164,13 @@ fn main() {
     summary.push("standing_accesses", standing_accesses as f64);
     summary.push("baseline_accesses", baseline_accesses as f64);
     summary.push("access_advantage", advantage);
+    let trace = trace_session.finish();
+    summary.attach_trace_summary(&trace);
     summary.emit().expect("writing the bench JSON report");
+
+    let mut trend = TrendReport::new("standing_query", scale.label());
+    trend.push("sweep_wall_nanos", trace.clock_nanos);
+    trend.emit().expect("writing the trend JSON report");
 
     // Acceptance.
     let mut failed = false;

@@ -1,0 +1,72 @@
+//! The bench-only wall-clock [`TraceClock`].
+//!
+//! `topk-trace` ships only the deterministic [`LogicalClock`] — library
+//! code never reads wall time (topk-lint's `no-wall-clock` rule patrols
+//! every crate outside `crates/bench/`). The harness is the one place
+//! wall time is meaningful, so the real-clock implementation of the
+//! [`TraceClock`] seam lives here: a [`TraceSession`] begun with a
+//! [`WallClock`] reports the run's elapsed wall nanoseconds in
+//! `Trace::clock_nanos`, which the `TREND_<target>.json` files record
+//! (see [`crate::emit::TrendReport`]).
+//!
+//! [`LogicalClock`]: topk_trace::LogicalClock
+//! [`TraceSession`]: topk_trace::TraceSession
+
+use std::time::Instant;
+
+use topk_trace::TraceClock;
+
+/// A [`TraceClock`] backed by [`Instant`], reporting nanoseconds since
+/// the clock was created. Wall-clock readings are *not* deterministic:
+/// traces taken under this clock feed trend files only, never gated
+/// baselines.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock whose zero is now.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceClock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of elapsed time; saturate
+        // rather than wrap if a run somehow exceeds that.
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn a_session_under_the_wall_clock_reports_elapsed_nanos() {
+        let session = topk_trace::TraceSession::begin_with_clock(Box::new(WallClock::new()));
+        std::hint::black_box((0..1000).sum::<u64>());
+        let trace = session.finish();
+        // Monotone clocks cannot go backwards; equality is possible on
+        // coarse timers, so only non-regression is asserted.
+        assert!(trace.clock_nanos < u64::MAX);
+    }
+}

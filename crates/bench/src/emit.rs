@@ -1,5 +1,6 @@
-//! Machine-readable bench results: `BENCH_<target>.json` emission and
-//! baseline comparison.
+//! Machine-readable bench results: `BENCH_<target>.json` emission,
+//! baseline comparison, and the ungated wall-clock `TREND_<target>.json`
+//! companions ([`TrendReport`]).
 //!
 //! Every CI-gated bench target ends by building a [`BenchReport`] of its
 //! **deterministic** summary metrics — access counts, message counts,
@@ -39,7 +40,7 @@ use std::path::{Path, PathBuf};
 pub const JSON_DIR_ENV: &str = "TOPK_BENCH_JSON_DIR";
 
 /// One bench target's machine-readable summary: named deterministic
-/// metrics, ordered as pushed.
+/// metrics, ordered as pushed, plus an optional trace summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Bench target name (`BENCH_<target>.json`).
@@ -48,6 +49,12 @@ pub struct BenchReport {
     pub scale: String,
     /// Named metric values, in emission order.
     pub metrics: Vec<(String, f64)>,
+    /// Per-kind event counts of the run's trace, sorted by kind.
+    /// Empty ⇒ the run was untraced and no `"trace"` section is
+    /// emitted. Informational only: [`BenchReport::compare`] never
+    /// looks at it, so baselines stay valid whether or not a bench
+    /// runs traced.
+    pub trace: Vec<(String, u64)>,
 }
 
 impl BenchReport {
@@ -57,7 +64,24 @@ impl BenchReport {
             target: target.to_string(),
             scale: scale.to_string(),
             metrics: Vec::new(),
+            trace: Vec::new(),
         }
+    }
+
+    /// Fills the trace summary from a finished trace: one entry per
+    /// event kind that occurred, sorted by kind name. Event counts are
+    /// deterministic (unlike the trace's wall clock under a
+    /// [`WallClock`](crate::clock::WallClock)), so the summary is safe
+    /// to publish next to the gated metrics.
+    pub fn attach_trace_summary(&mut self, trace: &topk_trace::Trace) {
+        let mut tally: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for record in &trace.events {
+            *tally.entry(record.event.kind()).or_insert(0) += 1;
+        }
+        self.trace = tally
+            .into_iter()
+            .map(|(kind, count)| (kind.to_string(), count))
+            .collect();
     }
 
     /// Appends one metric. Names must be stable across runs — they are
@@ -91,7 +115,16 @@ impl BenchReport {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             let _ = write!(out, "    {}: {}", quote(name), format_number(*value));
         }
-        out.push_str("\n  }\n}\n");
+        out.push_str("\n  }");
+        if !self.trace.is_empty() {
+            out.push_str(",\n  \"trace\": {");
+            for (i, (kind, count)) in self.trace.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                let _ = write!(out, "    {}: {count}", quote(kind));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -170,6 +203,79 @@ impl BenchReport {
     }
 }
 
+/// One bench target's **wall-clock** trend summary, written as
+/// `TREND_<target>.json` next to the gated `BENCH_<target>.json`.
+///
+/// The two files split the harness's outputs by determinism:
+/// `BENCH_*.json` holds only deterministic metrics and is compared
+/// exactly against committed baselines by `bench_compare`; `TREND_*`
+/// holds wall-clock nanoseconds (from a
+/// [`WallClock`](crate::clock::WallClock)-driven trace session), which
+/// vary run to run and machine to machine. `bench_compare` matches only
+/// the `BENCH_` prefix, so trend files are structurally excluded from
+/// gating — they exist for humans and dashboards plotting performance
+/// over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrendReport {
+    /// Bench target name (`TREND_<target>.json`).
+    pub target: String,
+    /// Scale label the run used (`smoke`, `small`, `paper`).
+    pub scale: String,
+    /// Named wall-clock durations in nanoseconds, in emission order.
+    pub wall_nanos: Vec<(String, u64)>,
+}
+
+impl TrendReport {
+    /// An empty trend report for one target at one scale.
+    pub fn new(target: &str, scale: &str) -> Self {
+        TrendReport {
+            target: target.to_string(),
+            scale: scale.to_string(),
+            wall_nanos: Vec::new(),
+        }
+    }
+
+    /// Appends one wall-clock measurement, in nanoseconds.
+    pub fn push(&mut self, name: &str, nanos: u64) {
+        self.wall_nanos.push((name.to_string(), nanos));
+    }
+
+    /// Serializes the report. There is no parser: nothing gates on
+    /// trend files, so nothing in the workspace reads them back.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"target\": {},", quote(&self.target));
+        let _ = writeln!(out, "  \"scale\": {},", quote(&self.scale));
+        out.push_str("  \"wall_nanos\": {");
+        for (i, (name, nanos)) in self.wall_nanos.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}: {nanos}", quote(name));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// The file name this report is stored under.
+    pub fn file_name(&self) -> String {
+        format!("TREND_{}.json", self.target)
+    }
+
+    /// Writes `TREND_<target>.json` into the `TOPK_BENCH_JSON_DIR`
+    /// directory; `None` when the variable is unset (like
+    /// [`BenchReport::emit`]).
+    pub fn emit(&self) -> std::io::Result<Option<PathBuf>> {
+        let Ok(dir) = std::env::var(JSON_DIR_ENV) else {
+            return Ok(None);
+        };
+        let dir = Path::new(&dir);
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(Some(path))
+    }
+}
+
 /// `f64` formatting that round-trips: integers print without a fraction,
 /// everything else via `{}` (shortest representation that parses back to
 /// the same bits for finite values).
@@ -229,11 +335,40 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect('}')?;
+        // The trace summary is optional: reports from untraced runs (and
+        // all baselines committed before it existed) omit it.
+        let mut trace = Vec::new();
+        self.skip_whitespace();
+        if self.rest.starts_with(',') {
+            self.expect(',')?;
+            self.key("trace")?;
+            self.expect('{')?;
+            self.skip_whitespace();
+            if !self.rest.starts_with('}') {
+                loop {
+                    let kind = self.string()?;
+                    self.expect(':')?;
+                    let count = self.number()?;
+                    if count < 0.0 || count.fract() != 0.0 {
+                        return Err(format!("trace count for {kind:?} is not a whole number"));
+                    }
+                    trace.push((kind, count as u64));
+                    self.skip_whitespace();
+                    if self.rest.starts_with(',') {
+                        self.expect(',')?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect('}')?;
+        }
         self.expect('}')?;
         Ok(BenchReport {
             target,
             scale,
             metrics,
+            trace,
         })
     }
 
@@ -367,6 +502,44 @@ mod tests {
         current.scale = "paper".to_string();
         let deviations = BenchReport::compare(&baseline, &current, 0.0);
         assert!(deviations[0].contains("scale mismatch"));
+    }
+
+    #[test]
+    fn trace_summary_round_trips_and_is_ignored_by_compare() {
+        let mut traced = sample();
+        let session = topk_trace::TraceSession::begin();
+        topk_trace::record(topk_trace::TraceEvent::RoundBegin { round: 1 });
+        topk_trace::record(topk_trace::TraceEvent::RoundBegin { round: 2 });
+        topk_trace::record(topk_trace::TraceEvent::CacheHit { page: 0 });
+        traced.attach_trace_summary(&session.finish());
+        assert_eq!(
+            traced.trace,
+            vec![("cache_hit".to_string(), 1), ("round".to_string(), 2)],
+            "kinds are tallied and sorted"
+        );
+        let json = traced.to_json();
+        assert!(json.contains("\"trace\""));
+        assert_eq!(BenchReport::parse(&json).unwrap(), traced);
+        // An untraced baseline compares clean against a traced run (and
+        // vice versa): the trace section never gates.
+        assert!(BenchReport::compare(&sample(), &traced, 0.0).is_empty());
+        assert!(BenchReport::compare(&traced, &sample(), 0.0).is_empty());
+        // Untraced reports keep the pre-trace shape byte-for-byte.
+        assert!(!sample().to_json().contains("trace"));
+    }
+
+    #[test]
+    fn trend_reports_write_their_own_file_prefix() {
+        let mut trend = TrendReport::new("shard_scaling", "smoke");
+        trend.push("wall_nanos", 123_456_789);
+        assert_eq!(trend.file_name(), "TREND_shard_scaling.json");
+        let json = trend.to_json();
+        assert!(json.contains("\"wall_nanos\""));
+        assert!(json.contains("123456789"));
+        assert!(
+            !trend.file_name().starts_with("BENCH_"),
+            "bench_compare matches the BENCH_ prefix, so trend files are excluded from gating"
+        );
     }
 
     #[test]

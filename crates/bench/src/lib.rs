@@ -16,7 +16,10 @@
 //! * [`emit`] — machine-readable `BENCH_<target>.json` summaries of the
 //!   CI-gated targets' deterministic metrics, plus the baseline
 //!   comparison the `bench_compare` binary runs against the committed
-//!   smoke baselines in `baselines/`;
+//!   smoke baselines in `baselines/`, and the ungated wall-clock
+//!   `TREND_<target>.json` companions;
+//! * [`clock`] — the bench-only wall-clock implementation of the
+//!   `topk_trace::TraceClock` seam feeding those trend files;
 //! * [`validation`] — the planner-validation sweep behind the
 //!   `planner_validation` bench target: the cost-based planner's choice is
 //!   checked against the measured-cost argmin over the m/n/k/correlation
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod config;
 pub mod emit;
 pub mod measure;
@@ -46,8 +50,9 @@ pub mod report;
 pub mod sweeps;
 pub mod validation;
 
+pub use clock::WallClock;
 pub use config::{BenchScale, PAPER_DEFAULT_K, PAPER_DEFAULT_M, PAPER_DEFAULT_N};
-pub use emit::BenchReport;
+pub use emit::{BenchReport, TrendReport};
 pub use measure::{measure_database, measure_spec, AlgorithmMeasurement, ExperimentPoint};
 pub use report::{format_factor, print_header, print_metric_table, MetricKind};
 pub use sweeps::{sweep_k, sweep_m, sweep_n};

@@ -101,6 +101,13 @@ pub trait TopKAlgorithm {
         query: &TopKQuery,
     ) -> Result<TopKResult, TopKError> {
         query.validate_for(sources.num_items())?;
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::QueryBegin {
+                algorithm: self.name(),
+                k: query.k() as u64,
+                lists: sources.num_lists() as u64,
+            });
+        }
         // `run_on` is also the single place wall-clock time is read in
         // the algorithm layer: algorithm bodies report simulated costs
         // only, and the human-facing `RunStats::elapsed` is stamped here
@@ -113,7 +120,7 @@ pub trait TopKAlgorithm {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.execute(sources, query)
         }));
-        match outcome {
+        let out = match outcome {
             Ok(result) => result.map(|mut r| {
                 // lint:allow(no-wall-clock) -- RunStats::elapsed plumbing: stamps the measurement taken above
                 r.set_elapsed(started.elapsed());
@@ -123,7 +130,13 @@ pub trait TopKAlgorithm {
                 Ok(err) => Err(TopKError::Source(*err)),
                 Err(payload) => std::panic::resume_unwind(payload),
             },
+        };
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::QueryEnd {
+                status: if out.is_ok() { "ok" } else { "error" },
+            });
         }
+        out
     }
 
     /// Convenience entry point for the in-memory backend: opens

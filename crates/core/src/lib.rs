@@ -67,7 +67,7 @@ pub use planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
 pub use query::TopKQuery;
 pub use result::{RankedItem, RunCertificate, TopKResult};
 pub use scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
-pub use standing::{IngestOutcome, StandingQuery, UpdateEvent};
+pub use standing::{AbsorbedBreakdown, IngestOutcome, StandingQuery, UpdateEvent};
 pub use stats::{DatabaseStats, RunStats};
 pub use topk_buffer::TopKBuffer;
 
@@ -84,6 +84,6 @@ pub mod prelude {
     pub use crate::query::TopKQuery;
     pub use crate::result::{RankedItem, RunCertificate, TopKResult};
     pub use crate::scoring::{Average, Max, Min, ScoringFunction, Sum, WeightedSum};
-    pub use crate::standing::{IngestOutcome, StandingQuery, UpdateEvent};
+    pub use crate::standing::{AbsorbedBreakdown, IngestOutcome, StandingQuery, UpdateEvent};
     pub use crate::stats::{DatabaseStats, RunStats};
 }

@@ -301,7 +301,14 @@ pub fn plan_and_run(
 ) -> Result<(Plan, TopKResult), TopKError> {
     let planner = Planner::paper_default(database.num_items());
     let plan = planner.plan_database(database, query);
-    let result = plan.choice().create().run(database, query)?;
+    let algorithm = plan.choice().create();
+    if topk_trace::active() {
+        topk_trace::record(topk_trace::TraceEvent::PlanChosen {
+            algorithm: algorithm.name(),
+            estimated_depth: plan.estimated_ta_depth as u64,
+        });
+    }
+    let result = algorithm.run(database, query)?;
     Ok((plan, result))
 }
 
@@ -340,7 +347,14 @@ pub fn plan_and_run_on(
     }
     let planner = Planner::paper_default(stats.num_items.max(1));
     let plan = planner.plan(stats, query);
-    let result = plan.choice().create().run_on(sources, query)?;
+    let algorithm = plan.choice().create();
+    if topk_trace::active() {
+        topk_trace::record(topk_trace::TraceEvent::PlanChosen {
+            algorithm: algorithm.name(),
+            estimated_depth: plan.estimated_ta_depth as u64,
+        });
+    }
+    let result = algorithm.run_on(sources, query)?;
     Ok((plan, result))
 }
 

@@ -108,6 +108,29 @@ impl IngestOutcome {
     }
 }
 
+/// Updates absorbed without any execution, broken down by the kind of
+/// [`UpdateEvent`] that was absorbed. Score changes split by direction
+/// because the absorption argument differs: decreases of non-answer
+/// items are always safe, increases need a bound check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbsorbedBreakdown {
+    /// Score increases of non-answer items absorbed after a bound check.
+    pub score_ups: u64,
+    /// Score decreases of non-answer items (always safe to absorb).
+    pub score_downs: u64,
+    /// Inserts whose exact overall score cannot enter the answer.
+    pub inserts: u64,
+    /// Deletes of non-answer items (with more than `k` items remaining).
+    pub deletes: u64,
+}
+
+impl AbsorbedBreakdown {
+    /// Total updates absorbed across all kinds.
+    pub fn total(&self) -> u64 {
+        self.score_ups + self.score_downs + self.inserts + self.deletes
+    }
+}
+
 /// Everything cached from the last execution: the answer, the evidence,
 /// and the side-books that absorbed events maintain.
 #[derive(Debug, Clone)]
@@ -143,7 +166,7 @@ pub struct StandingQuery {
     cache: Option<CacheEntry>,
     dirty: bool,
     cache_hits: u64,
-    absorbed: u64,
+    absorbed: AbsorbedBreakdown,
     refreshes: u64,
 }
 
@@ -158,7 +181,7 @@ impl StandingQuery {
             cache: None,
             dirty: true,
             cache_hits: 0,
-            absorbed: 0,
+            absorbed: AbsorbedBreakdown::default(),
             refreshes: 0,
         }
     }
@@ -208,8 +231,13 @@ impl StandingQuery {
         self.cache_hits
     }
 
-    /// Updates absorbed without any execution.
+    /// Updates absorbed without any execution (all kinds combined).
     pub fn absorbed_updates(&self) -> u64 {
+        self.absorbed.total()
+    }
+
+    /// Updates absorbed without any execution, by [`UpdateEvent`] kind.
+    pub fn absorbed_breakdown(&self) -> AbsorbedBreakdown {
         self.absorbed
     }
 
@@ -223,10 +251,30 @@ impl StandingQuery {
     /// so the next [`serve`](StandingQuery::serve) re-executes. Never
     /// accesses a list either way.
     pub fn ingest(&mut self, event: &UpdateEvent) -> IngestOutcome {
+        let kind = match event {
+            UpdateEvent::Score { update, .. } if update.is_decrease() => "score_down",
+            UpdateEvent::Score { .. } => "score_up",
+            UpdateEvent::Insert { .. } => "insert",
+            UpdateEvent::Delete { .. } => "delete",
+        };
         let outcome = self.classify(event);
         match outcome {
-            IngestOutcome::Absorbed => self.absorbed += 1,
+            IngestOutcome::Absorbed => {
+                let slot = match kind {
+                    "score_down" => &mut self.absorbed.score_downs,
+                    "score_up" => &mut self.absorbed.score_ups,
+                    "insert" => &mut self.absorbed.inserts,
+                    _ => &mut self.absorbed.deletes,
+                };
+                *slot += 1;
+            }
             IngestOutcome::NeedsRefresh(_) => self.dirty = true,
+        }
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::StandingIngest {
+                kind,
+                absorbed: outcome.is_absorbed(),
+            });
         }
         outcome
     }
@@ -250,7 +298,13 @@ impl StandingQuery {
         let observed = sources.epochs();
         if !self.needs_refresh(&observed) {
             self.cache_hits += 1;
+            if topk_trace::active() {
+                topk_trace::record(topk_trace::TraceEvent::StandingServe { refreshed: false });
+            }
             return Ok(&self.cache.as_ref().expect("checked above").result);
+        }
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::StandingServe { refreshed: true });
         }
         self.refresh(sources, stats)
     }
@@ -429,6 +483,17 @@ impl StandingQuery {
                 IngestOutcome::Absorbed
             }
         }
+    }
+}
+
+impl topk_trace::MetricSource for StandingQuery {
+    fn record_metrics(&self, registry: &mut topk_trace::MetricsRegistry) {
+        registry.counter_add("standing.cache_hits", self.cache_hits);
+        registry.counter_add("standing.refreshes", self.refreshes);
+        registry.counter_add("standing.absorbed.score_up", self.absorbed.score_ups);
+        registry.counter_add("standing.absorbed.score_down", self.absorbed.score_downs);
+        registry.counter_add("standing.absorbed.insert", self.absorbed.inserts);
+        registry.counter_add("standing.absorbed.delete", self.absorbed.deletes);
     }
 }
 

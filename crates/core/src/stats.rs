@@ -60,6 +60,23 @@ impl RunStats {
     }
 }
 
+impl topk_trace::MetricSource for RunStats {
+    fn record_metrics(&self, registry: &mut topk_trace::MetricsRegistry) {
+        registry.counter_add("run.sorted_accesses", self.accesses.sorted);
+        registry.counter_add("run.random_accesses", self.accesses.random);
+        registry.counter_add("run.direct_accesses", self.accesses.direct);
+        registry.counter_add("run.rounds", self.rounds);
+        registry.counter_add("run.items_scored", self.items_scored as u64);
+        for counters in &self.per_list {
+            registry.histogram_record(
+                "run.per_list_accesses",
+                topk_trace::ACCESS_BUCKETS,
+                counters.total(),
+            );
+        }
+    }
+}
+
 /// Default number of sampled positions per list in the score profile grid.
 const DEFAULT_PROFILE_LEN: usize = 48;
 /// Default number of sampled items used for overall-score estimates.

@@ -85,6 +85,24 @@ impl NetworkStats {
     }
 }
 
+impl topk_trace::MetricSource for NetworkStats {
+    fn record_metrics(&self, registry: &mut topk_trace::MetricsRegistry) {
+        registry.counter_add("net.messages", self.messages);
+        registry.counter_add("net.requests", self.requests);
+        registry.counter_add("net.responses", self.responses);
+        registry.counter_add("net.payload_units", self.payload_units);
+        registry.counter_add("net.serialized_nanos", self.serialized_nanos());
+        registry.counter_add("net.makespan_nanos", self.makespan_nanos());
+        for round in &self.per_round {
+            registry.histogram_record(
+                "net.round_messages",
+                topk_trace::MESSAGE_BUCKETS,
+                round.messages,
+            );
+        }
+    }
+}
+
 /// The shared accounting engine behind [`Cluster`] and the asynchronous
 /// [`ClusterRuntime`](crate::ClusterRuntime) sessions: every exchanged
 /// request/response pair flows through [`NetworkRecorder::record`], which
@@ -122,6 +140,13 @@ impl NetworkRecorder {
     pub(crate) fn record(&mut self, owner: usize, request: &Request, response: &Response) {
         let payload = request.payload_units() + response.payload_units();
         let cost = self.latency.exchange_nanos(owner, request, response);
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::OwnerExchange {
+                owner: owner as u64,
+                payload_units: payload,
+                nanos: cost,
+            });
+        }
         self.stats.requests += 1;
         self.stats.responses += 1;
         self.stats.messages += 2;

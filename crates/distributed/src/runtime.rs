@@ -251,6 +251,11 @@ impl ClusterRuntime {
     /// session's [`SourceSet`] view. Sessions are isolated — open one per
     /// concurrent query.
     pub fn connect(&self) -> AsyncClusterSources<'_> {
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::SessionOpen {
+                owners: self.workers.len() as u64,
+            });
+        }
         AsyncClusterSources::new(self)
     }
 

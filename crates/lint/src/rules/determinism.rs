@@ -48,6 +48,7 @@ const SCOPE: &[&str] = &[
     "crates/lists/src/",
     "crates/storage/src/",
     "crates/distributed/src/",
+    "crates/trace/src/",
 ];
 
 const ITER_METHODS: &[&str] = &[

@@ -7,7 +7,11 @@
 //! sneaks onto a decision path (timeouts, adaptive batching) silently
 //! breaks cross-run determinism. Wall time is legitimate in exactly two
 //! places: the bench harness's human-facing wall-time report, and the
-//! `RunStats::elapsed` plumbing that carries it.
+//! `RunStats::elapsed` plumbing that carries it. This confinement also
+//! covers tracing: `topk_trace::TraceClock` implementations that read
+//! real time (the `WallClock` feeding `TREND_*` files) live under
+//! `crates/bench/`; the trace crate itself ships only the logical
+//! clock, keeping its exports byte-deterministic.
 //!
 //! Flags any `Instant` or `SystemTime` identifier, and any `.elapsed()`
 //! call, outside the allowlisted paths and outside test code.

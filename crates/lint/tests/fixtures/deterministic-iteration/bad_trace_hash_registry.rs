@@ -1,0 +1,14 @@
+// lint-fixture-path: crates/trace/src/fixture.rs
+// The trace crate is in scope (PR 9): a metrics registry that iterates
+// a HashMap while serializing would emit counters in seeded hash order,
+// breaking the byte-deterministic export guarantee.
+
+use std::collections::HashMap;
+
+pub fn serialize_counters(counters: HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in &counters {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}

@@ -1,0 +1,13 @@
+// lint-fixture-path: crates/trace/src/fixture.rs
+// The shape the real registry uses: BTreeMap storage, so serialization
+// iterates in name order and the export stays byte-deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn serialize_counters(counters: BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in &counters {
+        out.push_str(&format!("{name}={value}\n"));
+    }
+    out
+}

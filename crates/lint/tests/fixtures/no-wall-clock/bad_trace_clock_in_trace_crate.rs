@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/trace/src/clock.rs
+// A wall-reading TraceClock impl inside the trace crate itself: the
+// crate must stay byte-deterministic, so wall-clock impls are confined
+// to crates/bench/ (see good_trace_clock_in_bench.rs).
+
+pub trait TraceClock {
+    fn now_nanos(&self) -> u64;
+}
+
+pub struct LeakedWallClock {
+    start: std::time::Instant,
+}
+
+impl TraceClock for LeakedWallClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}

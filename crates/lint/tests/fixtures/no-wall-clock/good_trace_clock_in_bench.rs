@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/bench/src/clock.rs
+// The sanctioned home for a wall-reading TraceClock: crates/bench/ is
+// allowlisted, so the harness can stamp TREND_* files with real elapsed
+// time while the trace crate ships only the logical clock.
+
+pub trait TraceClock {
+    fn now_nanos(&self) -> u64;
+}
+
+pub struct WallClock {
+    start: std::time::Instant,
+}
+
+impl TraceClock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}

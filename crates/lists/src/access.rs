@@ -37,6 +37,14 @@ pub struct AccessCounters {
     pub direct: u64,
 }
 
+impl topk_trace::MetricSource for AccessCounters {
+    fn record_metrics(&self, registry: &mut topk_trace::MetricsRegistry) {
+        registry.counter_add("access.sorted", self.sorted);
+        registry.counter_add("access.random", self.random);
+        registry.counter_add("access.direct", self.direct);
+    }
+}
+
 impl AccessCounters {
     /// Total number of accesses of any mode.
     #[inline]

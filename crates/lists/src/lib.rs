@@ -50,6 +50,7 @@ pub mod item;
 pub mod sharded;
 pub mod sorted_list;
 pub mod source;
+pub mod traced;
 pub mod tracker;
 
 pub use access::{AccessCounters, AccessMode, ListAccessor};
@@ -79,6 +80,7 @@ pub mod prelude {
         BatchingSource, CacheCounters, InMemorySource, ListSource, SourceEntry, SourceError,
         SourceScore, SourceSet, Sources,
     };
+    pub use crate::traced::{TracedSource, TracedSources};
     pub use crate::tracker::{
         BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionShift, PositionTracker,
         TrackerKind,

@@ -86,6 +86,13 @@ impl CacheCounters {
     }
 }
 
+impl topk_trace::MetricSource for CacheCounters {
+    fn record_metrics(&self, registry: &mut topk_trace::MetricsRegistry) {
+        registry.counter_add("cache.hits", self.hits);
+        registry.counter_add("cache.misses", self.misses);
+    }
+}
+
 /// A failure of the physical layer behind a [`ListSource`] (disk IO,
 /// corrupt page, truncated file) that made a list access impossible.
 ///
@@ -704,6 +711,26 @@ impl<'a> Sources<'a> {
                 .map(|inner| Box::new(BatchingSource::new(inner, block_len)) as Box<dyn ListSource>)
                 .collect(),
         )
+    }
+
+    /// Wraps every source in a tracing decorator; see [`TracedSources`].
+    ///
+    /// [`TracedSources`]: crate::traced::TracedSources
+    pub fn traced(self) -> crate::traced::TracedSources<'a> {
+        crate::traced::TracedSources::wrap(self)
+    }
+
+    /// Appends `other`'s lists after this set's, so a query can span
+    /// heterogeneous backends (e.g. some lists paged, some sharded).
+    /// List indices of `other` shift up by `self.num_lists()`.
+    pub fn merge(mut self, other: Sources<'a>) -> Sources<'a> {
+        self.sources.extend(other.sources);
+        self
+    }
+
+    /// Surrenders the boxed sources for decorator construction.
+    pub(crate) fn into_boxes(self) -> Vec<Box<dyn ListSource + 'a>> {
+        self.sources
     }
 }
 

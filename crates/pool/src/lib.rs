@@ -181,6 +181,13 @@ impl std::fmt::Debug for ThreadPool {
     }
 }
 
+impl topk_trace::MetricSource for ThreadPool {
+    fn record_metrics(&self, registry: &mut topk_trace::MetricsRegistry) {
+        registry.counter_add("pool.tasks_executed", self.tasks_executed() as u64);
+        registry.gauge_set("pool.threads", self.num_threads() as f64);
+    }
+}
+
 impl ThreadPool {
     /// Spawns a pool of `threads` worker threads.
     ///
@@ -269,11 +276,23 @@ impl ThreadPool {
             done: Condvar::new(),
         };
 
+        // Scope ids are drawn on the dispatching thread (where a traced
+        // query's dispatches are serialized), so job lanes are assigned
+        // deterministically no matter which worker runs which job.
+        // `None` — the cold path — when no trace session is observing.
+        let trace_scope = topk_trace::pool_scope(n);
+
         for (i, job) in jobs.into_iter().enumerate() {
             let slot = &slots[i];
             let sync = &sync;
             let task = move || {
-                let result = catch_unwind(AssertUnwindSafe(job));
+                let result = {
+                    // The lane guard must flush before the completion
+                    // count below releases the caller: a session could
+                    // otherwise finish without this job's events.
+                    let _lane = trace_scope.map(|s| s.enter_job(i));
+                    catch_unwind(AssertUnwindSafe(job))
+                };
                 *lock_ignore_poison(slot) = Some(result);
                 // The completion count is the LAST touch of scope state:
                 // once the caller observes `completed == n` (which requires

@@ -82,15 +82,27 @@ impl PageCache {
         let stamp = self.clock;
         if self.slots.contains_key(&page) {
             self.counters.hits += 1;
+            if topk_trace::active() {
+                topk_trace::record(topk_trace::TraceEvent::CacheHit { page });
+            }
             // lint:allow(fail-stop) -- contains_key on this exact page id succeeded two lines up
             let slot = self.slots.get_mut(&page).expect("membership just checked");
             slot.last_used = stamp;
             return Ok(&slot.bytes);
         }
         self.counters.misses += 1;
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::CacheMiss { page });
+        }
         let mut bytes = vec![0u8; page_size];
         io.read_exact_at(page * page_size as u64, &mut bytes)
             .map_err(|e| StorageError::io(format!("read of page {page}"), e))?;
+        if topk_trace::active() {
+            topk_trace::record(topk_trace::TraceEvent::PageRead {
+                page,
+                bytes: page_size as u64,
+            });
+        }
         if let CacheCapacity::Pages(pages) = self.capacity {
             while self.slots.len() >= pages {
                 let victim = self

@@ -1,0 +1,57 @@
+//! The injectable clock seam.
+//!
+//! The workspace's determinism contract (lint rule 2, `no-wall-clock`)
+//! forbids reading real time anywhere in the simulation, so the clock a
+//! [`TraceSession`](crate::TraceSession) stamps its duration with is a
+//! *trait*: this crate ships only the [`LogicalClock`], whose readings
+//! are a deterministic tick count, and `crates/bench` — the one
+//! allowlisted home of wall time — provides a wall-clock implementation
+//! for its human-facing `TREND_<target>.json` trend files. Nothing in
+//! this crate, and nothing outside the bench harness, ever touches
+//! `std::time`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone nanosecond counter read at session begin and finish.
+///
+/// Implementations outside `crates/bench` must be deterministic: same
+/// program, same readings. The trait is intentionally tiny so a bench
+/// wall clock and the logical clock are interchangeable.
+pub trait TraceClock {
+    /// The current reading in (possibly modelled) nanoseconds.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The default, fully deterministic clock: each reading returns the
+/// number of prior readings, so a session's `clock_nanos` depends only
+/// on how many times the clock was consulted — never on the machine.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A fresh clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceClock for LogicalClock {
+    fn now_nanos(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_counts_readings() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.now_nanos(), 0);
+        assert_eq!(clock.now_nanos(), 1);
+        assert_eq!(clock.now_nanos(), 2);
+    }
+}

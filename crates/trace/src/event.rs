@@ -1,0 +1,469 @@
+//! The span/event vocabulary: one variant per observable step of a
+//! query's journey through the execution layers.
+//!
+//! Events are deliberately *flat* — a fixed set of scalar fields per
+//! kind, no nesting — so the JSON export stays byte-deterministic and
+//! the committed schema (`SCHEMA.md`) can enumerate every key. Span
+//! structure (query ⊃ round ⊃ accesses, pool dispatch ⊃ jobs) is
+//! recovered from event order and the `(lane, seq)` coordinates, not
+//! from the payload.
+//!
+//! All string payloads are `&'static str`: algorithm names and update
+//! kinds come from fixed tables in the instrumented crates, which keeps
+//! recording allocation-free.
+
+/// One observable step in a traced query.
+///
+/// The doc comment of each variant names the layer that records it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Core: `run_on` entered for `algorithm` with `k` over `lists` lists.
+    QueryBegin {
+        /// Stable algorithm name (`"bpa"`, `"ta"`, …).
+        algorithm: &'static str,
+        /// The query's `k`.
+        k: u64,
+        /// Number of lists in the source set.
+        lists: u64,
+    },
+    /// Core: `run_on` returning; `status` is `"ok"` or `"error"`.
+    QueryEnd {
+        /// `"ok"` when the algorithm produced a result, `"error"` when a
+        /// source fault or validation error was returned.
+        status: &'static str,
+    },
+    /// Core planner: `plan_and_run`/`plan_and_run_on` chose `algorithm`.
+    PlanChosen {
+        /// Stable name of the chosen algorithm.
+        algorithm: &'static str,
+        /// The planner's estimated TA stop depth for this query.
+        estimated_depth: u64,
+    },
+    /// Lists: the source set opened round `round` (1-based).
+    RoundBegin {
+        /// 1-based round number.
+        round: u64,
+    },
+    /// Lists: a sorted access on `list` at `position` (1-based).
+    SortedAccess {
+        /// 0-based list index.
+        list: u64,
+        /// 1-based position probed.
+        position: u64,
+        /// Whether an entry existed at that position.
+        hit: bool,
+    },
+    /// Lists: a random access on `list` for `item`.
+    RandomAccess {
+        /// 0-based list index.
+        list: u64,
+        /// The probed item id.
+        item: u64,
+        /// Whether the item appears in the list.
+        found: bool,
+    },
+    /// Lists: a direct (cursor) access on `list`.
+    DirectAccess {
+        /// 0-based list index.
+        list: u64,
+        /// Whether the cursor still had an entry to yield.
+        hit: bool,
+    },
+    /// Lists: a block access on `list` covering `[start, start+len)`.
+    BlockAccess {
+        /// 0-based list index.
+        list: u64,
+        /// 1-based first position of the block.
+        start: u64,
+        /// Requested block length.
+        len: u64,
+        /// Entries actually returned (short at the tail of the list).
+        returned: u64,
+    },
+    /// Storage: the page cache served `page` without I/O.
+    CacheHit {
+        /// 0-based page index within the list file.
+        page: u64,
+    },
+    /// Storage: `page` was absent from the cache.
+    CacheMiss {
+        /// 0-based page index within the list file.
+        page: u64,
+    },
+    /// Storage: a page fault read `bytes` bytes of `page` from the `PageIo`.
+    PageRead {
+        /// 0-based page index within the list file.
+        page: u64,
+        /// Bytes transferred from the backing I/O.
+        bytes: u64,
+    },
+    /// Pool: the traced thread fanned `jobs` jobs out as `scope`.
+    PoolDispatch {
+        /// Scope id, unique within the trace (1-based).
+        scope: u64,
+        /// Number of jobs dispatched.
+        jobs: u64,
+    },
+    /// Pool: job `job` of `scope` started on some worker.
+    PoolJobBegin {
+        /// The dispatching scope's id.
+        scope: u64,
+        /// 0-based job index within the scope.
+        job: u64,
+    },
+    /// Pool: job `job` of `scope` finished.
+    PoolJobEnd {
+        /// The dispatching scope's id.
+        scope: u64,
+        /// 0-based job index within the scope.
+        job: u64,
+    },
+    /// Distributed: a cluster session over `owners` owners opened.
+    SessionOpen {
+        /// Number of list owners in the cluster.
+        owners: u64,
+    },
+    /// Distributed: one request/response round-trip with `owner`,
+    /// costed at `nanos` modelled nanoseconds by the latency model.
+    OwnerExchange {
+        /// 0-based owner index.
+        owner: u64,
+        /// Modelled payload units carried by request + response.
+        payload_units: u64,
+        /// Modelled exchange cost in nanoseconds (never wall time).
+        nanos: u64,
+    },
+    /// Core: a standing query ingested an update event of `kind`.
+    StandingIngest {
+        /// `"score_up"`, `"score_down"`, `"insert"` or `"delete"`.
+        kind: &'static str,
+        /// Whether the update was absorbed without invalidating the cache.
+        absorbed: bool,
+    },
+    /// Core: a standing query served its answer.
+    StandingServe {
+        /// Whether serving required a refresh run.
+        refreshed: bool,
+    },
+}
+
+/// A single scalar payload value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer field.
+    U64(u64),
+    /// A boolean field.
+    Bool(bool),
+    /// A static string field.
+    Str(&'static str),
+}
+
+/// The declared type of a schema field (see [`EVENT_SCHEMA`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Serialized as a JSON non-negative integer.
+    U64,
+    /// Serialized as a JSON boolean.
+    Bool,
+    /// Serialized as a JSON string.
+    Str,
+}
+
+/// Field tables per event kind, in serialization order. This is the
+/// machine-readable half of `SCHEMA.md`; the verifier checks exports
+/// against it, and a unit test checks [`TraceEvent::fields`] agrees.
+pub const EVENT_SCHEMA: &[(&str, &[(&str, FieldKind)])] = &[
+    (
+        "query_begin",
+        &[
+            ("algorithm", FieldKind::Str),
+            ("k", FieldKind::U64),
+            ("lists", FieldKind::U64),
+        ],
+    ),
+    ("query_end", &[("status", FieldKind::Str)]),
+    (
+        "plan",
+        &[
+            ("algorithm", FieldKind::Str),
+            ("estimated_depth", FieldKind::U64),
+        ],
+    ),
+    ("round", &[("round", FieldKind::U64)]),
+    (
+        "sorted_access",
+        &[
+            ("list", FieldKind::U64),
+            ("position", FieldKind::U64),
+            ("hit", FieldKind::Bool),
+        ],
+    ),
+    (
+        "random_access",
+        &[
+            ("list", FieldKind::U64),
+            ("item", FieldKind::U64),
+            ("found", FieldKind::Bool),
+        ],
+    ),
+    (
+        "direct_access",
+        &[("list", FieldKind::U64), ("hit", FieldKind::Bool)],
+    ),
+    (
+        "block_access",
+        &[
+            ("list", FieldKind::U64),
+            ("start", FieldKind::U64),
+            ("len", FieldKind::U64),
+            ("returned", FieldKind::U64),
+        ],
+    ),
+    ("cache_hit", &[("page", FieldKind::U64)]),
+    ("cache_miss", &[("page", FieldKind::U64)]),
+    (
+        "page_read",
+        &[("page", FieldKind::U64), ("bytes", FieldKind::U64)],
+    ),
+    (
+        "pool_dispatch",
+        &[("scope", FieldKind::U64), ("jobs", FieldKind::U64)],
+    ),
+    (
+        "pool_job_begin",
+        &[("scope", FieldKind::U64), ("job", FieldKind::U64)],
+    ),
+    (
+        "pool_job_end",
+        &[("scope", FieldKind::U64), ("job", FieldKind::U64)],
+    ),
+    ("session_open", &[("owners", FieldKind::U64)]),
+    (
+        "owner_exchange",
+        &[
+            ("owner", FieldKind::U64),
+            ("payload_units", FieldKind::U64),
+            ("nanos", FieldKind::U64),
+        ],
+    ),
+    (
+        "standing_ingest",
+        &[("kind", FieldKind::Str), ("absorbed", FieldKind::Bool)],
+    ),
+    ("standing_serve", &[("refreshed", FieldKind::Bool)]),
+];
+
+/// Looks up the field table for `kind`, if `kind` is a known event kind.
+pub fn schema_fields(kind: &str) -> Option<&'static [(&'static str, FieldKind)]> {
+    EVENT_SCHEMA
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, fields)| *fields)
+}
+
+impl TraceEvent {
+    /// The stable kind string this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::QueryBegin { .. } => "query_begin",
+            TraceEvent::QueryEnd { .. } => "query_end",
+            TraceEvent::PlanChosen { .. } => "plan",
+            TraceEvent::RoundBegin { .. } => "round",
+            TraceEvent::SortedAccess { .. } => "sorted_access",
+            TraceEvent::RandomAccess { .. } => "random_access",
+            TraceEvent::DirectAccess { .. } => "direct_access",
+            TraceEvent::BlockAccess { .. } => "block_access",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::PageRead { .. } => "page_read",
+            TraceEvent::PoolDispatch { .. } => "pool_dispatch",
+            TraceEvent::PoolJobBegin { .. } => "pool_job_begin",
+            TraceEvent::PoolJobEnd { .. } => "pool_job_end",
+            TraceEvent::SessionOpen { .. } => "session_open",
+            TraceEvent::OwnerExchange { .. } => "owner_exchange",
+            TraceEvent::StandingIngest { .. } => "standing_ingest",
+            TraceEvent::StandingServe { .. } => "standing_serve",
+        }
+    }
+
+    /// The payload fields in serialization order (matching [`EVENT_SCHEMA`]).
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::{Bool, Str, U64};
+        match *self {
+            TraceEvent::QueryBegin {
+                algorithm,
+                k,
+                lists,
+            } => vec![
+                ("algorithm", Str(algorithm)),
+                ("k", U64(k)),
+                ("lists", U64(lists)),
+            ],
+            TraceEvent::QueryEnd { status } => vec![("status", Str(status))],
+            TraceEvent::PlanChosen {
+                algorithm,
+                estimated_depth,
+            } => vec![
+                ("algorithm", Str(algorithm)),
+                ("estimated_depth", U64(estimated_depth)),
+            ],
+            TraceEvent::RoundBegin { round } => vec![("round", U64(round))],
+            TraceEvent::SortedAccess {
+                list,
+                position,
+                hit,
+            } => vec![
+                ("list", U64(list)),
+                ("position", U64(position)),
+                ("hit", Bool(hit)),
+            ],
+            TraceEvent::RandomAccess { list, item, found } => vec![
+                ("list", U64(list)),
+                ("item", U64(item)),
+                ("found", Bool(found)),
+            ],
+            TraceEvent::DirectAccess { list, hit } => {
+                vec![("list", U64(list)), ("hit", Bool(hit))]
+            }
+            TraceEvent::BlockAccess {
+                list,
+                start,
+                len,
+                returned,
+            } => vec![
+                ("list", U64(list)),
+                ("start", U64(start)),
+                ("len", U64(len)),
+                ("returned", U64(returned)),
+            ],
+            TraceEvent::CacheHit { page } => vec![("page", U64(page))],
+            TraceEvent::CacheMiss { page } => vec![("page", U64(page))],
+            TraceEvent::PageRead { page, bytes } => {
+                vec![("page", U64(page)), ("bytes", U64(bytes))]
+            }
+            TraceEvent::PoolDispatch { scope, jobs } => {
+                vec![("scope", U64(scope)), ("jobs", U64(jobs))]
+            }
+            TraceEvent::PoolJobBegin { scope, job } => {
+                vec![("scope", U64(scope)), ("job", U64(job))]
+            }
+            TraceEvent::PoolJobEnd { scope, job } => {
+                vec![("scope", U64(scope)), ("job", U64(job))]
+            }
+            TraceEvent::SessionOpen { owners } => vec![("owners", U64(owners))],
+            TraceEvent::OwnerExchange {
+                owner,
+                payload_units,
+                nanos,
+            } => vec![
+                ("owner", U64(owner)),
+                ("payload_units", U64(payload_units)),
+                ("nanos", U64(nanos)),
+            ],
+            TraceEvent::StandingIngest { kind, absorbed } => {
+                vec![("kind", Str(kind)), ("absorbed", Bool(absorbed))]
+            }
+            TraceEvent::StandingServe { refreshed } => {
+                vec![("refreshed", Bool(refreshed))]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One sample of every variant, used to cross-check the enum against
+    /// the schema table.
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::QueryBegin {
+                algorithm: "bpa",
+                k: 3,
+                lists: 4,
+            },
+            TraceEvent::QueryEnd { status: "ok" },
+            TraceEvent::PlanChosen {
+                algorithm: "ta",
+                estimated_depth: 9,
+            },
+            TraceEvent::RoundBegin { round: 1 },
+            TraceEvent::SortedAccess {
+                list: 0,
+                position: 1,
+                hit: true,
+            },
+            TraceEvent::RandomAccess {
+                list: 1,
+                item: 7,
+                found: false,
+            },
+            TraceEvent::DirectAccess { list: 2, hit: true },
+            TraceEvent::BlockAccess {
+                list: 0,
+                start: 1,
+                len: 8,
+                returned: 8,
+            },
+            TraceEvent::CacheHit { page: 0 },
+            TraceEvent::CacheMiss { page: 1 },
+            TraceEvent::PageRead {
+                page: 1,
+                bytes: 4096,
+            },
+            TraceEvent::PoolDispatch { scope: 1, jobs: 4 },
+            TraceEvent::PoolJobBegin { scope: 1, job: 0 },
+            TraceEvent::PoolJobEnd { scope: 1, job: 0 },
+            TraceEvent::SessionOpen { owners: 4 },
+            TraceEvent::OwnerExchange {
+                owner: 2,
+                payload_units: 12,
+                nanos: 480,
+            },
+            TraceEvent::StandingIngest {
+                kind: "score_up",
+                absorbed: true,
+            },
+            TraceEvent::StandingServe { refreshed: false },
+        ]
+    }
+
+    #[test]
+    fn every_variant_matches_its_schema_row() {
+        let samples = samples();
+        assert_eq!(
+            samples.len(),
+            EVENT_SCHEMA.len(),
+            "one sample per schema row"
+        );
+        for event in &samples {
+            let fields = event.fields();
+            let schema = schema_fields(event.kind())
+                .unwrap_or_else(|| panic!("kind `{}` missing from EVENT_SCHEMA", event.kind()));
+            assert_eq!(fields.len(), schema.len(), "{}", event.kind());
+            for ((name, value), (schema_name, schema_kind)) in fields.iter().zip(schema) {
+                assert_eq!(name, schema_name, "{}", event.kind());
+                let kind = match value {
+                    FieldValue::U64(_) => FieldKind::U64,
+                    FieldValue::Bool(_) => FieldKind::Bool,
+                    FieldValue::Str(_) => FieldKind::Str,
+                };
+                assert_eq!(kind, *schema_kind, "{}.{}", event.kind(), name);
+            }
+        }
+    }
+
+    #[test]
+    fn schema_kinds_are_unique_and_sorted_lookup_works() {
+        for (kind, _) in EVENT_SCHEMA {
+            assert_eq!(
+                EVENT_SCHEMA.iter().filter(|(k, _)| k == kind).count(),
+                1,
+                "duplicate kind {kind}"
+            );
+            assert!(schema_fields(kind).is_some());
+        }
+        assert!(schema_fields("no_such_kind").is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! The unified metrics registry: counters, gauges and fixed-boundary
+//! histograms, absorbed from the workspace's scattered per-layer
+//! counters through one [`MetricSource`] trait.
+//!
+//! Every layer already counts — `RunStats` in core, `NetworkStats` in
+//! distributed, the page cache's hit/miss counters in lists/storage,
+//! `ThreadPool::tasks_executed` in pool, the standing-query telemetry in
+//! apps. The registry does not replace those (they stay the source of
+//! truth and keep their bit-identical cross-backend guarantees); it
+//! gives them one sink and one export shape. A layer implements
+//! [`MetricSource`] and a caller snapshots it with
+//! [`MetricsRegistry::absorb`].
+//!
+//! All maps are `BTreeMap`s: iteration — and therefore the JSON export —
+//! is ordered by metric name, never by hash seed.
+
+use std::collections::BTreeMap;
+
+/// Bucket boundaries for access-count histograms (per-list totals).
+pub const ACCESS_BUCKETS: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000];
+
+/// Bucket boundaries for modelled-nanosecond histograms.
+pub const NANOS_BUCKETS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Bucket boundaries for per-round message-count histograms.
+pub const MESSAGE_BUCKETS: &[u64] = &[1, 4, 16, 64, 256, 1_024];
+
+/// A fixed-boundary histogram: `bounds.len() + 1` buckets, where bucket
+/// `i` counts values `<= bounds[i]` (the last bucket is the overflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`, which must be non-empty and
+    /// strictly increasing.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let bucket = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket observation counts (`bounds().len() + 1` entries).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+}
+
+/// A layer that can snapshot its counters into the registry.
+///
+/// Implementations live in the crates that own the counters (core's
+/// `RunStats`, distributed's `NetworkStats`, …) so the registry crate
+/// depends on nothing.
+pub trait MetricSource {
+    /// Writes this source's current values into `registry`. Metric
+    /// names are dot-separated, lowercase, and stable (`SCHEMA.md`).
+    fn record_metrics(&self, registry: &mut MetricsRegistry);
+}
+
+/// An ordered collection of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        let slot = self.counters.entry(name.to_string()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Sets gauge `name` to `value`, which must be finite (the JSON
+    /// export has no encoding for NaN/infinity).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        assert!(value.is_finite(), "gauge `{name}` must be finite");
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name`, creating it over `bounds`
+    /// on first use. The bounds of an existing histogram must match.
+    pub fn histogram_record(&mut self, name: &str, bounds: &'static [u64], value: u64) {
+        let hist = self
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+        assert!(
+            std::ptr::eq(hist.bounds(), bounds) || hist.bounds() == bounds,
+            "histogram `{name}` re-registered with different bounds"
+        );
+        hist.record(value);
+    }
+
+    /// Snapshots `source` into this registry.
+    pub fn absorb(&mut self, source: &dyn MetricSource) {
+        source.record_metrics(self);
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when no metric of any kind has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_upper_bound_with_overflow() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(10);
+        h.record(11);
+        h.record(1_000);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1_026);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn registry_counters_accumulate_and_iterate_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("b.second", 2);
+        reg.counter_add("a.first", 1);
+        reg.counter_add("b.second", 3);
+        let got: Vec<_> = reg.counters().collect();
+        assert_eq!(got, vec![("a.first", 1), ("b.second", 5)]);
+        assert_eq!(reg.counter("b.second"), Some(5));
+        assert_eq!(reg.counter("absent"), None);
+    }
+
+    #[test]
+    fn registry_absorbs_a_source() {
+        struct Demo;
+        impl MetricSource for Demo {
+            fn record_metrics(&self, registry: &mut MetricsRegistry) {
+                registry.counter_add("demo.count", 7);
+                registry.gauge_set("demo.level", 0.5);
+                registry.histogram_record("demo.sizes", ACCESS_BUCKETS, 42);
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        assert!(reg.is_empty());
+        reg.absorb(&Demo);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.counter("demo.count"), Some(7));
+        assert_eq!(reg.gauge("demo.level"), Some(0.5));
+        assert_eq!(reg.histogram("demo.sizes").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn gauges_reject_non_finite_values() {
+        MetricsRegistry::new().gauge_set("bad", f64::NAN);
+    }
+}

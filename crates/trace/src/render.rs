@@ -1,0 +1,229 @@
+//! Human-readable tree rendering of a [`Trace`].
+//!
+//! The text format is a debugging aid, **not** part of the committed
+//! schema (`SCHEMA.md` governs only the JSON export; when the two
+//! disagree, the verifier wins). It nests events under their query and
+//! round, shows pool dispatches with a one-line summary per job lane,
+//! and collapses runs of identical event kinds (`sorted_access ×120`)
+//! so deep scans stay readable.
+
+use crate::event::{FieldValue, TraceEvent};
+use crate::session::{Record, Trace};
+use std::collections::BTreeMap;
+
+/// Event kinds that may repeat in long runs and get collapsed.
+fn collapsible(kind: &str) -> bool {
+    matches!(
+        kind,
+        "sorted_access"
+            | "random_access"
+            | "direct_access"
+            | "block_access"
+            | "cache_hit"
+            | "cache_miss"
+            | "page_read"
+            | "owner_exchange"
+            | "standing_ingest"
+    )
+}
+
+/// `kind field=value …` for a single event line.
+fn event_line(event: &TraceEvent) -> String {
+    let mut line = event.kind().to_string();
+    for (name, value) in event.fields() {
+        line.push(' ');
+        line.push_str(name);
+        line.push('=');
+        match value {
+            FieldValue::U64(v) => line.push_str(&v.to_string()),
+            FieldValue::Bool(v) => line.push_str(if v { "true" } else { "false" }),
+            FieldValue::Str(v) => line.push_str(v),
+        }
+    }
+    line
+}
+
+impl Trace {
+    /// Renders the trace as an indented tree; see the module docs.
+    pub fn render_tree(&self) -> String {
+        // Job lanes, grouped by (scope, job). Lane ids pack the scope in
+        // the high bits (see `session`); the begin/end brackets inside
+        // each lane carry the same ids, but unpacking the lane keeps the
+        // grouping robust even for truncated lanes.
+        let mut scopes: BTreeMap<u64, BTreeMap<u64, Vec<&Record>>> = BTreeMap::new();
+        for record in self.events.iter().filter(|r| r.lane != 0) {
+            let scope = record.lane >> 20;
+            let job = (record.lane & ((1 << 20) - 1)).saturating_sub(1);
+            scopes
+                .entry(scope)
+                .or_default()
+                .entry(job)
+                .or_default()
+                .push(record);
+        }
+
+        let mut out = format!(
+            "trace: {} events ({} dropped), clock_nanos={}\n",
+            self.events.len(),
+            self.dropped_events,
+            self.clock_nanos
+        );
+        let lane0: Vec<&Record> = self.events.iter().filter(|r| r.lane == 0).collect();
+        let mut rendered_scopes: Vec<u64> = Vec::new();
+        let mut query_depth = 0usize;
+        let mut in_round = false;
+        let mut i = 0usize;
+        while i < lane0.len() {
+            let event = &lane0[i].event;
+            let kind = event.kind();
+            let base = query_depth;
+            let indent = move |extra: usize| "  ".repeat(base + extra);
+            match kind {
+                "query_begin" => {
+                    in_round = false;
+                    out.push_str(&format!("{}{}\n", indent(0), event_line(event)));
+                    query_depth += 1;
+                }
+                "query_end" => {
+                    in_round = false;
+                    query_depth = query_depth.saturating_sub(1);
+                    let at = "  ".repeat(query_depth);
+                    out.push_str(&format!("{at}{}\n", event_line(event)));
+                }
+                "round" => {
+                    in_round = true;
+                    out.push_str(&format!("{}{}\n", indent(0), event_line(event)));
+                }
+                "pool_dispatch" => {
+                    let body = usize::from(in_round);
+                    out.push_str(&format!("{}{}\n", indent(body), event_line(event)));
+                    if let TraceEvent::PoolDispatch { scope, .. } = *event {
+                        if let Some(jobs) = scopes.get(&scope) {
+                            for (job, records) in jobs {
+                                out.push_str(&format!(
+                                    "{}job {}: {}\n",
+                                    indent(body + 1),
+                                    job,
+                                    summarize(records)
+                                ));
+                            }
+                            rendered_scopes.push(scope);
+                        }
+                    }
+                }
+                _ => {
+                    let body = usize::from(in_round);
+                    // Collapse a run of identical kinds into one line.
+                    let mut run = 1;
+                    while collapsible(kind)
+                        && i + run < lane0.len()
+                        && lane0[i + run].event.kind() == kind
+                    {
+                        run += 1;
+                    }
+                    if run > 1 {
+                        out.push_str(&format!("{}{} \u{d7}{}\n", indent(body), kind, run));
+                        i += run;
+                        continue;
+                    }
+                    out.push_str(&format!("{}{}\n", indent(body), event_line(event)));
+                }
+            }
+            i += 1;
+        }
+        // Scopes whose dispatch event was dropped from lane 0 still get
+        // listed, so no recorded work is invisible.
+        for (scope, jobs) in &scopes {
+            if rendered_scopes.contains(scope) {
+                continue;
+            }
+            out.push_str(&format!("orphan pool scope={scope}\n"));
+            for (job, records) in jobs {
+                out.push_str(&format!("  job {}: {}\n", job, summarize(records)));
+            }
+        }
+        out
+    }
+
+    /// One-line per-kind tally of the whole trace (`kind ×count, …`), in
+    /// order of first appearance, skipping the pool job begin/end
+    /// brackets. A cheap overview for logs and bench summaries.
+    pub fn summarize(&self) -> String {
+        summarize(&self.events.iter().collect::<Vec<_>>())
+    }
+}
+
+/// One-line per-kind tally of a job lane, in order of first appearance,
+/// skipping the begin/end brackets.
+fn summarize(records: &[&Record]) -> String {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut tally: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for record in records {
+        let kind = record.event.kind();
+        if kind == "pool_job_begin" || kind == "pool_job_end" {
+            continue;
+        }
+        if !tally.contains_key(kind) {
+            order.push(kind);
+        }
+        *tally.entry(kind).or_insert(0) += 1;
+    }
+    if order.is_empty() {
+        return "(no events)".to_string();
+    }
+    order
+        .iter()
+        .map(|kind| format!("{kind} \u{d7}{}", tally[kind]))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{pool_scope, record, TraceSession};
+
+    #[test]
+    fn renders_nested_rounds_pool_jobs_and_collapsed_runs() {
+        let session = TraceSession::begin();
+        record(TraceEvent::QueryBegin {
+            algorithm: "bpa",
+            k: 2,
+            lists: 3,
+        });
+        record(TraceEvent::RoundBegin { round: 1 });
+        for p in 1..=4 {
+            record(TraceEvent::SortedAccess {
+                list: 0,
+                position: p,
+                hit: true,
+            });
+        }
+        let scope = pool_scope(1).expect("traced");
+        {
+            let _lane = scope.enter_job(0);
+            record(TraceEvent::BlockAccess {
+                list: 1,
+                start: 1,
+                len: 8,
+                returned: 8,
+            });
+        }
+        record(TraceEvent::QueryEnd { status: "ok" });
+        let tree = session.finish().render_tree();
+
+        assert!(tree.contains("query_begin algorithm=bpa k=2 lists=3"));
+        assert!(tree.contains("sorted_access \u{d7}4"), "{tree}");
+        assert!(tree.contains("pool_dispatch scope=1 jobs=1"));
+        assert!(tree.contains("job 0: block_access \u{d7}1"), "{tree}");
+        assert!(tree.contains("query_end status=ok"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let session = TraceSession::begin();
+        record(TraceEvent::RoundBegin { round: 1 });
+        let trace = session.finish();
+        assert_eq!(trace.render_tree(), trace.render_tree());
+    }
+}

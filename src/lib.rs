@@ -36,6 +36,7 @@ pub use topk_distributed as distributed;
 pub use topk_lists as lists;
 pub use topk_pool as pool;
 pub use topk_storage as storage;
+pub use topk_trace as trace;
 
 /// Commonly used types, re-exported for convenient glob import.
 pub mod prelude {
