@@ -52,7 +52,10 @@ pub mod relational;
 
 pub use documents::InvertedIndex;
 pub use interner::KeyInterner;
-pub use monitoring::{IngestReport, MonitoringDeployment, MonitoringSystem, StandingTelemetry};
+pub use monitoring::{
+    DegradedUrls, IngestReport, MonitoringDeployment, MonitoringSystem, ServedUrls,
+    StandingTelemetry,
+};
 pub use relational::Table;
 
 use topk_core::{AlgorithmKind, RunStats, TopKError};

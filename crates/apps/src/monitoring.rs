@@ -17,9 +17,12 @@ use std::sync::Arc;
 use topk_core::batch::QueryBatch;
 use topk_core::planner::{plan_and_run, Plan};
 use topk_core::standing::{AbsorbedBreakdown, IngestOutcome, StandingQuery, UpdateEvent};
-use topk_core::{AlgorithmKind, DatabaseStats, Sum, TopKQuery};
+use topk_core::{
+    run_on_degraded, AlgorithmKind, DatabaseStats, ScoreInterval, Sum, TopKError, TopKQuery,
+};
 use topk_distributed::{ClusterRuntime, LatencyModel, NetworkStats};
 use topk_lists::sharded::ShardedDatabase;
+use topk_lists::SourceErrorKind;
 use topk_lists::{Database, ItemId, Score, SortedList, TrackerKind};
 use topk_pool::ThreadPool;
 
@@ -425,10 +428,29 @@ impl MonitoringSystem {
     /// registered location (build it with
     /// [`MonitoringSystem::num_locations`] links).
     pub fn deploy(&self, latency: LatencyModel) -> Result<MonitoringDeployment<'_>, AppError> {
+        self.deploy_replicated(latency, 1)
+    }
+
+    /// As [`MonitoringSystem::deploy`], hosting every location's list on
+    /// `replicas` identical workers: when a worker dies mid-query, the
+    /// session fails over to the next replica and the answer stays exact.
+    /// Only when *every* replica of a location is gone does
+    /// [`MonitoringDeployment::top_k_urls_resilient`] fall back to a
+    /// certified degraded answer.
+    pub fn deploy_replicated(
+        &self,
+        latency: LatencyModel,
+        replicas: usize,
+    ) -> Result<MonitoringDeployment<'_>, AppError> {
         let db = self.database()?;
         Ok(MonitoringDeployment {
             system: self,
-            runtime: ClusterRuntime::with_latency(&db, TrackerKind::BitArray, latency),
+            runtime: ClusterRuntime::with_latency_replicated(
+                &db,
+                TrackerKind::BitArray,
+                latency,
+                replicas,
+            ),
         })
     }
 
@@ -484,6 +506,132 @@ impl MonitoringDeployment<'_> {
         let network = session.network();
         Ok((self.system.to_app_result(result, algorithm), network))
     }
+
+    /// Kills every replica worker of one location — the location becomes
+    /// irrecoverably unreachable, the setting
+    /// [`top_k_urls_resilient`](MonitoringDeployment::top_k_urls_resilient)
+    /// degrades around.
+    pub fn kill_location(&self, location: usize) {
+        for replica in 0..self.runtime.replicas() {
+            self.runtime.kill_owner(location, replica);
+        }
+    }
+
+    /// As [`top_k_urls`](MonitoringDeployment::top_k_urls), but a dead
+    /// location does not kill the query: after the fail-stop machinery
+    /// reports a location unreachable (retries and replica failover
+    /// exhausted), the query re-runs over the surviving locations and
+    /// returns a [`ServedUrls::Degraded`] answer whose per-URL intervals
+    /// soundly bracket the true all-locations popularity. Only a typed
+    /// error survives to the caller when no location is left to serve
+    /// from, or the failure is not an outage.
+    pub fn top_k_urls_resilient(
+        &self,
+        k: usize,
+        algorithm: AlgorithmKind,
+    ) -> Result<ServedUrls, AppError> {
+        let query = TopKQuery::new(k, Sum);
+        let mut dead: Vec<usize> = Vec::new();
+        loop {
+            let failure = if dead.is_empty() {
+                let mut session = self.runtime.connect();
+                match algorithm.create().run_on(&mut session, &query) {
+                    Ok(result) => {
+                        let network = session.network();
+                        return Ok(ServedUrls::Exact {
+                            result: self.system.to_app_result(result, algorithm),
+                            network,
+                        });
+                    }
+                    Err(err) => err,
+                }
+            } else {
+                let mut session = self.runtime.connect_surviving(&dead);
+                let outages: Vec<_> = dead.iter().map(|&l| self.runtime.outage(l)).collect();
+                match run_on_degraded(algorithm.create().as_ref(), &mut session, &query, &outages) {
+                    Ok(answer) => {
+                        return Ok(ServedUrls::Degraded(DegradedUrls {
+                            provably_complete: answer.provably_complete(),
+                            answers: answer
+                                .items
+                                .iter()
+                                .map(|r| RankedAnswer {
+                                    key: self
+                                        .system
+                                        .urls
+                                        .resolve(r.item)
+                                        .expect("result items come from the interned URL set")
+                                        .to_owned(),
+                                    score: r.score.value(),
+                                })
+                                .collect(),
+                            intervals: answer.intervals,
+                            dead_locations: dead
+                                .iter()
+                                .map(|&l| self.system.locations[l].clone())
+                                .collect(),
+                        }));
+                    }
+                    Err(err) => err,
+                }
+            };
+            // Another location may die while the degraded answer is being
+            // computed; fold it into the outage set and try again, as
+            // long as at least one location survives.
+            match &failure {
+                TopKError::Source(source) if source.kind == SourceErrorKind::Unreachable => {
+                    match source.list {
+                        Some(list)
+                            if !dead.contains(&list)
+                                && dead.len() + 1 < self.runtime.num_owners() =>
+                        {
+                            dead.push(list);
+                            dead.sort_unstable();
+                        }
+                        _ => return Err(failure.into()),
+                    }
+                }
+                _ => return Err(failure.into()),
+            }
+        }
+    }
+}
+
+/// The outcome of [`MonitoringDeployment::top_k_urls_resilient`]: exact
+/// when every location (or a replica of it) answered, certified
+/// best-effort when some were irrecoverably down.
+#[derive(Debug, Clone)]
+pub enum ServedUrls {
+    /// Every location answered — possibly after retries and replica
+    /// failovers, which never change the answer.
+    Exact {
+        /// The exact top-k answer.
+        result: AppResult<String>,
+        /// The serving session's network statistics.
+        network: NetworkStats,
+    },
+    /// Some locations were unreachable; the answer excludes them but
+    /// certifies what they could have contributed.
+    Degraded(DegradedUrls),
+}
+
+/// A certified best-effort popularity ranking served under an outage:
+/// URLs rank by their frequency sum over the *surviving* locations, and
+/// each entry carries a sound bracket on its true all-locations score
+/// (the dead locations contribute between their catalog tail and top
+/// frequency).
+#[derive(Debug, Clone)]
+pub struct DegradedUrls {
+    /// Best-effort ranking over the surviving locations.
+    pub answers: Vec<RankedAnswer<String>>,
+    /// One sound true-popularity bracket per entry of `answers`.
+    pub intervals: Vec<ScoreInterval>,
+    /// Names of the locations the answer had to exclude.
+    pub dead_locations: Vec<String>,
+    /// Whether the ranking is provably the true top-k set despite the
+    /// outage (the lowest returned lower bound dominates every excluded
+    /// item's ceiling).
+    pub provably_complete: bool,
 }
 
 #[cfg(test)]
@@ -579,6 +727,85 @@ mod tests {
         assert!(matches!(
             empty.deploy(LatencyModel::zero(0)),
             Err(AppError::Empty)
+        ));
+    }
+
+    #[test]
+    fn resilient_serving_is_exact_when_nothing_is_dead() {
+        let sys = system();
+        let deployment = sys.deploy(LatencyModel::zero(3)).unwrap();
+        let served = deployment
+            .top_k_urls_resilient(2, AlgorithmKind::Bpa2)
+            .unwrap();
+        let local = sys.top_k_urls(2, AlgorithmKind::Bpa2).unwrap();
+        match served {
+            ServedUrls::Exact { result, .. } => assert_eq!(result.answers, local.answers),
+            ServedUrls::Degraded(_) => panic!("nothing is dead, the answer must be exact"),
+        }
+    }
+
+    #[test]
+    fn a_replicated_deployment_fails_over_to_the_exact_answer() {
+        let sys = system();
+        let deployment = sys.deploy_replicated(LatencyModel::zero(3), 2).unwrap();
+        // One replica of nantes dies; its twin keeps the answer exact.
+        deployment.runtime.kill_owner(1, 0);
+        let served = deployment
+            .top_k_urls_resilient(2, AlgorithmKind::Bpa2)
+            .unwrap();
+        let local = sys.top_k_urls(2, AlgorithmKind::Bpa2).unwrap();
+        match served {
+            ServedUrls::Exact { result, .. } => assert_eq!(result.answers, local.answers),
+            ServedUrls::Degraded(_) => panic!("a replica survived, the answer must be exact"),
+        }
+    }
+
+    #[test]
+    fn a_dead_location_degrades_with_certified_brackets() {
+        let sys = system();
+        let deployment = sys.deploy(LatencyModel::zero(3)).unwrap();
+        deployment.kill_location(1); // nantes: docs 200, home 50
+        let served = deployment
+            .top_k_urls_resilient(2, AlgorithmKind::Bpa2)
+            .unwrap();
+        let ServedUrls::Degraded(degraded) = served else {
+            panic!("a dead location must degrade the answer");
+        };
+        assert_eq!(degraded.dead_locations, vec!["nantes".to_owned()]);
+        assert_eq!(degraded.answers.len(), 2);
+        // Every bracket contains the URL's true all-locations popularity.
+        let local = sys.top_k_urls(3, AlgorithmKind::Naive).unwrap();
+        for (answer, interval) in degraded.answers.iter().zip(&degraded.intervals) {
+            let truth = local
+                .answers
+                .iter()
+                .find(|r| r.key == answer.key)
+                .expect("every URL has a true popularity")
+                .score;
+            assert!(
+                interval.contains(Score::from_f64(truth)),
+                "{}: {truth} outside [{:?}, {:?}]",
+                answer.key,
+                interval.lo,
+                interval.hi
+            );
+        }
+    }
+
+    #[test]
+    fn an_entirely_dead_deployment_is_a_typed_error() {
+        let sys = system();
+        let deployment = sys.deploy(LatencyModel::zero(3)).unwrap();
+        for location in 0..3 {
+            deployment.kill_location(location);
+        }
+        let err = deployment
+            .top_k_urls_resilient(2, AlgorithmKind::Bpa2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AppError::Query(TopKError::Source(ref source))
+                if source.kind == SourceErrorKind::Unreachable
         ));
     }
 

@@ -1,0 +1,276 @@
+//! Fault recovery gate: a seeded fault storm against the async runtime
+//! must never produce a wrong answer, and recovery must stay cheap.
+//!
+//! For each gated algorithm the target measures a clean replicated run
+//! (answer fingerprint, message count, simulated makespan), then replays
+//! the same query under a deterministic storm of injected faults —
+//! crashes, dropped replies, delays and flakes, each armed at a seeded
+//! exchange ordinal — and checks three things:
+//!
+//! * **zero wrong answers**: every recovered run is bit-identical to the
+//!   clean run, whatever was injected and wherever it hit;
+//! * **typed degradation**: a crash with no spare replica yields a typed
+//!   `TopKError::Source` and a certified `DegradedAnswer` whose interval
+//!   brackets the true score of every returned item;
+//! * **bounded overhead**: the storm's total messages and simulated
+//!   makespan stay within a small factor of the clean schedule — the
+//!   retry/failover machinery must not thrash.
+//!
+//! All metrics are deterministic (seeded ordinals, modelled time), so
+//! the emitted BENCH_fault_recovery.json is diffed verbatim against the
+//! committed smoke baseline by bench_compare.
+
+use topk_bench::config::BENCH_SEED;
+use topk_bench::{BenchReport, BenchScale};
+use topk_core::{run_on_degraded, AlgorithmKind, TopKError, TopKQuery};
+use topk_datagen::{DatabaseKind, DatabaseSpec};
+use topk_distributed::{ClusterRuntime, FaultKind, FaultPlan, LatencyModel, SessionOptions};
+use topk_lists::{Database, ItemId, SourceErrorKind, TrackerKind};
+
+/// Injections per algorithm per storm (each is one full query run).
+const STORM_RUNS: u64 = 12;
+/// Single-replica crash probes per algorithm (typed error + degraded).
+const CRASH_PROBES: u64 = 4;
+/// Recovery overhead cap: storm-average messages and makespan per run
+/// must stay under this factor of the clean run.
+const OVERHEAD_FACTOR: f64 = 2.0;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fingerprint(result: &topk_core::TopKResult) -> Vec<(ItemId, u64)> {
+    result
+        .items()
+        .iter()
+        .map(|r| (r.item, r.score.value().to_bits()))
+        .collect()
+}
+
+fn true_score(db: &Database, item: ItemId) -> f64 {
+    db.local_scores(item)
+        .unwrap()
+        .iter()
+        .map(|s| s.value())
+        .sum()
+}
+
+fn main() {
+    // The crash probes below unwind through the fail-stop contract
+    // (`SourceError::raise` → caught in `run_on`); keep those expected
+    // unwinds out of the log, but print anything else as usual.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info
+            .payload()
+            .downcast_ref::<topk_lists::SourceError>()
+            .is_none()
+        {
+            default_hook(info);
+        }
+    }));
+
+    let scale = BenchScale::from_env();
+    // As in network_latency: every access is a cross-thread round trip,
+    // so a tenth of the default n keeps the simulated cluster quick.
+    let n = scale.default_n() / 10;
+    let k = scale.default_k().min(n);
+    let m = 4usize;
+    let query = TopKQuery::top(k);
+    let database = DatabaseSpec::new(DatabaseKind::Uniform, m, n).generate(BENCH_SEED);
+    let algorithms = [AlgorithmKind::Ta, AlgorithmKind::Bpa2, AlgorithmKind::Tput];
+    let kinds = [
+        FaultKind::Crash,
+        FaultKind::DropReply,
+        FaultKind::Delay(1_000),
+        FaultKind::Flake(1),
+    ];
+
+    let replicated = ClusterRuntime::with_latency_replicated(
+        &database,
+        TrackerKind::BitArray,
+        LatencyModel::lan(m, BENCH_SEED),
+        2,
+    );
+    let single = ClusterRuntime::with_latency(
+        &database,
+        TrackerKind::BitArray,
+        LatencyModel::lan(m, BENCH_SEED),
+    );
+
+    println!();
+    println!("=== Fault recovery: seeded storm against the replicated runtime ===");
+    println!(
+        "    uniform database, m = {m}, n = {n}, k = {k}; {STORM_RUNS} injected runs + \
+         {CRASH_PROBES} crash probes per algorithm"
+    );
+    println!(
+        "{:>10}{:>8}{:>10}{:>11}{:>12}{:>14}{:>13}{:>13}",
+        "algorithm",
+        "wrong",
+        "unsound",
+        "injected",
+        "failovers",
+        "retries",
+        "msg factor",
+        "time factor"
+    );
+
+    let mut summary = BenchReport::new("fault_recovery", scale.label());
+    let mut wrong_answers = 0u64;
+    let mut unsound_answers = 0u64;
+    let mut untyped_failures = 0u64;
+    let mut worst_msg_factor = 0f64;
+    let mut worst_time_factor = 0f64;
+
+    for algorithm in algorithms {
+        // Clean replicated baseline; the disarmed plan counts the run's
+        // exchanges so the storm can aim inside the run.
+        let probe = FaultPlan::new();
+        let mut clean = replicated.connect_with(SessionOptions::with_faults(probe.clone()));
+        let expected = algorithm
+            .create()
+            .run_on(&mut clean, &query)
+            .expect("clean run");
+        let expected_bits = fingerprint(&expected);
+        let ops = probe.ops();
+        let clean_network = clean.network();
+        assert!(ops > 0, "{algorithm:?}: nothing exchanged");
+
+        let mut wrong = 0u64;
+        let mut unsound = 0u64;
+        let mut injected = 0u64;
+        let mut failovers = 0u64;
+        let mut retries = 0u64;
+        let mut storm_messages = 0u64;
+        let mut storm_makespan = 0u64;
+
+        for i in 0..STORM_RUNS {
+            let roll = splitmix64(BENCH_SEED ^ (algorithm as u64) << 32 ^ i);
+            let at = 1 + roll % ops;
+            let kind = kinds[(roll >> 32) as usize % kinds.len()];
+            let plan = FaultPlan::new();
+            plan.arm(at, kind);
+            let mut session = replicated.connect_with(SessionOptions::with_faults(plan));
+            match algorithm.create().run_on(&mut session, &query) {
+                Ok(result) => {
+                    if fingerprint(&result) != expected_bits {
+                        eprintln!("FAIL: {algorithm:?} {kind:?}@{at}: wrong answer");
+                        wrong += 1;
+                    }
+                }
+                Err(err) => {
+                    eprintln!("FAIL: {algorithm:?} {kind:?}@{at}: replicated run failed: {err}");
+                    wrong += 1;
+                }
+            }
+            let stats = session.fault_stats();
+            injected += stats.injected;
+            failovers += stats.failovers;
+            retries += stats.retries;
+            let network = session.network();
+            storm_messages += network.messages;
+            storm_makespan += network.makespan_nanos();
+        }
+
+        // Crash probes: no spare replica, so the query must fail typed
+        // and the degraded answer must certify soundly.
+        for i in 0..CRASH_PROBES {
+            let roll = splitmix64(BENCH_SEED ^ 0xDEAD ^ (algorithm as u64) << 32 ^ i);
+            let at = 1 + roll % ops;
+            let plan = FaultPlan::new();
+            plan.arm(at, FaultKind::Crash);
+            let mut session = single.connect_with(SessionOptions::with_faults(plan));
+            match algorithm.create().run_on(&mut session, &query) {
+                Ok(_) => {
+                    eprintln!("FAIL: {algorithm:?} crash@{at}: unreplicated crash succeeded");
+                    untyped_failures += 1;
+                }
+                Err(TopKError::Source(source)) if source.kind == SourceErrorKind::Unreachable => {
+                    let dead = source.list.expect("the fault names its owner");
+                    let mut surviving = single.connect_surviving(&[dead]);
+                    let answer = run_on_degraded(
+                        algorithm.create().as_ref(),
+                        &mut surviving,
+                        &query,
+                        &[single.outage(dead)],
+                    )
+                    .expect("degraded serve over the survivors");
+                    for (item, interval) in answer.items.iter().zip(&answer.intervals) {
+                        // The reference sum associates floats in list
+                        // order, the algorithm in access order: allow
+                        // one part in 10^9 for the reassociation.
+                        let truth = true_score(&database, item.item);
+                        let eps = 1e-9 * (1.0 + truth.abs());
+                        if truth < interval.lo.value() - eps || truth > interval.hi.value() + eps {
+                            eprintln!(
+                                "FAIL: {algorithm:?} crash@{at}: unsound bracket for {:?}",
+                                item.item
+                            );
+                            unsound += 1;
+                        }
+                    }
+                }
+                Err(other) => {
+                    eprintln!("FAIL: {algorithm:?} crash@{at}: untyped failure {other}");
+                    untyped_failures += 1;
+                }
+            }
+        }
+
+        let msg_factor = storm_messages as f64 / (STORM_RUNS * clean_network.messages) as f64;
+        let time_factor =
+            storm_makespan as f64 / (STORM_RUNS * clean_network.makespan_nanos()) as f64;
+        worst_msg_factor = worst_msg_factor.max(msg_factor);
+        worst_time_factor = worst_time_factor.max(time_factor);
+        wrong_answers += wrong;
+        unsound_answers += unsound;
+
+        let name = algorithm.create().name().to_owned();
+        println!(
+            "{:>10}{:>8}{:>10}{:>11}{:>12}{:>14}{:>13.3}{:>13.3}",
+            name, wrong, unsound, injected, failovers, retries, msg_factor, time_factor
+        );
+        summary.push(&format!("{name}.injected"), injected as f64);
+        summary.push(&format!("{name}.failovers"), failovers as f64);
+        summary.push(&format!("{name}.retries"), retries as f64);
+        summary.push(&format!("{name}.storm_messages"), storm_messages as f64);
+        summary.push(
+            &format!("{name}.clean_messages"),
+            clean_network.messages as f64,
+        );
+    }
+
+    summary.push("wrong_answers", wrong_answers as f64);
+    summary.push("unsound_answers", unsound_answers as f64);
+    summary.push("untyped_failures", untyped_failures as f64);
+    summary.emit().expect("writing the bench JSON report");
+
+    println!();
+    let mut failed = false;
+    if wrong_answers + unsound_answers + untyped_failures > 0 {
+        eprintln!(
+            "{wrong_answers} wrong answer(s), {unsound_answers} unsound bracket(s), \
+             {untyped_failures} untyped failure(s)"
+        );
+        failed = true;
+    }
+    if worst_msg_factor > OVERHEAD_FACTOR || worst_time_factor > OVERHEAD_FACTOR {
+        eprintln!(
+            "recovery overhead out of bounds: messages x{worst_msg_factor:.3}, \
+             makespan x{worst_time_factor:.3} (cap x{OVERHEAD_FACTOR})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "fault recovery gate: PASS (zero wrong answers; storm overhead messages \
+         x{worst_msg_factor:.3}, makespan x{worst_time_factor:.3}, cap x{OVERHEAD_FACTOR})"
+    );
+}

@@ -47,6 +47,7 @@
 pub mod algorithms;
 pub mod batch;
 pub mod cost;
+pub mod degraded;
 pub mod error;
 pub mod examples_paper;
 pub mod planner;
@@ -62,6 +63,7 @@ pub use algorithms::{
 };
 pub use batch::QueryBatch;
 pub use cost::CostModel;
+pub use degraded::{run_on_degraded, DegradedAnswer, ListOutage, ScoreInterval};
 pub use error::TopKError;
 pub use planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
 pub use query::TopKQuery;
@@ -79,6 +81,7 @@ pub mod prelude {
     };
     pub use crate::batch::QueryBatch;
     pub use crate::cost::CostModel;
+    pub use crate::degraded::{run_on_degraded, DegradedAnswer, ListOutage, ScoreInterval};
     pub use crate::error::TopKError;
     pub use crate::planner::{plan_and_run, plan_and_run_on, CostEstimate, Plan, Planner};
     pub use crate::query::TopKQuery;

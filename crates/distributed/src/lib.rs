@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod latency;
 pub mod message;
 pub mod owner;
@@ -70,6 +71,7 @@ pub mod runtime;
 pub mod source;
 
 pub use cluster::{Cluster, NetworkStats, RoundStats};
+pub use fault::{FaultKind, FaultPlan, FaultStats, RetryPolicy};
 pub use latency::{format_nanos, LatencyModel};
 pub use message::{Request, Response};
 pub use owner::ListOwner;
@@ -77,5 +79,5 @@ pub use protocol::{
     DistributedBpa, DistributedBpa2, DistributedNaive, DistributedProtocol, DistributedResult,
     DistributedTa,
 };
-pub use runtime::{AsyncClusterSources, ClusterRuntime};
+pub use runtime::{AsyncClusterSources, ClusterRuntime, SessionOptions};
 pub use source::{ClusterSource, ClusterSources};

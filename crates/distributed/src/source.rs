@@ -36,15 +36,30 @@ use topk_lists::source::{ListSource, SourceEntry, SourceScore, SourceSet};
 use topk_lists::{AccessCounters, BatchingSource, ItemId, Position, Score};
 
 use crate::cluster::Cluster;
+use crate::fault::LinkFault;
 use crate::message::{Request, Response};
 
 /// How a [`ClusterSource`] reaches its list owner: one blocking
 /// request/response exchange, plus the uncounted owner introspection the
 /// simulation exposes for statistics. Implementations are responsible for
 /// recording the exchange in their backend's network accounting.
+///
+/// Exchanges are fallible: a transport may report a [`LinkFault`]
+/// instead of a response. The synchronous in-thread transport never
+/// fails; the asynchronous transport surfaces dead workers and timeouts,
+/// and the resilience decorators (`crate::fault`) consume the transient
+/// variants so that only terminal faults reach the source adapter.
 pub(crate) trait OwnerLink: std::fmt::Debug {
     /// Sends one request to the owner and waits for its response.
-    fn exchange(&self, request: Request) -> Response;
+    ///
+    /// `attempt` is 0 for the first transmission of a logical request
+    /// and increments on each retry of the *same* request, letting
+    /// at-most-once transports reuse their sequence number so a retried
+    /// request is never executed twice.
+    fn exchange(&self, request: Request, attempt: u32) -> Result<Response, LinkFault>;
+
+    /// Index of the owner this link reaches (for typed error reports).
+    fn owner_index(&self) -> usize;
 
     /// Number of entries in the owner's list (catalog metadata).
     fn len(&self) -> usize;
@@ -52,11 +67,17 @@ pub(crate) trait OwnerLink: std::fmt::Debug {
     /// The owner's list-tail score (catalog metadata).
     fn tail_score(&self) -> Score;
 
+    /// The owner's list epoch (catalog metadata; failover targets must
+    /// agree). Transports without update tracking report 0.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
     /// The owner's current best position (uncounted introspection).
-    fn best_position(&self) -> Option<Position>;
+    fn best_position(&self) -> Result<Option<Position>, LinkFault>;
 
     /// Resets the owner's per-query state (seen positions, access count).
-    fn reset_owner(&self);
+    fn reset_owner(&self) -> Result<(), LinkFault>;
 }
 
 /// The synchronous transport: requests are handled by [`Cluster::send`]
@@ -68,8 +89,12 @@ struct SyncOwnerLink<'a> {
 }
 
 impl OwnerLink for SyncOwnerLink<'_> {
-    fn exchange(&self, request: Request) -> Response {
-        self.cluster.send(self.index, request)
+    fn exchange(&self, request: Request, _attempt: u32) -> Result<Response, LinkFault> {
+        Ok(self.cluster.send(self.index, request))
+    }
+
+    fn owner_index(&self) -> usize {
+        self.index
     }
 
     fn len(&self) -> usize {
@@ -80,12 +105,13 @@ impl OwnerLink for SyncOwnerLink<'_> {
         self.cluster.tail_score(self.index)
     }
 
-    fn best_position(&self) -> Option<Position> {
-        self.cluster.owner(self.index).best_position()
+    fn best_position(&self) -> Result<Option<Position>, LinkFault> {
+        Ok(self.cluster.owner(self.index).best_position())
     }
 
-    fn reset_owner(&self) {
+    fn reset_owner(&self) -> Result<(), LinkFault> {
         self.cluster.owner_reset(self.index);
+        Ok(())
     }
 }
 
@@ -116,6 +142,18 @@ impl<'a> ClusterSource<'a> {
             counters: AccessCounters::default(),
         }
     }
+
+    /// One exchange under the fail-stop contract: a terminal
+    /// [`LinkFault`] becomes a typed [`SourceError`] unwound to
+    /// `TopKAlgorithm::run_on`
+    /// ([`SourceError::raise`](topk_lists::source::SourceError::raise)),
+    /// never a panic message of our own.
+    fn dispatch(&self, op: &'static str, request: Request) -> Response {
+        match self.link.exchange(request, 0) {
+            Ok(response) => response,
+            Err(fault) => fault.raise(self.link.owner_index(), op),
+        }
+    }
 }
 
 impl ListSource for ClusterSource<'_> {
@@ -125,10 +163,7 @@ impl ListSource for ClusterSource<'_> {
 
     fn sorted_access(&mut self, position: Position, track: bool) -> Option<SourceEntry> {
         self.counters.sorted += 1;
-        match self
-            .link
-            .exchange(Request::SortedAccess { position, track })
-        {
+        match self.dispatch("sorted access", Request::SortedAccess { position, track }) {
             Response::Entry {
                 item,
                 score,
@@ -152,11 +187,14 @@ impl ListSource for ClusterSource<'_> {
         track: bool,
     ) -> Option<SourceScore> {
         self.counters.random += 1;
-        match self.link.exchange(Request::RandomAccess {
-            item,
-            with_position,
-            track,
-        }) {
+        match self.dispatch(
+            "random access",
+            Request::RandomAccess {
+                item,
+                with_position,
+                track,
+            },
+        ) {
             Response::LocalScore {
                 score,
                 position,
@@ -172,7 +210,7 @@ impl ListSource for ClusterSource<'_> {
     }
 
     fn direct_access_next(&mut self) -> Option<SourceEntry> {
-        match self.link.exchange(Request::DirectAccessNext) {
+        match self.dispatch("direct access", Request::DirectAccessNext) {
             Response::Entry {
                 item,
                 score,
@@ -195,11 +233,14 @@ impl ListSource for ClusterSource<'_> {
     }
 
     fn sorted_block(&mut self, start: Position, len: usize, track: bool) -> Vec<SourceEntry> {
-        let response = self.link.exchange(Request::SortedBlock {
-            start,
-            len: len.min(u32::MAX as usize) as u32,
-            track,
-        });
+        let response = self.dispatch(
+            "sorted block",
+            Request::SortedBlock {
+                start,
+                len: len.min(u32::MAX as usize) as u32,
+                track,
+            },
+        );
         match response {
             Response::Entries {
                 start,
@@ -227,7 +268,10 @@ impl ListSource for ClusterSource<'_> {
     }
 
     fn best_position(&self) -> Option<Position> {
-        self.link.best_position()
+        match self.link.best_position() {
+            Ok(position) => position,
+            Err(fault) => fault.raise(self.link.owner_index(), "best position"),
+        }
     }
 
     fn tail_score(&self) -> Score {
@@ -240,7 +284,10 @@ impl ListSource for ClusterSource<'_> {
 
     fn reset(&mut self) {
         self.counters = AccessCounters::default();
-        self.link.reset_owner();
+        // Best effort: resetting a session whose owner (and every
+        // replica) is already dead must not unwind outside `run_on` —
+        // the very next counted exchange will surface the typed error.
+        let _ = self.link.reset_owner();
     }
 }
 

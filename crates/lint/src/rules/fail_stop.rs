@@ -16,7 +16,12 @@ use crate::rules::{under_any, Finding, Rule};
 use crate::source::SourceFile;
 
 /// Modules bound to the fail-stop contract.
-const SCOPE: &[&str] = &["crates/storage/src/", "crates/distributed/src/source.rs"];
+const SCOPE: &[&str] = &[
+    "crates/storage/src/",
+    "crates/distributed/src/source.rs",
+    "crates/distributed/src/runtime.rs",
+    "crates/distributed/src/fault.rs",
+];
 
 pub struct FailStop;
 

@@ -1,0 +1,14 @@
+// lint-fixture-path: crates/distributed/src/fault.rs
+// A fault-injection ledger iterated in HashMap order on the replay
+// path: journal replay order would differ run to run, breaking the
+// bit-identical failover guarantee.
+
+use std::collections::HashMap;
+
+pub fn replay_order(journal: HashMap<u64, u32>) -> Vec<(u64, u32)> {
+    let mut ordered = Vec::new();
+    for (op, attempts) in &journal {
+        ordered.push((*op, *attempts));
+    }
+    ordered
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: crates/distributed/src/fault.rs
+// The repaired shape: the replay journal is an ordered Vec, so failover
+// re-applies requests in exactly the order the session issued them.
+
+pub fn replay_order(journal: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
+    journal
+        .iter()
+        .map(|(op, attempts)| (*op, *attempts))
+        .collect()
+}

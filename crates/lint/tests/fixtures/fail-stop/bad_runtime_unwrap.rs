@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/distributed/src/runtime.rs
+// The PR 10 bug shape: a worker reply await that unwraps. A killed
+// owner then aborts the whole session instead of surfacing a typed
+// fault the retry/failover machinery can act on.
+
+use std::sync::mpsc::Receiver;
+
+pub fn await_reply(rx: &Receiver<u64>) -> u64 {
+    rx.recv().unwrap()
+}
+
+pub fn open(sent: Result<(), String>) {
+    sent.expect("worker channel is open");
+}
+
+pub fn refuse() {
+    panic!("owners must fail through LinkFault, not panics");
+}

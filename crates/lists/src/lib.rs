@@ -62,7 +62,7 @@ pub use sharded::{ShardedDatabase, ShardedList, ShardedSource};
 pub use sorted_list::{ListDelta, ListEntry, PositionedScore, ScoreUpdate, SortedList};
 pub use source::{
     BatchingSource, CacheCounters, InMemorySource, ListSource, SourceEntry, SourceError,
-    SourceScore, SourceSet, Sources,
+    SourceErrorKind, SourceScore, SourceSet, Sources,
 };
 pub use tracker::{
     BPlusTreeTracker, BitArrayTracker, NaiveSetTracker, PositionShift, PositionTracker, TrackerKind,

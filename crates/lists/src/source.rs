@@ -93,8 +93,26 @@ impl topk_trace::MetricSource for CacheCounters {
     }
 }
 
+/// What class of failure a [`SourceError`] reports — the typed half of
+/// the fail-stop contract, so callers can tell an IO fault from an
+/// unreachable owner without parsing the message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceErrorKind {
+    /// The backend operation itself failed (disk IO, corrupt page,
+    /// truncated file). The default for [`SourceError::new`].
+    #[default]
+    Access,
+    /// A remote list owner stopped answering and the session exhausted
+    /// its retries and replicas (`topk-distributed`).
+    Unreachable,
+    /// A replica disagreed with the failed owner's catalog (length, tail
+    /// score or epoch), so failing over to it would change answers.
+    Diverged,
+}
+
 /// A failure of the physical layer behind a [`ListSource`] (disk IO,
-/// corrupt page, truncated file) that made a list access impossible.
+/// corrupt page, truncated file, dead list owner) that made a list
+/// access impossible.
 ///
 /// The `ListSource` access methods return `Option` — `None` means "no
 /// such entry", never "the read failed" — so fallible backends follow a
@@ -106,18 +124,48 @@ impl topk_trace::MetricSource for CacheCounters {
 /// error, a source is unusable until [`ListSource::reset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceError {
+    /// The failure class (IO fault, unreachable owner, diverged replica).
+    pub kind: SourceErrorKind,
     /// The access that failed (e.g. `"sorted_access"`, `"page read"`).
     pub op: String,
     /// Backend-specific description of the failure.
     pub detail: String,
+    /// The 0-based index of the list the failure hit, when the backend
+    /// knows it (distributed backends do; a lone paged list does not).
+    pub list: Option<usize>,
 }
 
 impl SourceError {
-    /// Builds an error for a failed operation.
+    /// Builds an error for a failed operation ([`SourceErrorKind::Access`],
+    /// no list index).
     pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
         SourceError {
+            kind: SourceErrorKind::Access,
             op: op.into(),
             detail: detail.into(),
+            list: None,
+        }
+    }
+
+    /// An [`SourceErrorKind::Unreachable`] error: list `list`'s owner
+    /// stopped answering and retries/replicas are exhausted.
+    pub fn unreachable(list: usize, op: impl Into<String>, detail: impl Into<String>) -> Self {
+        SourceError {
+            kind: SourceErrorKind::Unreachable,
+            op: op.into(),
+            detail: detail.into(),
+            list: Some(list),
+        }
+    }
+
+    /// An [`SourceErrorKind::Diverged`] error: a failover target for list
+    /// `list` disagreed with the failed owner's catalog.
+    pub fn diverged(list: usize, op: impl Into<String>, detail: impl Into<String>) -> Self {
+        SourceError {
+            kind: SourceErrorKind::Diverged,
+            op: op.into(),
+            detail: detail.into(),
+            list: Some(list),
         }
     }
 
@@ -132,7 +180,10 @@ impl SourceError {
 
 impl std::fmt::Display for SourceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "list source {} failed: {}", self.op, self.detail)
+        match self.list {
+            Some(list) => write!(f, "list {list} source {} failed: {}", self.op, self.detail),
+            None => write!(f, "list source {} failed: {}", self.op, self.detail),
+        }
     }
 }
 

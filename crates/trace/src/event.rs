@@ -145,6 +145,40 @@ pub enum TraceEvent {
         /// Whether serving required a refresh run.
         refreshed: bool,
     },
+    /// Distributed: a fault double injected a fault into an owner link.
+    FaultInjected {
+        /// 0-based owner (list) index the fault hit.
+        owner: u64,
+        /// 1-based exchange number (counted across the fault plan).
+        op: u64,
+        /// `"crash"`, `"drop_reply"`, `"delay"` or `"flake"`.
+        kind: &'static str,
+    },
+    /// Distributed: a session retried a failed owner exchange.
+    RetryAttempt {
+        /// 0-based owner (list) index being retried.
+        owner: u64,
+        /// 1-based retry attempt number.
+        attempt: u64,
+        /// Modelled backoff charged before this attempt, in nanoseconds.
+        backoff_nanos: u64,
+    },
+    /// Distributed: a session failed over an owner to another replica.
+    Failover {
+        /// 0-based owner (list) index failing over.
+        owner: u64,
+        /// 0-based replica index now serving the owner's list.
+        replica: u64,
+        /// State-rebuilding requests replayed onto the new replica.
+        replayed: u64,
+    },
+    /// Core: a degraded answer was served with `dead_lists` lists down.
+    DegradedServe {
+        /// Number of lists bracketed by outage intervals.
+        dead_lists: u64,
+        /// The query's `k`.
+        k: u64,
+    },
 }
 
 /// A single scalar payload value.
@@ -251,6 +285,34 @@ pub const EVENT_SCHEMA: &[(&str, &[(&str, FieldKind)])] = &[
         &[("kind", FieldKind::Str), ("absorbed", FieldKind::Bool)],
     ),
     ("standing_serve", &[("refreshed", FieldKind::Bool)]),
+    (
+        "fault_injected",
+        &[
+            ("owner", FieldKind::U64),
+            ("op", FieldKind::U64),
+            ("kind", FieldKind::Str),
+        ],
+    ),
+    (
+        "retry",
+        &[
+            ("owner", FieldKind::U64),
+            ("attempt", FieldKind::U64),
+            ("backoff_nanos", FieldKind::U64),
+        ],
+    ),
+    (
+        "failover",
+        &[
+            ("owner", FieldKind::U64),
+            ("replica", FieldKind::U64),
+            ("replayed", FieldKind::U64),
+        ],
+    ),
+    (
+        "degraded_serve",
+        &[("dead_lists", FieldKind::U64), ("k", FieldKind::U64)],
+    ),
 ];
 
 /// Looks up the field table for `kind`, if `kind` is a known event kind.
@@ -283,6 +345,10 @@ impl TraceEvent {
             TraceEvent::OwnerExchange { .. } => "owner_exchange",
             TraceEvent::StandingIngest { .. } => "standing_ingest",
             TraceEvent::StandingServe { .. } => "standing_serve",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RetryAttempt { .. } => "retry",
+            TraceEvent::Failover { .. } => "failover",
+            TraceEvent::DegradedServe { .. } => "degraded_serve",
         }
     }
 
@@ -366,6 +432,30 @@ impl TraceEvent {
             TraceEvent::StandingServe { refreshed } => {
                 vec![("refreshed", Bool(refreshed))]
             }
+            TraceEvent::FaultInjected { owner, op, kind } => {
+                vec![("owner", U64(owner)), ("op", U64(op)), ("kind", Str(kind))]
+            }
+            TraceEvent::RetryAttempt {
+                owner,
+                attempt,
+                backoff_nanos,
+            } => vec![
+                ("owner", U64(owner)),
+                ("attempt", U64(attempt)),
+                ("backoff_nanos", U64(backoff_nanos)),
+            ],
+            TraceEvent::Failover {
+                owner,
+                replica,
+                replayed,
+            } => vec![
+                ("owner", U64(owner)),
+                ("replica", U64(replica)),
+                ("replayed", U64(replayed)),
+            ],
+            TraceEvent::DegradedServe { dead_lists, k } => {
+                vec![("dead_lists", U64(dead_lists)), ("k", U64(k))]
+            }
         }
     }
 }
@@ -426,6 +516,25 @@ mod tests {
                 absorbed: true,
             },
             TraceEvent::StandingServe { refreshed: false },
+            TraceEvent::FaultInjected {
+                owner: 1,
+                op: 17,
+                kind: "drop_reply",
+            },
+            TraceEvent::RetryAttempt {
+                owner: 1,
+                attempt: 2,
+                backoff_nanos: 3_000,
+            },
+            TraceEvent::Failover {
+                owner: 1,
+                replica: 1,
+                replayed: 5,
+            },
+            TraceEvent::DegradedServe {
+                dead_lists: 1,
+                k: 3,
+            },
         ]
     }
 

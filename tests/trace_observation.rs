@@ -217,3 +217,53 @@ fn traced_runs_export_byte_identical_json() {
     assert!(first.count_kind("cache_miss") > 0, "the cache was traced");
     topk_trace::verify_json(&first_json).expect("export matches the committed schema");
 }
+
+/// One traced workload under injected faults: a flake storm recovered by
+/// retries, a crash recovered by replica failover, and a degraded serve
+/// over the survivors of a dead list.
+fn faulted_workload() -> Trace {
+    use bpa_topk::distributed::{FaultKind, FaultPlan, SessionOptions};
+
+    let db = figure1_database();
+    let query = TopKQuery::top(3);
+    let session = TraceSession::begin();
+
+    let runtime = ClusterRuntime::spawn(&db);
+    let flaky_plan = FaultPlan::new();
+    flaky_plan.arm(4, FaultKind::Flake(2));
+    let mut flaky = runtime.connect_with(SessionOptions::with_faults(flaky_plan));
+    Bpa2::default().run_on(&mut flaky, &query).unwrap();
+
+    let replicated = ClusterRuntime::spawn_replicated(&db, 2);
+    let crash_plan = FaultPlan::new();
+    crash_plan.arm(6, FaultKind::Crash);
+    let mut crashing = replicated.connect_with(SessionOptions::with_faults(crash_plan));
+    Bpa2::default().run_on(&mut crashing, &query).unwrap();
+
+    let mut surviving = runtime.connect_surviving(&[2]);
+    run_on_degraded(
+        &Bpa2::default(),
+        &mut surviving,
+        &query,
+        &[runtime.outage(2)],
+    )
+    .unwrap();
+
+    session.finish()
+}
+
+/// Fault injection, retries, failover and degraded serving are all
+/// traced — and the faulted trace is just as deterministic as a clean
+/// one: two identical faulted workloads export byte-identical JSON.
+#[test]
+fn faulted_runs_export_byte_identical_json() {
+    let first = faulted_workload();
+    let second = faulted_workload();
+    let json = first.to_json();
+    assert_eq!(json, second.to_json());
+    assert_eq!(first.count_kind("fault_injected"), 3, "2 flakes + 1 crash");
+    assert_eq!(first.count_kind("retry"), 2, "each flake costs one retry");
+    assert_eq!(first.count_kind("failover"), 1);
+    assert_eq!(first.count_kind("degraded_serve"), 1);
+    topk_trace::verify_json(&json).expect("export matches the committed schema");
+}
